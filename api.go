@@ -1,0 +1,310 @@
+// Package chgraph is a library-level reproduction of "Hardware-Accelerated
+// Hypergraph Processing with Chain-Driven Scheduling" (HPCA 2022): the
+// chain-driven Generate-Load-Apply (GLA) execution model for hypergraph
+// processing, the per-core ChGraph hardware engine that accelerates it, the
+// index-ordered Hygra baseline, and the simulated multicore memory system
+// the paper evaluates on.
+//
+// The package exposes four layers:
+//
+//   - hypergraphs: loading the paper-shaped synthetic datasets or building
+//     your own (NewHypergraph / LoadDataset / LoadGraphDataset);
+//   - chains: the paper's core abstraction — overlap-aware abstraction
+//     graphs and chain schedules (Hypergraph.Chains);
+//   - execution: running any of the six hypergraph algorithms (plus the
+//     ordinary-graph workloads) under any execution model on the simulated
+//     system, with full architectural metrics (Run);
+//   - experiments: regenerating any table or figure from the paper's
+//     evaluation (ReproduceFigure / Figures).
+package chgraph
+
+import (
+	"fmt"
+
+	"chgraph/internal/algorithms"
+	"chgraph/internal/bitset"
+	"chgraph/internal/core"
+	"chgraph/internal/engine"
+	"chgraph/internal/gen"
+	"chgraph/internal/hwcost"
+	"chgraph/internal/hypergraph"
+	"chgraph/internal/oag"
+	"chgraph/internal/sim/system"
+	"chgraph/internal/trace"
+)
+
+// Hypergraph is a bipartite-CSR hypergraph (Figure 4 of the paper).
+type Hypergraph struct {
+	b *hypergraph.Bipartite
+}
+
+// NewHypergraph builds a hypergraph from per-hyperedge incident vertex
+// lists. Vertex ids must be below numVertices.
+func NewHypergraph(numVertices uint32, hyperedges [][]uint32) (*Hypergraph, error) {
+	b, err := hypergraph.Build(numVertices, hyperedges)
+	if err != nil {
+		return nil, err
+	}
+	b.SortAdjacency()
+	return &Hypergraph{b: b}, nil
+}
+
+// NewDirectedHypergraph builds a directed hypergraph (§II-A): each
+// hyperedge has a source vertex set (whose values it gathers in hyperedge
+// computation) and a destination vertex set (which it updates in vertex
+// computation).
+func NewDirectedHypergraph(numVertices uint32, sources, destinations [][]uint32) (*Hypergraph, error) {
+	b, err := hypergraph.BuildDirected(numVertices, sources, destinations)
+	if err != nil {
+		return nil, err
+	}
+	return &Hypergraph{b: b}, nil
+}
+
+// NewGraph builds the 2-uniform hypergraph embedding of an ordinary graph
+// (§II-A: a graph is a special case of a hypergraph).
+func NewGraph(numVertices uint32, edges [][2]uint32) (*Hypergraph, error) {
+	b, err := hypergraph.FromGraphEdges(numVertices, edges)
+	if err != nil {
+		return nil, err
+	}
+	return &Hypergraph{b: b}, nil
+}
+
+// Datasets lists the paper's five hypergraph dataset names (Table II).
+func Datasets() []string { return append([]string{}, gen.HypergraphNames...) }
+
+// GraphDatasets lists the ordinary-graph dataset names (Figure 25).
+func GraphDatasets() []string { return append([]string{}, gen.GraphNames...) }
+
+// LoadDataset generates the named paper-shaped synthetic hypergraph.
+// scale <= 0 selects the calibrated default size.
+func LoadDataset(name string, scale float64) (*Hypergraph, error) {
+	b, err := gen.Load(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	return &Hypergraph{b: b}, nil
+}
+
+// LoadGraphDataset generates the named ordinary-graph dataset.
+func LoadGraphDataset(name string, scale float64) (*Hypergraph, error) {
+	b, err := gen.LoadGraph(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	return &Hypergraph{b: b}, nil
+}
+
+// NumVertices returns |V|.
+func (g *Hypergraph) NumVertices() uint32 { return g.b.NumVertices() }
+
+// NumHyperedges returns |H|.
+func (g *Hypergraph) NumHyperedges() uint32 { return g.b.NumHyperedges() }
+
+// NumBipartiteEdges returns the incidence count (Table II's #BEdges).
+func (g *Hypergraph) NumBipartiteEdges() uint64 { return g.b.NumBipartiteEdges() }
+
+// IncidentVertices returns N(h); the slice must not be modified.
+func (g *Hypergraph) IncidentVertices(h uint32) []uint32 { return g.b.IncidentVertices(h) }
+
+// IncidentHyperedges returns N(v); the slice must not be modified.
+func (g *Hypergraph) IncidentHyperedges(v uint32) []uint32 { return g.b.IncidentHyperedges(v) }
+
+// OverlapSize returns |N(a) ∩ N(b)| for hyperedges a and b (§II-A).
+func (g *Hypergraph) OverlapSize(a, b uint32) uint32 { return g.b.OverlapSize(a, b) }
+
+// Stats returns Table II-style statistics.
+func (g *Hypergraph) Stats() hypergraph.Stats { return hypergraph.ComputeStats(g.b) }
+
+// Side selects hyperedge chains (scheduling hyperedges, as in vertex
+// computation) or vertex chains.
+type Side int
+
+// Chain sides.
+const (
+	HyperedgeChains Side = iota
+	VertexChains
+)
+
+// Chain is one overlap-inducing chain (Definition 2): a schedule of
+// hyperedges (or vertices) in which successive elements overlap.
+type Chain []uint32
+
+// Chains decomposes the hypergraph into overlap-inducing chains (§IV): it
+// builds the overlap-aware abstraction graph at threshold wMin (0 = the
+// paper's default 3) and runs the chain generator with depth bound dMax
+// (0 = the paper's default 16) over all elements.
+func (g *Hypergraph) Chains(side Side, wMin uint32, dMax int) []Chain {
+	if wMin == 0 {
+		wMin = oag.DefaultWMin
+	}
+	if dMax == 0 {
+		dMax = core.DefaultDMax
+	}
+	oside := oag.Hyperedges
+	n := g.b.NumHyperedges()
+	if side == VertexChains {
+		oside = oag.Vertices
+		n = g.b.NumVertices()
+	}
+	o := oag.Build(g.b, oside, wMin, nil)
+	active := bitset.New(n)
+	for i := uint32(0); i < n; i++ {
+		active.Set(i)
+	}
+	cs := core.Generate(o, 0, n, active, dMax, nil)
+	out := make([]Chain, cs.NumChains())
+	for j := range out {
+		out[j] = append(Chain{}, cs.Chain(j)...)
+	}
+	return out
+}
+
+// Engine selects the execution model.
+type Engine = engine.Kind
+
+// Execution models.
+const (
+	// Hygra is the index-ordered software baseline [41].
+	Hygra = engine.Hygra
+	// GLA is the chain-driven model executed purely in software.
+	GLA = engine.GLA
+	// ChGraph is the hardware-accelerated model (HCG + CP, §V).
+	ChGraph = engine.ChGraph
+	// ChGraphHCG is ChGraph without the chain-driven prefetcher.
+	ChGraphHCG = engine.ChGraphHCG
+	// HATSV is the modified HATS baseline (§II-C).
+	HATSV = engine.HATSV
+	// HygraPF is Hygra plus an event-triggered hardware prefetcher.
+	HygraPF = engine.HygraPF
+)
+
+// Algorithms lists the supported hypergraph algorithm names.
+func Algorithms() []string { return append([]string{}, algorithms.HypergraphAlgos...) }
+
+// RunConfig tunes a Run; the zero value reproduces the paper's defaults
+// (16 cores, scaled Table I system, W_min=3, D_max=16).
+type RunConfig struct {
+	// Engine is the execution model (default Hygra).
+	Engine Engine
+	// Cores overrides the simulated core count.
+	Cores int
+	// DMax and WMin override the chain parameters.
+	DMax int
+	WMin uint32
+	// LLCBytes overrides the total last-level cache capacity.
+	LLCBytes uint64
+	// IncludePreprocessing charges modelled preprocessing time.
+	IncludePreprocessing bool
+	// Source sets the source vertex for BFS/BC/SSSP.
+	Source uint32
+	// Iterations overrides the iteration count for PR/Adsorption.
+	Iterations int
+}
+
+// Result reports a run's outputs and architectural measurements.
+type Result struct {
+	// VertexValues and HyperedgeValues are the final attribute arrays
+	// (distances for BFS/SSSP, ranks for PR, labels for CC, MIS status,
+	// remaining degrees for k-core).
+	VertexValues, HyperedgeValues []float64
+	// Coreness (k-core) and Centrality (BC) are populated when relevant.
+	Coreness, Centrality []float64
+	// Iterations is the number of synchronous iterations.
+	Iterations int
+	// Cycles is simulated execution time.
+	Cycles uint64
+	// MemAccesses is the total number of off-chip line transfers — the
+	// paper's headline "number of main memory accesses".
+	MemAccesses uint64
+	// MemByGroup splits MemAccesses by the Figure 15 array groups:
+	// offset, incident, value, OAG, other.
+	MemByGroup map[string]uint64
+	// MemStallFraction is the fraction of core time stalled on DRAM
+	// (Figure 5).
+	MemStallFraction float64
+	// PreprocessCycles is included in Cycles when preprocessing was
+	// charged.
+	PreprocessCycles uint64
+	// Chains and ChainNodes summarize generated chain schedules.
+	Chains, ChainNodes uint64
+}
+
+// Run executes the named algorithm (see Algorithms, plus "SSSP" and
+// "Adsorption" for graphs) on g under cfg.
+func Run(g *Hypergraph, algorithm string, cfg RunConfig) (*Result, error) {
+	var alg algorithms.Algorithm
+	switch algorithm {
+	case "BFS":
+		alg = algorithms.NewBFS(cfg.Source)
+	case "BC":
+		alg = algorithms.NewBC(cfg.Source)
+	case "SSSP":
+		alg = algorithms.NewSSSP(cfg.Source)
+	case "PR":
+		it := cfg.Iterations
+		if it == 0 {
+			it = 10
+		}
+		alg = algorithms.NewPageRank(it)
+	case "Adsorption":
+		it := cfg.Iterations
+		if it == 0 {
+			it = 10
+		}
+		alg = algorithms.NewAdsorption(it)
+	default:
+		var ok bool
+		alg, ok = algorithms.ByName(algorithm)
+		if !ok {
+			return nil, fmt.Errorf("chgraph: unknown algorithm %q (have %v + %v)", algorithm, algorithms.HypergraphAlgos, algorithms.GraphAlgos)
+		}
+	}
+
+	sys := system.ScaledConfig()
+	if cfg.Cores > 0 {
+		sys.Cores = cfg.Cores
+	}
+	if cfg.LLCBytes > 0 {
+		sys = sys.WithLLCBytes(cfg.LLCBytes)
+	}
+	res, err := engine.Run(g.b, alg, engine.Options{
+		Kind: cfg.Engine, Sys: sys, DMax: cfg.DMax, WMin: cfg.WMin,
+		ChargePreprocess: cfg.IncludePreprocessing,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		VertexValues:     res.State.VertexVal,
+		HyperedgeValues:  res.State.HyperedgeVal,
+		Iterations:       res.Iterations,
+		Cycles:           res.Cycles,
+		MemAccesses:      res.MemTotal(),
+		MemStallFraction: res.StallFraction(),
+		PreprocessCycles: res.PreprocessCycles,
+		Chains:           res.ChainCount,
+		ChainNodes:       res.ChainNodes,
+		MemByGroup:       map[string]uint64{},
+	}
+	for gname, v := range res.MemByGroup() {
+		out.MemByGroup[trace.Group(gname).String()] = v
+	}
+	if kc, ok := alg.(*algorithms.KCore); ok {
+		out.Coreness = kc.Coreness
+	}
+	if bc, ok := alg.(*algorithms.BC); ok {
+		out.Centrality = bc.Centrality
+	}
+	return out, nil
+}
+
+// EngineCost is the §VI-E area/power estimate for one ChGraph engine.
+type EngineCost = hwcost.Report
+
+// EstimateEngineCost returns the 65nm area/power model of the paper's
+// ChGraph configuration (0.094mm², 61mW).
+func EstimateEngineCost() EngineCost {
+	return hwcost.Estimate(hwcost.PaperConfig(), hwcost.Tech65nm())
+}

@@ -1,0 +1,133 @@
+package chgraph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPublicAPIQuickstartFlow(t *testing.T) {
+	g, err := NewHypergraph(7, [][]uint32{
+		{0, 4, 6}, {1, 2, 3, 5}, {0, 2, 4}, {1, 3, 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 7 || g.NumHyperedges() != 4 || g.NumBipartiteEdges() != 13 {
+		t.Fatal("shape mismatch")
+	}
+	if g.OverlapSize(0, 2) != 2 {
+		t.Fatal("overlap mismatch")
+	}
+	chains := g.Chains(HyperedgeChains, 1, 0)
+	if len(chains) != 1 || len(chains[0]) != 4 {
+		t.Fatalf("chains = %v", chains)
+	}
+}
+
+func TestPublicAPIRunMatchesAcrossEngines(t *testing.T) {
+	g, err := LoadDataset("FS", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(g, "BFS", RunConfig{Engine: Hygra, Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(g, "BFS", RunConfig{Engine: ChGraph, Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.VertexValues {
+		if a.VertexValues[v] != b.VertexValues[v] {
+			t.Fatalf("engines disagree at %d", v)
+		}
+	}
+	if a.MemAccesses == 0 || b.Cycles == 0 {
+		t.Fatal("metrics missing")
+	}
+	var groupSum uint64
+	for _, v := range b.MemByGroup {
+		groupSum += v
+	}
+	if groupSum != b.MemAccesses {
+		t.Fatalf("group sum %d != total %d", groupSum, b.MemAccesses)
+	}
+}
+
+func TestPublicAPIKCoreAndBCOutputs(t *testing.T) {
+	g, err := LoadDataset("FS", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kc, err := Run(g, "k-core", RunConfig{Engine: ChGraph, Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kc.Coreness) != int(g.NumVertices()) {
+		t.Fatal("coreness missing")
+	}
+	bc, err := Run(g, "BC", RunConfig{Engine: Hygra, Cores: 4, Source: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bc.Centrality) != int(g.NumVertices()) {
+		t.Fatal("centrality missing")
+	}
+	for _, c := range bc.Centrality {
+		if math.IsNaN(c) || c < 0 {
+			t.Fatalf("bad centrality %v", c)
+		}
+	}
+}
+
+func TestPublicAPIGraphDatasets(t *testing.T) {
+	g, err := LoadGraphDataset("AZ", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, "SSSP", RunConfig{Engine: ChGraph, Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VertexValues[0] != 0 {
+		t.Fatal("source distance must be 0")
+	}
+}
+
+func TestPublicAPIErrors(t *testing.T) {
+	if _, err := LoadDataset("nope", 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	g, _ := NewHypergraph(3, [][]uint32{{0, 1}})
+	if _, err := Run(g, "nope", RunConfig{}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := NewHypergraph(2, [][]uint32{{5}}); err == nil {
+		t.Fatal("out-of-range vertex accepted")
+	}
+}
+
+func TestEstimateEngineCostMatchesPaper(t *testing.T) {
+	c := EstimateEngineCost()
+	if math.Abs(c.Areamm2-0.094) > 0.005 || math.Abs(c.PowermW-61) > 3 {
+		t.Fatalf("engine cost %.3fmm2/%.0fmW deviates from §VI-E", c.Areamm2, c.PowermW)
+	}
+}
+
+func TestFiguresRegistry(t *testing.T) {
+	figs := Figures()
+	if len(figs) != 20 {
+		t.Fatalf("expected 20 reproducible results, have %d", len(figs))
+	}
+	if _, err := ReproduceFigure("nope", ExperimentConfig{}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	// The area model runs without simulation; reproduce it end to end.
+	out, err := ReproduceFigure("area", ExperimentConfig{Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("empty table")
+	}
+}

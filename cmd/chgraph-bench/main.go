@@ -1,0 +1,82 @@
+// Command chgraph-bench regenerates the tables and figures of the paper's
+// evaluation (§VI) on the simulated system.
+//
+// Usage:
+//
+//	chgraph-bench -fig fig14              # one figure
+//	chgraph-bench -fig fig2,fig3,fig15    # several
+//	chgraph-bench -fig all                # the full evaluation
+//	chgraph-bench -list                   # available figure ids
+//
+// The -scale flag trades fidelity for speed (e.g. -scale 0.25 for a quick
+// pass); -datasets and -algos restrict the sweeps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"chgraph/internal/bench"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "", "figure id(s), comma separated, or 'all'")
+		list     = flag.Bool("list", false, "list available figure ids")
+		scale    = flag.Float64("scale", 1, "dataset scale multiplier")
+		datasets = flag.String("datasets", "", "comma-separated dataset subset (default: all five)")
+		algos    = flag.String("algos", "", "comma-separated algorithm subset (default: all six)")
+		parallel = flag.Int("parallel", 0, "max concurrently simulated cells (0 = auto)")
+		verbose  = flag.Bool("v", false, "log every simulated cell")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range bench.Runners() {
+			fmt.Printf("%-8s %s\n", r.ID, r.Desc)
+		}
+		return
+	}
+	if *fig == "" {
+		fmt.Fprintln(os.Stderr, "usage: chgraph-bench -fig <id>[,<id>...] | -fig all | -list")
+		os.Exit(2)
+	}
+
+	cfg := bench.Config{Scale: *scale, Parallel: *parallel}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+	if *algos != "" {
+		cfg.Algos = strings.Split(*algos, ",")
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, "[bench] "+format+"\n", args...)
+		}
+	}
+	session := bench.NewSession(cfg)
+
+	var runners []bench.Runner
+	if *fig == "all" {
+		runners = bench.Runners()
+	} else {
+		for _, id := range strings.Split(*fig, ",") {
+			r, ok := bench.RunnerByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown figure %q; known: %v\n", id, bench.RunnerIDs())
+				os.Exit(2)
+			}
+			runners = append(runners, r)
+		}
+	}
+
+	for _, r := range runners {
+		t0 := time.Now()
+		table := r.Run(session)
+		fmt.Println(table.String())
+		fmt.Printf("(%s regenerated in %v)\n\n", r.ID, time.Since(t0).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,89 @@
+// Command hypergen generates and inspects the synthetic hypergraph datasets
+// (paper-shaped, Table II / Figure 8).
+//
+// Example:
+//
+//	hypergen -dataset WEB              # statistics
+//	hypergen -dataset WEB -chains      # chain decomposition summary
+//	hypergen -dataset WEB -dump out.hg # write incidence lists to a file
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	chgraph "chgraph"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "", "dataset name (FS OK LJ WEB OG; AZ PK for graphs); empty = all")
+		scale   = flag.Float64("scale", 1, "scale multiplier")
+		chains  = flag.Bool("chains", false, "also report the chain decomposition (W_min=3, D_max=16)")
+		dump    = flag.String("dump", "", "write hyperedge incidence lists to this file")
+	)
+	flag.Parse()
+
+	names := []string{*dataset}
+	if *dataset == "" {
+		names = chgraph.Datasets()
+	}
+	for _, name := range names {
+		g, err := chgraph.LoadDataset(name, *scale)
+		if err != nil {
+			if g2, err2 := chgraph.LoadGraphDataset(name, *scale); err2 == nil {
+				g = g2
+			} else {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		st := g.Stats()
+		fmt.Printf("%-4s V=%-8d H=%-8d BE=%-9d size=%.1fMB meanDeg(h)=%.1f meanDeg(v)=%.1f\n",
+			name, st.NumVertices, st.NumHyperedges, st.NumBipartiteEdges,
+			float64(st.SizeBytes)/(1<<20), st.MeanHyperedgeDegree, st.MeanVertexDegree)
+
+		if *chains {
+			for _, side := range []chgraph.Side{chgraph.HyperedgeChains, chgraph.VertexChains} {
+				cs := g.Chains(side, 0, 0)
+				var nodes int
+				for _, c := range cs {
+					nodes += len(c)
+				}
+				label := "hyperedge"
+				if side == chgraph.VertexChains {
+					label = "vertex"
+				}
+				fmt.Printf("     %s chains: %d covering %d elements (avg length %.2f)\n",
+					label, len(cs), nodes, float64(nodes)/float64(len(cs)))
+			}
+		}
+
+		if *dump != "" {
+			f, err := os.Create(*dump)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			w := bufio.NewWriter(f)
+			fmt.Fprintf(w, "# %s vertices=%d hyperedges=%d\n", name, g.NumVertices(), g.NumHyperedges())
+			for h := uint32(0); h < g.NumHyperedges(); h++ {
+				for i, v := range g.IncidentVertices(h) {
+					if i > 0 {
+						fmt.Fprint(w, " ")
+					}
+					fmt.Fprintf(w, "%d", v)
+				}
+				fmt.Fprintln(w)
+			}
+			if err := w.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("     wrote %s\n", *dump)
+		}
+	}
+}

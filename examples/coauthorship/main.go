@@ -1,0 +1,93 @@
+// Coauthorship reproduces the paper's motivating application (§I): an
+// author-collaboration network where authors are vertices and co-authored
+// papers are hyperedges, analyzed with a PageRank-like scholarly-impact
+// algorithm. Unlike a pairwise graph, the hypergraph keeps each paper's
+// full author list, so a prolific author's influence is split per paper
+// rather than duplicated per co-author pair.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	chgraph "chgraph"
+)
+
+func main() {
+	// Synthesize a collaboration network: research groups publish papers
+	// drawn mostly from a stable core of collaborators (exactly the
+	// overlapped structure chain-driven scheduling exploits).
+	rng := rand.New(rand.NewSource(42))
+	const authors = 4000
+	const groups = 160
+	const papersPerGroup = 30
+
+	var papers [][]uint32
+	for g := 0; g < groups; g++ {
+		// Each group has a core of 6 authors and a wider circle of 20.
+		base := uint32(g * (authors / groups))
+		for p := 0; p < papersPerGroup; p++ {
+			n := 2 + rng.Intn(5)
+			seen := map[uint32]bool{}
+			var paper []uint32
+			for len(paper) < n {
+				var a uint32
+				if rng.Float64() < 0.7 {
+					a = base + uint32(rng.Intn(6)) // core collaborator
+				} else if rng.Float64() < 0.9 {
+					a = base + uint32(rng.Intn(20)) // group circle
+				} else {
+					a = uint32(rng.Intn(authors)) // external co-author
+				}
+				if !seen[a] {
+					seen[a] = true
+					paper = append(paper, a)
+				}
+			}
+			papers = append(papers, paper)
+		}
+	}
+
+	g, err := chgraph.NewHypergraph(authors, papers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collaboration network: %d authors, %d papers, %d authorships\n",
+		g.NumVertices(), g.NumHyperedges(), g.NumBipartiteEdges())
+
+	// Chains reveal the collaboration clusters.
+	chains := g.Chains(chgraph.HyperedgeChains, 3, 0)
+	var chained int
+	for _, c := range chains {
+		if len(c) > 1 {
+			chained += len(c)
+		}
+	}
+	fmt.Printf("chain decomposition: %d chains; %d papers sit in multi-paper chains\n", len(chains), chained)
+
+	// Scholarly impact via hypergraph PageRank on the ChGraph engine.
+	res, err := chgraph.Run(g, "PR", chgraph.RunConfig{Engine: chgraph.ChGraph, Iterations: 15})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type impact struct {
+		author uint32
+		score  float64
+	}
+	ranked := make([]impact, authors)
+	for a := range ranked {
+		ranked[a] = impact{uint32(a), res.VertexValues[a]}
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].score > ranked[j].score })
+
+	fmt.Println("\nhighest-impact authors:")
+	for i := 0; i < 5; i++ {
+		fmt.Printf("  author %4d  impact %.6f  (%d papers)\n",
+			ranked[i].author, ranked[i].score, len(g.IncidentHyperedges(ranked[i].author)))
+	}
+	fmt.Printf("\nsimulated on 16 cores: %d cycles, %d DRAM accesses, %.1f%% core stall\n",
+		res.Cycles, res.MemAccesses, 100*res.MemStallFraction)
+}

@@ -1,0 +1,50 @@
+// Graph compatibility (§VI-I): an ordinary graph is a special case of a
+// hypergraph where every hyperedge connects exactly two vertices, so
+// ChGraph handles classic graph workloads too. This example runs
+// single-source shortest paths on the scaled soc-Pokec-shaped graph under
+// the Ligra-style index-ordered baseline and under ChGraph.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	chgraph "chgraph"
+)
+
+func main() {
+	g, err := chgraph.LoadGraphDataset("PK", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("soc-Pokec (scaled): %d vertices, %d edges\n", g.NumVertices(), g.NumHyperedges())
+
+	ligra, err := chgraph.Run(g, "SSSP", chgraph.RunConfig{Engine: chgraph.Hygra, Source: 0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ch, err := chgraph.Run(g, "SSSP", chgraph.RunConfig{Engine: chgraph.ChGraph, Source: 0})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Results must agree exactly.
+	reached := 0
+	var maxDist float64
+	for v := range ligra.VertexValues {
+		if ligra.VertexValues[v] != ch.VertexValues[v] {
+			log.Fatalf("engines disagree at vertex %d", v)
+		}
+		if d := ch.VertexValues[v]; d < 1e300 {
+			reached++
+			if d > maxDist {
+				maxDist = d
+			}
+		}
+	}
+	fmt.Printf("SSSP from v0: reached %d vertices, eccentricity %.0f\n", reached, maxDist)
+	fmt.Printf("\n%-14s %14s %14s\n", "engine", "cycles", "DRAM accesses")
+	fmt.Printf("%-14s %14d %14d\n", "Ligra (index)", ligra.Cycles, ligra.MemAccesses)
+	fmt.Printf("%-14s %14d %14d\n", "ChGraph", ch.Cycles, ch.MemAccesses)
+	fmt.Printf("\nChGraph speedup on an ordinary graph: %.2fx\n", float64(ligra.Cycles)/float64(ch.Cycles))
+}

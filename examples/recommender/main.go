@@ -1,0 +1,114 @@
+// Session-based recommendation (§I cites hypergraph learning for
+// recommendation): shopping sessions are hyperedges over the items bought
+// together. Label mass injected at a seed item propagates through sessions
+// with the Adsorption algorithm; the highest-mass unseen items are the
+// recommendations. Sessions of the same shopper cohort overlap heavily —
+// exactly the structure the chain-driven engine exploits.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	chgraph "chgraph"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(99))
+	const items = 24000
+	const cohorts = 800
+	const sessionsPerCohort = 45
+
+	// Each cohort buys from a taste profile of ~12 items; sessions are
+	// subsets of the profile plus impulse purchases, so sessions within a
+	// cohort overlap strongly (the chainable structure of real
+	// co-purchase data).
+	var sessions [][]uint32
+	for c := 0; c < cohorts; c++ {
+		base := uint32(c * (items / cohorts))
+		for s := 0; s < sessionsPerCohort; s++ {
+			n := 5 + rng.Intn(7)
+			seen := map[uint32]bool{}
+			var session []uint32
+			for len(session) < n {
+				var it uint32
+				if rng.Float64() < 0.8 {
+					it = base + uint32(rng.Intn(12)) // cohort taste
+				} else {
+					it = uint32(rng.Intn(items)) // impulse
+				}
+				if !seen[it] {
+					seen[it] = true
+					session = append(session, it)
+				}
+			}
+			sessions = append(sessions, session)
+		}
+	}
+
+	// Real purchase logs interleave shoppers: shuffle session order and
+	// item ids within 16 regional stores (cohorts stay within a store, as
+	// cohorts of one region shop at one store), so no engine gets free
+	// index-order locality yet the overlap structure stays chunk-local.
+	const stores = 16
+	perStore := len(sessions) / stores
+	for st := 0; st < stores; st++ {
+		sub := sessions[st*perStore : (st+1)*perStore]
+		rng.Shuffle(len(sub), func(i, j int) { sub[i], sub[j] = sub[j], sub[i] })
+	}
+	itemPerm := make([]uint32, items)
+	for i := range itemPerm {
+		itemPerm[i] = uint32(i)
+	}
+	itemsPerStore := items / stores
+	for st := 0; st < stores; st++ {
+		sub := itemPerm[st*itemsPerStore : (st+1)*itemsPerStore]
+		rng.Shuffle(len(sub), func(i, j int) { sub[i], sub[j] = sub[j], sub[i] })
+	}
+	for _, sess := range sessions {
+		for i, it := range sess {
+			sess[i] = itemPerm[it]
+		}
+	}
+
+	g, err := chgraph.NewHypergraph(items, sessions)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("catalog: %d items, %d sessions, %d purchases\n",
+		g.NumVertices(), g.NumHyperedges(), g.NumBipartiteEdges())
+
+	// Propagate label mass with Adsorption on the ChGraph engine and pull
+	// out the strongest items per seed cohort.
+	res, err := chgraph.Run(g, "Adsorption", chgraph.RunConfig{Engine: chgraph.ChGraph, Iterations: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type scored struct {
+		item  uint32
+		score float64
+	}
+	var ranked []scored
+	for it, s := range res.VertexValues {
+		ranked = append(ranked, scored{uint32(it), s})
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].score > ranked[j].score })
+
+	fmt.Println("\nstrongest co-purchase items:")
+	for i := 0; i < 5; i++ {
+		fmt.Printf("  item %4d  mass %.5f  (in %d sessions)\n",
+			ranked[i].item, ranked[i].score, len(g.IncidentHyperedges(ranked[i].item)))
+	}
+
+	// Compare engines on this workload.
+	base, err := chgraph.Run(g, "Adsorption", chgraph.RunConfig{Engine: chgraph.Hygra, Iterations: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nindex-ordered engine: %12d cycles, %9d DRAM accesses\n", base.Cycles, base.MemAccesses)
+	fmt.Printf("chain-driven engine:  %12d cycles, %9d DRAM accesses (%.2fx speedup)\n",
+		res.Cycles, res.MemAccesses, float64(base.Cycles)/float64(res.Cycles))
+}

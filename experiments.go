@@ -1,0 +1,66 @@
+package chgraph
+
+import (
+	"fmt"
+
+	"chgraph/internal/bench"
+)
+
+// Figure identifies one reproducible table/figure from the paper.
+type Figure struct {
+	// ID is the runner id passed to ReproduceFigure (e.g. "fig14").
+	ID string
+	// Description summarizes the paper result it regenerates.
+	Description string
+}
+
+// Figures lists every reproducible evaluation result in paper order.
+func Figures() []Figure {
+	var out []Figure
+	for _, r := range bench.Runners() {
+		out = append(out, Figure{ID: r.ID, Description: r.Desc})
+	}
+	return out
+}
+
+// ExperimentConfig tunes figure reproduction.
+type ExperimentConfig struct {
+	// Scale multiplies the calibrated dataset sizes (1 = default; smaller
+	// is faster and less faithful).
+	Scale float64
+	// Datasets/Algos restrict the sweep (nil = the paper's full set).
+	Datasets, Algos []string
+	// Parallel bounds concurrently simulated cells.
+	Parallel int
+	// Logf, if set, receives progress lines.
+	Logf func(format string, args ...interface{})
+}
+
+// ReproduceFigure regenerates one table/figure and returns it as printable
+// text. Runs within one Experiments session share dataset and simulation
+// caches; for multiple figures prefer NewExperiments.
+func ReproduceFigure(id string, cfg ExperimentConfig) (string, error) {
+	return NewExperiments(cfg).Reproduce(id)
+}
+
+// Experiments is a reproduction session with shared caches.
+type Experiments struct {
+	s *bench.Session
+}
+
+// NewExperiments builds a session.
+func NewExperiments(cfg ExperimentConfig) *Experiments {
+	return &Experiments{s: bench.NewSession(bench.Config{
+		Scale: cfg.Scale, Datasets: cfg.Datasets, Algos: cfg.Algos,
+		Parallel: cfg.Parallel, Logf: cfg.Logf,
+	})}
+}
+
+// Reproduce regenerates the identified figure.
+func (e *Experiments) Reproduce(id string) (string, error) {
+	r, ok := bench.RunnerByID(id)
+	if !ok {
+		return "", fmt.Errorf("chgraph: unknown figure %q (have %v)", id, bench.RunnerIDs())
+	}
+	return r.Run(e.s).String(), nil
+}

@@ -1,0 +1,3 @@
+module chgraph
+
+go 1.22

@@ -1,0 +1,120 @@
+// Package algorithms implements the paper's six hypergraph applications
+// (BFS, PageRank, MIS, BC, CC, k-core, §VI-A) and the two ordinary-graph
+// applications of the generality study (SSSP, Adsorption, §VI-I) as edge
+// programs in the HF/VF style of Algorithm 1, plus independent sequential
+// oracle implementations used by the correctness tests.
+//
+// The execution engines drive an algorithm through synchronous iterations:
+// a hyperedge-computation phase applies HF to every bipartite edge (v, h)
+// with v in the active vertex frontier, then a vertex-computation phase
+// applies VF to every (h, v) with h in the active hyperedge frontier.
+// Updates made in a phase are consumed only by the following phase (the
+// paper's synchronous model), so the functional result is independent of
+// the scheduling order — which is exactly why index-ordered (Hygra) and
+// chain-ordered (GLA/ChGraph) engines can be compared on identical outputs.
+package algorithms
+
+import (
+	"math"
+
+	"chgraph/internal/bitset"
+	"chgraph/internal/hypergraph"
+)
+
+// Infinity is the "unreached" marker for distance-like algorithms.
+const Infinity = math.MaxFloat64
+
+// State holds the canonical per-vertex and per-hyperedge attribute arrays
+// (vertex_value / hyperedge_value in Figure 4(c)). Algorithm-private
+// auxiliary state lives inside the algorithm implementations.
+type State struct {
+	G            *hypergraph.Bipartite
+	VertexVal    []float64
+	HyperedgeVal []float64
+	// Iter is the current iteration, maintained by the engine.
+	Iter int
+}
+
+// NewState allocates a state for g.
+func NewState(g *hypergraph.Bipartite) *State {
+	return &State{
+		G:            g,
+		VertexVal:    make([]float64, g.NumVertices()),
+		HyperedgeVal: make([]float64, g.NumHyperedges()),
+	}
+}
+
+// EdgeResult reports what an HF/VF application did, so engines can emit the
+// corresponding value-array write and frontier-bitmap update.
+type EdgeResult uint8
+
+const (
+	// Wrote indicates the destination value was modified.
+	Wrote EdgeResult = 1 << iota
+	// Activate indicates the destination should join the next frontier.
+	Activate
+)
+
+// Algorithm is an edge program in the style of Algorithm 1/2.
+type Algorithm interface {
+	// Name returns the paper's abbreviation (BFS, PR, MIS, BC, CC,
+	// k-core, SSSP, Adsorption).
+	Name() string
+	// Init resets all state for a fresh run on s.G and sets the initial
+	// active vertex set.
+	Init(s *State, frontierV bitset.Bitmap)
+	// BeforeHyperedgePhase resets per-iteration hyperedge accumulators.
+	BeforeHyperedgePhase(s *State)
+	// BeforeVertexPhase resets per-iteration vertex accumulators.
+	BeforeVertexPhase(s *State)
+	// HF processes bipartite edge (v, h) for an active vertex v,
+	// updating s.HyperedgeVal[h].
+	HF(s *State, v, h uint32) EdgeResult
+	// VF processes bipartite edge (h, v) for an active hyperedge h,
+	// updating s.VertexVal[v].
+	VF(s *State, h, v uint32) EdgeResult
+	// AfterVertexPhase runs after each iteration with the next vertex
+	// frontier; it may mutate the frontier (multi-stage algorithms) and
+	// reports whether the algorithm is finished regardless of frontier.
+	AfterVertexPhase(s *State, frontierV bitset.Bitmap) (done bool)
+	// MaxIterations caps the iteration count (0 = run until the frontier
+	// empties).
+	MaxIterations() int
+}
+
+// noHooks provides default no-op hooks for simple algorithms.
+type noHooks struct{}
+
+func (noHooks) BeforeHyperedgePhase(*State)                 {}
+func (noHooks) BeforeVertexPhase(*State)                    {}
+func (noHooks) AfterVertexPhase(*State, bitset.Bitmap) bool { return false }
+func (noHooks) MaxIterations() int                          { return 0 }
+
+// ByName returns a fresh instance of the named algorithm.
+func ByName(name string) (Algorithm, bool) {
+	switch name {
+	case "BFS":
+		return NewBFS(0), true
+	case "PR":
+		return NewPageRank(10), true
+	case "CC":
+		return NewCC(), true
+	case "MIS":
+		return NewMIS(1), true
+	case "BC":
+		return NewBC(0), true
+	case "k-core", "KC":
+		return NewKCore(64), true
+	case "SSSP":
+		return NewSSSP(0), true
+	case "Adsorption", "AD":
+		return NewAdsorption(10), true
+	}
+	return nil, false
+}
+
+// HypergraphAlgos lists the six hypergraph applications in paper order.
+var HypergraphAlgos = []string{"BFS", "PR", "MIS", "BC", "CC", "k-core"}
+
+// GraphAlgos lists the ordinary-graph applications of Figure 25.
+var GraphAlgos = []string{"Adsorption", "SSSP"}

@@ -1,0 +1,266 @@
+package algorithms
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chgraph/internal/bitset"
+	"chgraph/internal/hypergraph"
+)
+
+// drive runs an algorithm functionally through the synchronous two-phase
+// iteration structure (a miniature of the engine loop, without the
+// simulator), in index order.
+func drive(g *hypergraph.Bipartite, alg Algorithm) *State {
+	s := NewState(g)
+	frontierV := bitset.New(g.NumVertices())
+	alg.Init(s, frontierV)
+	maxIter := alg.MaxIterations()
+	for {
+		if frontierV.Count() == 0 {
+			break
+		}
+		if maxIter > 0 && s.Iter >= maxIter {
+			break
+		}
+		alg.BeforeHyperedgePhase(s)
+		frontierE := bitset.New(g.NumHyperedges())
+		frontierV.ForEachSet(0, g.NumVertices(), func(v uint32) {
+			for _, h := range g.IncidentHyperedges(v) {
+				if alg.HF(s, v, h)&Activate != 0 {
+					frontierE.Set(h)
+				}
+			}
+		})
+		alg.BeforeVertexPhase(s)
+		nextV := bitset.New(g.NumVertices())
+		frontierE.ForEachSet(0, g.NumHyperedges(), func(h uint32) {
+			for _, v := range g.IncidentVertices(h) {
+				if alg.VF(s, h, v)&Activate != 0 {
+					nextV.Set(v)
+				}
+			}
+		})
+		s.Iter++
+		done := alg.AfterVertexPhase(s, nextV)
+		frontierV = nextV
+		if done {
+			break
+		}
+	}
+	return s
+}
+
+func randomHG(seed int64) *hypergraph.Bipartite {
+	rng := rand.New(rand.NewSource(seed))
+	numV := uint32(rng.Intn(60) + 2)
+	hs := make([][]uint32, rng.Intn(80)+2)
+	for i := range hs {
+		sz := rng.Intn(7)
+		for k := 0; k < sz; k++ {
+			hs[i] = append(hs[i], uint32(rng.Intn(int(numV))))
+		}
+	}
+	return hypergraph.MustBuild(numV, hs)
+}
+
+func fig1() *hypergraph.Bipartite {
+	return hypergraph.MustBuild(7, [][]uint32{
+		{0, 4, 6}, {1, 2, 3, 5}, {0, 2, 4}, {1, 3, 6},
+	})
+}
+
+func TestBFSMatchesOracleFig1(t *testing.T) {
+	g := fig1()
+	s := drive(g, NewBFS(0))
+	want := OracleBFS(g, 0)
+	for v := range want {
+		if s.VertexVal[v] != want[v] {
+			t.Fatalf("dist[%d] = %v, want %v", v, s.VertexVal[v], want[v])
+		}
+	}
+	// v0 -> h0/h2 -> {v2,v4,v6} at 1; then h1/h3 -> rest at 2.
+	if s.VertexVal[0] != 0 || s.VertexVal[4] != 1 || s.VertexVal[1] != 2 {
+		t.Fatalf("unexpected distances %v", s.VertexVal)
+	}
+}
+
+func TestQuickBFSMatchesOracle(t *testing.T) {
+	f := func(seed int64, src uint16) bool {
+		g := randomHG(seed)
+		s := drive(g, NewBFS(uint32(src)))
+		want := OracleBFS(g, uint32(src))
+		for v := range want {
+			if s.VertexVal[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPRMatchesOracle(t *testing.T) {
+	g := randomHG(11)
+	s := drive(g, NewPageRank(10))
+	want := OraclePR(g, 0.85, 10)
+	for v := range want {
+		if math.Abs(s.VertexVal[v]-want[v]) > 1e-9*(1+math.Abs(want[v])) {
+			t.Fatalf("rank[%d] = %v, want %v", v, s.VertexVal[v], want[v])
+		}
+	}
+}
+
+func TestPRMassSanity(t *testing.T) {
+	g := fig1()
+	s := drive(g, NewPageRank(10))
+	for v, r := range s.VertexVal {
+		if r <= 0 || math.IsNaN(r) {
+			t.Fatalf("rank[%d] = %v", v, r)
+		}
+	}
+}
+
+func TestQuickCCMatchesOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomHG(seed)
+		s := drive(g, NewCC())
+		want := OracleCC(g)
+		for v := range want {
+			if s.VertexVal[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMISIsValidMaximal(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomHG(seed)
+		s := drive(g, NewMIS(uint64(seed)))
+		return ValidateMIS(g, s.VertexVal) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSSSPMatchesDijkstra(t *testing.T) {
+	f := func(seed int64, src uint16) bool {
+		g := randomHG(seed)
+		s := drive(g, NewSSSP(uint32(src)))
+		want := OracleSSSP(g, uint32(src))
+		for v := range want {
+			if math.Abs(s.VertexVal[v]-want[v]) > 1e-9 {
+				if math.IsInf(want[v], 1) || want[v] == Infinity {
+					if s.VertexVal[v] == Infinity {
+						continue
+					}
+				}
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickKCoreMatchesOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomHG(seed)
+		alg := NewKCore(32)
+		drive(g, alg)
+		want := OracleKCore(g, 32)
+		for v := range want {
+			if alg.Coreness[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBCMatchesOracle(t *testing.T) {
+	f := func(seed int64, src uint16) bool {
+		g := randomHG(seed)
+		alg := NewBC(uint32(src))
+		drive(g, alg)
+		want := OracleBC(g, uint32(src))
+		for v := range want {
+			if math.Abs(alg.Centrality[v]-want[v]) > 1e-6*(1+math.Abs(want[v])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdsorptionConvergesPositively(t *testing.T) {
+	g := randomHG(3)
+	s := drive(g, NewAdsorption(10))
+	anyPositive := false
+	for _, v := range s.VertexVal {
+		if math.IsNaN(v) || v < 0 {
+			t.Fatalf("bad label mass %v", v)
+		}
+		if v > 0 {
+			anyPositive = true
+		}
+	}
+	if !anyPositive {
+		t.Fatal("no label mass propagated")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range append(append([]string{}, HypergraphAlgos...), GraphAlgos...) {
+		a, ok := ByName(n)
+		if !ok {
+			t.Fatalf("ByName(%q) missing", n)
+		}
+		if a.Name() != n {
+			t.Fatalf("ByName(%q).Name() = %q", n, a.Name())
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("unknown name resolved")
+	}
+}
+
+func TestBFSUnreachableStaysInfinite(t *testing.T) {
+	g := hypergraph.MustBuild(4, [][]uint32{{0, 1}}) // v2, v3 isolated
+	s := drive(g, NewBFS(0))
+	if s.VertexVal[2] != Infinity || s.VertexVal[3] != Infinity {
+		t.Fatal("unreachable vertices must stay at Infinity")
+	}
+}
+
+func TestKCoreSimpleExample(t *testing.T) {
+	// Triangle-ish: h0={0,1,2}, h1={0,1,3}, h2={0,1} -- v0,v1 in 3
+	// hyperedges; v2, v3 in 1.
+	g := hypergraph.MustBuild(4, [][]uint32{{0, 1, 2}, {0, 1, 3}, {0, 1}})
+	alg := NewKCore(16)
+	drive(g, alg)
+	want := OracleKCore(g, 16)
+	for v := range want {
+		if alg.Coreness[v] != want[v] {
+			t.Fatalf("coreness[%d] = %v, want %v (all: %v)", v, alg.Coreness[v], want[v], alg.Coreness)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package algorithms
+
+import "chgraph/internal/bitset"
+
+// BC computes single-source betweenness-centrality dependencies on the
+// hypergraph (HyperBC-style): a forward level-synchronous sweep counts
+// shortest paths through vertices and hyperedges, then a backward sweep
+// accumulates Brandes dependencies level by level. A path alternates
+// vertex -> hyperedge -> vertex; each hyperedge traversal is one hop.
+//
+// During the forward sweep VertexVal/HyperedgeVal hold path counts (sigma);
+// during the backward sweep they hold dependencies (delta). Levels and the
+// frozen sigma live in algorithm-private arrays. The per-vertex dependency
+// is exposed as Centrality.
+type BC struct {
+	// Source is the source vertex.
+	Source uint32
+
+	levelV []int32
+	levelH []int32
+	sigmaV []float64
+	sigmaH []float64
+	// levels[i] lists the vertices at BFS level i.
+	levels   [][]uint32
+	backward bool
+	backIdx  int
+	// Centrality is the per-vertex dependency of the source, valid after
+	// the run.
+	Centrality []float64
+}
+
+// NewBC returns a BC instance rooted at source.
+func NewBC(source uint32) *BC { return &BC{Source: source} }
+
+// Name implements Algorithm.
+func (*BC) Name() string { return "BC" }
+
+// MaxIterations implements Algorithm.
+func (*BC) MaxIterations() int { return 0 }
+
+// BeforeHyperedgePhase implements Algorithm.
+func (*BC) BeforeHyperedgePhase(*State) {}
+
+// BeforeVertexPhase implements Algorithm.
+func (*BC) BeforeVertexPhase(*State) {}
+
+// Init implements Algorithm.
+func (b *BC) Init(s *State, frontierV bitset.Bitmap) {
+	nV, nH := len(s.VertexVal), len(s.HyperedgeVal)
+	b.levelV = make([]int32, nV)
+	b.levelH = make([]int32, nH)
+	b.sigmaV = make([]float64, nV)
+	b.sigmaH = make([]float64, nH)
+	b.levels = nil
+	b.backward = false
+	b.Centrality = make([]float64, nV)
+	for i := range b.levelV {
+		b.levelV[i] = -1
+	}
+	for i := range b.levelH {
+		b.levelH[i] = -1
+	}
+	for i := range s.VertexVal {
+		s.VertexVal[i] = 0
+	}
+	for i := range s.HyperedgeVal {
+		s.HyperedgeVal[i] = 0
+	}
+	src := b.Source % uint32(nV)
+	b.levelV[src] = 0
+	s.VertexVal[src] = 1 // sigma of the source
+	frontierV.Set(src)
+	b.levels = append(b.levels, []uint32{src})
+}
+
+// HF implements Algorithm.
+func (b *BC) HF(s *State, v, h uint32) EdgeResult {
+	if b.backward {
+		// delta flows from level-L vertices into their predecessor
+		// hyperedges at level L-1.
+		if b.levelH[h] == b.levelV[v]-1 && b.sigmaV[v] > 0 {
+			s.HyperedgeVal[h] += b.sigmaH[h] / b.sigmaV[v] * (1 + s.VertexVal[v])
+			return Wrote | Activate
+		}
+		return 0
+	}
+	lv := b.levelV[v]
+	switch {
+	case b.levelH[h] < 0:
+		b.levelH[h] = lv
+		s.HyperedgeVal[h] += s.VertexVal[v]
+		return Wrote | Activate
+	case b.levelH[h] == lv:
+		s.HyperedgeVal[h] += s.VertexVal[v]
+		return Wrote | Activate
+	}
+	return 0
+}
+
+// VF implements Algorithm.
+func (b *BC) VF(s *State, h, v uint32) EdgeResult {
+	if b.backward {
+		// delta flows from a level-L hyperedge into its predecessor
+		// vertices at level L.
+		if b.levelV[v] == b.levelH[h] && b.sigmaH[h] > 0 {
+			s.VertexVal[v] += b.sigmaV[v] / b.sigmaH[h] * s.HyperedgeVal[h]
+			return Wrote
+		}
+		return 0
+	}
+	lh := b.levelH[h]
+	switch {
+	case b.levelV[v] < 0:
+		b.levelV[v] = lh + 1
+		s.VertexVal[v] += s.HyperedgeVal[h]
+		return Wrote | Activate
+	case b.levelV[v] == lh+1:
+		s.VertexVal[v] += s.HyperedgeVal[h]
+		return Wrote | Activate
+	}
+	return 0
+}
+
+// AfterVertexPhase implements Algorithm: record level sets during the
+// forward sweep; when it finishes, freeze sigma and replay the levels
+// deepest-first for the backward sweep.
+func (b *BC) AfterVertexPhase(s *State, frontierV bitset.Bitmap) bool {
+	nV := uint32(len(s.VertexVal))
+	if !b.backward {
+		var level []uint32
+		frontierV.ForEachSet(0, nV, func(v uint32) { level = append(level, v) })
+		if len(level) > 0 {
+			b.levels = append(b.levels, level)
+			return false
+		}
+		// Forward done: freeze sigma, zero deltas, start backward from
+		// the deepest level.
+		copy(b.sigmaV, s.VertexVal)
+		copy(b.sigmaH, s.HyperedgeVal)
+		for i := range s.VertexVal {
+			s.VertexVal[i] = 0
+		}
+		for i := range s.HyperedgeVal {
+			s.HyperedgeVal[i] = 0
+		}
+		b.backward = true
+		b.backIdx = len(b.levels) - 1
+		for _, v := range b.levels[b.backIdx] {
+			frontierV.Set(v)
+		}
+		return false
+	}
+
+	// Backward: the frontier just processed was level backIdx; its
+	// predecessors at backIdx-1 now have final deltas. Step down.
+	frontierV.Reset()
+	b.backIdx--
+	if b.backIdx < 1 {
+		// Level 0 is the source; its delta is not defined.
+		copy(b.Centrality, s.VertexVal)
+		src := b.Source % nV
+		b.Centrality[src] = 0
+		return true
+	}
+	for _, v := range b.levels[b.backIdx] {
+		frontierV.Set(v)
+	}
+	return false
+}

@@ -1,0 +1,52 @@
+package algorithms
+
+import "chgraph/internal/bitset"
+
+// BFS computes hypergraph breadth-first distances from a source vertex:
+// a vertex at distance d reaches every hyperedge it belongs to, and that
+// hyperedge's other vertices are at distance d+1 (one hyperedge traversal =
+// one hop). VertexVal holds vertex distances, HyperedgeVal the distance of
+// the frontier vertex that first reached the hyperedge.
+type BFS struct {
+	noHooks
+	Source uint32
+}
+
+// NewBFS returns BFS from the given source vertex.
+func NewBFS(source uint32) *BFS { return &BFS{Source: source} }
+
+// Name implements Algorithm.
+func (*BFS) Name() string { return "BFS" }
+
+// Init implements Algorithm.
+func (b *BFS) Init(s *State, frontierV bitset.Bitmap) {
+	for i := range s.VertexVal {
+		s.VertexVal[i] = Infinity
+	}
+	for i := range s.HyperedgeVal {
+		s.HyperedgeVal[i] = Infinity
+	}
+	src := b.Source % uint32(len(s.VertexVal))
+	s.VertexVal[src] = 0
+	frontierV.Set(src)
+}
+
+// HF implements Algorithm: an active vertex stamps its distance onto
+// unvisited incident hyperedges.
+func (b *BFS) HF(s *State, v, h uint32) EdgeResult {
+	if s.VertexVal[v] < s.HyperedgeVal[h] {
+		s.HyperedgeVal[h] = s.VertexVal[v]
+		return Wrote | Activate
+	}
+	return 0
+}
+
+// VF implements Algorithm: an active hyperedge stamps distance+1 onto its
+// unvisited vertices.
+func (b *BFS) VF(s *State, h, v uint32) EdgeResult {
+	if d := s.HyperedgeVal[h] + 1; d < s.VertexVal[v] {
+		s.VertexVal[v] = d
+		return Wrote | Activate
+	}
+	return 0
+}

@@ -1,0 +1,44 @@
+package algorithms
+
+import "chgraph/internal/bitset"
+
+// CC computes connected components by min-label propagation: every vertex
+// starts labelled with its own id; labels flow through hyperedges until a
+// fixed point. Two vertices end with equal labels iff some sequence of
+// hyperedges connects them.
+type CC struct{ noHooks }
+
+// NewCC returns a connected-components instance.
+func NewCC() *CC { return &CC{} }
+
+// Name implements Algorithm.
+func (*CC) Name() string { return "CC" }
+
+// Init implements Algorithm: self labels, everything active.
+func (c *CC) Init(s *State, frontierV bitset.Bitmap) {
+	for i := range s.VertexVal {
+		s.VertexVal[i] = float64(i)
+		frontierV.Set(uint32(i))
+	}
+	for i := range s.HyperedgeVal {
+		s.HyperedgeVal[i] = Infinity
+	}
+}
+
+// HF implements Algorithm: hyperedge label = min incident vertex label.
+func (c *CC) HF(s *State, v, h uint32) EdgeResult {
+	if s.VertexVal[v] < s.HyperedgeVal[h] {
+		s.HyperedgeVal[h] = s.VertexVal[v]
+		return Wrote | Activate
+	}
+	return 0
+}
+
+// VF implements Algorithm: vertex label = min incident hyperedge label.
+func (c *CC) VF(s *State, h, v uint32) EdgeResult {
+	if s.HyperedgeVal[h] < s.VertexVal[v] {
+		s.VertexVal[v] = s.HyperedgeVal[h]
+		return Wrote | Activate
+	}
+	return 0
+}

@@ -1,0 +1,126 @@
+package algorithms
+
+import "chgraph/internal/bitset"
+
+// SSSP computes single-source shortest paths on an ordinary graph embedded
+// as a 2-uniform hypergraph (Figure 25). Every hyperedge (= graph edge)
+// carries a deterministic pseudo-random weight in [1, 8]; frontier-driven
+// Bellman-Ford relaxation runs until no distance improves.
+type SSSP struct {
+	noHooks
+	Source uint32
+}
+
+// NewSSSP returns SSSP from the given source vertex.
+func NewSSSP(source uint32) *SSSP { return &SSSP{Source: source} }
+
+// Name implements Algorithm.
+func (*SSSP) Name() string { return "SSSP" }
+
+// Weight returns the deterministic weight of edge h.
+func (*SSSP) Weight(h uint32) float64 {
+	return float64(1 + (hash64(uint64(h))>>17)&7)
+}
+
+// Init implements Algorithm.
+func (a *SSSP) Init(s *State, frontierV bitset.Bitmap) {
+	for i := range s.VertexVal {
+		s.VertexVal[i] = Infinity
+	}
+	for i := range s.HyperedgeVal {
+		s.HyperedgeVal[i] = Infinity
+	}
+	src := a.Source % uint32(len(s.VertexVal))
+	s.VertexVal[src] = 0
+	frontierV.Set(src)
+}
+
+// HF implements Algorithm: relax the edge from its endpoint v.
+func (a *SSSP) HF(s *State, v, h uint32) EdgeResult {
+	if d := s.VertexVal[v] + a.Weight(h); d < s.HyperedgeVal[h] {
+		s.HyperedgeVal[h] = d
+		return Wrote | Activate
+	}
+	return 0
+}
+
+// VF implements Algorithm: adopt the improved distance.
+func (a *SSSP) VF(s *State, h, v uint32) EdgeResult {
+	if s.HyperedgeVal[h] < s.VertexVal[v] {
+		s.VertexVal[v] = s.HyperedgeVal[h]
+		return Wrote | Activate
+	}
+	return 0
+}
+
+// Adsorption is the label-propagation workload of Figure 25: a PageRank-like
+// damped propagation where a deterministic subset of seed vertices inject
+// unit label mass each iteration. It runs for a fixed number of iterations
+// with everything active, like PR.
+type Adsorption struct {
+	// Alpha is the continuation probability.
+	Alpha float64
+	// Iterations is the fixed iteration count.
+	Iterations int
+	// SeedStride marks every SeedStride-th vertex as labelled.
+	SeedStride uint32
+}
+
+// NewAdsorption returns an Adsorption instance.
+func NewAdsorption(iterations int) *Adsorption {
+	return &Adsorption{Alpha: 0.85, Iterations: iterations, SeedStride: 97}
+}
+
+// Name implements Algorithm.
+func (*Adsorption) Name() string { return "Adsorption" }
+
+// MaxIterations implements Algorithm.
+func (a *Adsorption) MaxIterations() int { return a.Iterations }
+
+func (a *Adsorption) seed(v uint32) float64 {
+	if v%a.SeedStride == 0 {
+		return 1
+	}
+	return 0
+}
+
+// Init implements Algorithm.
+func (a *Adsorption) Init(s *State, frontierV bitset.Bitmap) {
+	for v := range s.VertexVal {
+		s.VertexVal[v] = a.seed(uint32(v))
+		frontierV.Set(uint32(v))
+	}
+	for h := range s.HyperedgeVal {
+		s.HyperedgeVal[h] = 0
+	}
+}
+
+// BeforeHyperedgePhase implements Algorithm.
+func (a *Adsorption) BeforeHyperedgePhase(s *State) {
+	for i := range s.HyperedgeVal {
+		s.HyperedgeVal[i] = 0
+	}
+}
+
+// BeforeVertexPhase implements Algorithm.
+func (a *Adsorption) BeforeVertexPhase(s *State) {
+	for i := range s.VertexVal {
+		s.VertexVal[i] = 0
+	}
+}
+
+// AfterVertexPhase implements Algorithm.
+func (*Adsorption) AfterVertexPhase(*State, bitset.Bitmap) bool { return false }
+
+// HF implements Algorithm.
+func (a *Adsorption) HF(s *State, v, h uint32) EdgeResult {
+	s.HyperedgeVal[h] += s.VertexVal[v] / float64(s.G.VertexDegree(v))
+	return Wrote | Activate
+}
+
+// VF implements Algorithm.
+func (a *Adsorption) VF(s *State, h, v uint32) EdgeResult {
+	inject := (1 - a.Alpha) * a.seed(v) / float64(s.G.VertexDegree(v))
+	s.VertexVal[v] += inject + a.Alpha*s.HyperedgeVal[h]/float64(s.G.HyperedgeDegree(h))
+	return Wrote | Activate
+}

@@ -1,0 +1,169 @@
+package algorithms
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"chgraph/internal/hypergraph"
+)
+
+// TestPRRanksBounded: every rank stays within (0, 1] and the recurrence
+// never produces NaN/Inf on arbitrary hypergraphs.
+func TestPRRanksBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomHG(seed)
+		s := drive(g, NewPageRank(10))
+		for _, r := range s.VertexVal {
+			if math.IsNaN(r) || math.IsInf(r, 0) || r < 0 || r > 1.0001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCCLabelsAreComponentMinima: each vertex's final label is the minimum
+// vertex id of its component, and labels are idempotent under re-running.
+func TestCCLabelsAreComponentMinima(t *testing.T) {
+	g := hypergraph.MustBuild(8, [][]uint32{
+		{3, 5}, {5, 7}, // component {3,5,7}
+		{0, 2}, // component {0,2}
+		// vertices 1, 4, 6 isolated
+	})
+	s := drive(g, NewCC())
+	want := []float64{0, 1, 0, 3, 4, 3, 6, 3}
+	for v := range want {
+		if s.VertexVal[v] != want[v] {
+			t.Fatalf("label[%d] = %v, want %v", v, s.VertexVal[v], want[v])
+		}
+	}
+	s2 := drive(g, NewCC())
+	for v := range want {
+		if s2.VertexVal[v] != s.VertexVal[v] {
+			t.Fatal("CC not deterministic")
+		}
+	}
+}
+
+// TestBFSTriangleInequality: dist(v) <= dist(u) + 1 for any u, v sharing a
+// hyperedge.
+func TestBFSTriangleInequality(t *testing.T) {
+	f := func(seed int64, src uint16) bool {
+		g := randomHG(seed)
+		s := drive(g, NewBFS(uint32(src)))
+		for h := uint32(0); h < g.NumHyperedges(); h++ {
+			vs := g.IncidentVertices(h)
+			for _, u := range vs {
+				for _, v := range vs {
+					du, dv := s.VertexVal[u], s.VertexVal[v]
+					if du < Infinity && dv > du+1 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSSSPDominatedByBFS: with weights >= 1, SSSP distances are at least
+// the BFS hop counts.
+func TestSSSPDominatedByBFS(t *testing.T) {
+	f := func(seed int64, src uint16) bool {
+		g := randomHG(seed)
+		b := drive(g, NewBFS(uint32(src)))
+		d := drive(g, NewSSSP(uint32(src)))
+		for v := range b.VertexVal {
+			hops, dist := b.VertexVal[v], d.VertexVal[v]
+			if (hops == Infinity) != (dist == Infinity) {
+				return false // same reachability
+			}
+			if hops < Infinity && dist < hops {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKCoreMonotoneInK: coreness computed with a lower cap is the pointwise
+// minimum of the uncapped coreness and the cap.
+func TestKCoreMonotoneInK(t *testing.T) {
+	g := randomHG(77)
+	full := NewKCore(64)
+	drive(g, full)
+	capped := NewKCore(2)
+	drive(g, capped)
+	for v := range full.Coreness {
+		want := math.Min(full.Coreness[v], 2)
+		if capped.Coreness[v] != want {
+			t.Fatalf("coreness[%d] capped=%v, uncapped=%v", v, capped.Coreness[v], full.Coreness[v])
+		}
+	}
+}
+
+// TestBCSourceHasZeroDependency and all dependencies are finite.
+func TestBCSourceProperties(t *testing.T) {
+	f := func(seed int64, src uint16) bool {
+		g := randomHG(seed)
+		alg := NewBC(uint32(src))
+		drive(g, alg)
+		s := uint32(src) % g.NumVertices()
+		if alg.Centrality[s] != 0 {
+			return false
+		}
+		for _, d := range alg.Centrality {
+			if math.IsNaN(d) || math.IsInf(d, 0) || d < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMISDeterministicPerSeed and seed-sensitive.
+func TestMISSeeds(t *testing.T) {
+	g := randomHG(123)
+	a := drive(g, NewMIS(1))
+	b := drive(g, NewMIS(1))
+	for v := range a.VertexVal {
+		if a.VertexVal[v] != b.VertexVal[v] {
+			t.Fatal("MIS not deterministic for a fixed seed")
+		}
+	}
+	// Both seeds must still be valid MIS.
+	c := drive(g, NewMIS(2))
+	if err := ValidateMIS(g, c.VertexVal); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOracleKCoreAgreesOnPaperExample sanity-checks the peeling rule.
+func TestOracleKCoreAgreesOnPaperExample(t *testing.T) {
+	g := fig1()
+	got := OracleKCore(g, 16)
+	// All seven vertices of Figure 1 survive 1-core peeling (every vertex
+	// has degree >= 1 and hyperedges have >= 2 vertices); deeper peeling
+	// removes degree-1 v5 first.
+	if got[5] >= 2 {
+		t.Fatalf("v5 (degree 1) coreness %v", got[5])
+	}
+	for v, c := range got {
+		if c < 0 || c > 2 {
+			t.Fatalf("coreness[%d] = %v out of plausible range", v, c)
+		}
+	}
+}

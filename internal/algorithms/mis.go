@@ -1,0 +1,141 @@
+package algorithms
+
+import "chgraph/internal/bitset"
+
+// MIS computes a maximal strong independent set: no two selected vertices
+// share any hyperedge. It is Luby-style priority selection adapted to the
+// bipartite representation, alternating two sub-iterations:
+//
+//   - select:  every hyperedge gathers the minimum priority among its
+//     undecided vertices (HF); an undecided vertex whose priority is the
+//     minimum in every incident hyperedge joins the set (decided in the
+//     AfterVertexPhase hook).
+//   - notify:  newly selected vertices raise a flag on their hyperedges
+//     (HF); undecided vertices seeing a flagged hyperedge drop out (VF).
+//
+// VertexVal encodes the status: 0 undecided, 1 in the set, 2 out.
+type MIS struct {
+	// Seed perturbs the deterministic priority permutation.
+	Seed uint64
+
+	prio    []float64
+	blocked []bool
+	notify  bool
+}
+
+// MIS status codes stored in VertexVal.
+const (
+	MISUndecided = 0.0
+	MISIn        = 1.0
+	MISOut       = 2.0
+)
+
+// NewMIS returns an MIS instance with the given priority seed.
+func NewMIS(seed uint64) *MIS { return &MIS{Seed: seed} }
+
+// Name implements Algorithm.
+func (*MIS) Name() string { return "MIS" }
+
+// MaxIterations implements Algorithm.
+func (*MIS) MaxIterations() int { return 0 }
+
+func hash64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Init implements Algorithm.
+func (m *MIS) Init(s *State, frontierV bitset.Bitmap) {
+	n := uint32(len(s.VertexVal))
+	m.prio = make([]float64, n)
+	m.blocked = make([]bool, n)
+	m.notify = false
+	for v := uint32(0); v < n; v++ {
+		// Unique priorities: hashed high bits with the id as tiebreak.
+		m.prio[v] = float64(hash64(uint64(v)+m.Seed)>>32)*float64(n+1) + float64(v)
+		s.VertexVal[v] = MISUndecided
+		if s.G.VertexDegree(v) == 0 {
+			s.VertexVal[v] = MISIn // isolated vertices are trivially in
+			continue
+		}
+		frontierV.Set(v)
+	}
+	for h := range s.HyperedgeVal {
+		s.HyperedgeVal[h] = Infinity
+	}
+}
+
+// BeforeHyperedgePhase implements Algorithm: reset the per-round channel.
+func (m *MIS) BeforeHyperedgePhase(s *State) {
+	if m.notify {
+		for i := range s.HyperedgeVal {
+			s.HyperedgeVal[i] = 0
+		}
+	} else {
+		for i := range s.HyperedgeVal {
+			s.HyperedgeVal[i] = Infinity
+		}
+	}
+}
+
+// BeforeVertexPhase implements Algorithm.
+func (*MIS) BeforeVertexPhase(*State) {}
+
+// HF implements Algorithm.
+func (m *MIS) HF(s *State, v, h uint32) EdgeResult {
+	if m.notify {
+		if s.VertexVal[v] == MISIn && s.HyperedgeVal[h] == 0 {
+			s.HyperedgeVal[h] = 1
+			return Wrote | Activate
+		}
+		// Keep hyperedges of undecided vertices active so those vertices
+		// re-enter the next select round via VF.
+		if s.VertexVal[v] == MISUndecided {
+			return Activate
+		}
+		return 0
+	}
+	if s.VertexVal[v] != MISUndecided {
+		return 0
+	}
+	if m.prio[v] < s.HyperedgeVal[h] {
+		s.HyperedgeVal[h] = m.prio[v]
+		return Wrote | Activate
+	}
+	return Activate
+}
+
+// VF implements Algorithm.
+func (m *MIS) VF(s *State, h, v uint32) EdgeResult {
+	if s.VertexVal[v] != MISUndecided {
+		return 0
+	}
+	if m.notify {
+		if s.HyperedgeVal[h] == 1 {
+			s.VertexVal[v] = MISOut
+			return Wrote
+		}
+		return Activate
+	}
+	if s.HyperedgeVal[h] < m.prio[v] {
+		m.blocked[v] = true
+	}
+	return Activate
+}
+
+// AfterVertexPhase implements Algorithm: in select rounds, unblocked
+// undecided vertices join the set; then the mode flips.
+func (m *MIS) AfterVertexPhase(s *State, frontierV bitset.Bitmap) bool {
+	if !m.notify {
+		frontierV.ForEachSet(0, uint32(len(s.VertexVal)), func(v uint32) {
+			if s.VertexVal[v] == MISUndecided && !m.blocked[v] {
+				s.VertexVal[v] = MISIn
+			}
+			m.blocked[v] = false
+		})
+	}
+	m.notify = !m.notify
+	return false
+}

@@ -1,0 +1,74 @@
+package algorithms
+
+import "chgraph/internal/bitset"
+
+// PageRank is the hypergraph PageRank of Algorithm 1 (lines 15-21): each
+// iteration, active vertices scatter rank to their hyperedges (HF), then
+// hyperedges scatter damped rank back to their vertices (VF). All vertices
+// and hyperedges stay active for a fixed number of iterations (the paper
+// benchmarks PR within 10 iterations).
+type PageRank struct {
+	// Alpha is the damping factor (the paper's α and ω).
+	Alpha float64
+	// Iterations is the fixed iteration count.
+	Iterations int
+}
+
+// NewPageRank returns PageRank with damping 0.85 and the given iteration
+// count.
+func NewPageRank(iterations int) *PageRank {
+	return &PageRank{Alpha: 0.85, Iterations: iterations}
+}
+
+// Name implements Algorithm.
+func (*PageRank) Name() string { return "PR" }
+
+// MaxIterations implements Algorithm.
+func (p *PageRank) MaxIterations() int { return p.Iterations }
+
+// Init implements Algorithm: uniform initial ranks, everything active.
+func (p *PageRank) Init(s *State, frontierV bitset.Bitmap) {
+	n := float64(len(s.VertexVal))
+	for i := range s.VertexVal {
+		s.VertexVal[i] = 1 / n
+	}
+	for i := range s.HyperedgeVal {
+		s.HyperedgeVal[i] = 0
+	}
+	for v := range s.VertexVal {
+		frontierV.Set(uint32(v))
+	}
+}
+
+// BeforeHyperedgePhase implements Algorithm: hyperedge ranks accumulate from
+// zero each iteration.
+func (p *PageRank) BeforeHyperedgePhase(s *State) {
+	for i := range s.HyperedgeVal {
+		s.HyperedgeVal[i] = 0
+	}
+}
+
+// BeforeVertexPhase implements Algorithm: vertex ranks accumulate from zero.
+func (p *PageRank) BeforeVertexPhase(s *State) {
+	for i := range s.VertexVal {
+		s.VertexVal[i] = 0
+	}
+}
+
+// AfterVertexPhase implements Algorithm (no-op; the engine's iteration cap
+// terminates the run).
+func (p *PageRank) AfterVertexPhase(*State, bitset.Bitmap) bool { return false }
+
+// HF implements Algorithm: hyperedge_value[h] += vertex_value[v]/outdeg(v).
+func (p *PageRank) HF(s *State, v, h uint32) EdgeResult {
+	s.HyperedgeVal[h] += s.VertexVal[v] / float64(s.G.VertexDegree(v))
+	return Wrote | Activate
+}
+
+// VF implements Algorithm:
+// vertex_value[v] += (1-ω)/(|V|·deg(v)) + α·hyperedge_value[h]/outdeg(h).
+func (p *PageRank) VF(s *State, h, v uint32) EdgeResult {
+	addend := (1 - p.Alpha) / (float64(len(s.VertexVal)) * float64(s.G.VertexDegree(v)))
+	s.VertexVal[v] += addend + p.Alpha*s.HyperedgeVal[h]/float64(s.G.HyperedgeDegree(h))
+	return Wrote | Activate
+}

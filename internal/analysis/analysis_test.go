@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"chgraph/internal/hypergraph"
+)
+
+func clusteredHG() *hypergraph.Bipartite {
+	// Two clusters of 3 hyperedges sharing vertices; ids interleaved so
+	// index order alternates clusters.
+	return hypergraph.MustBuild(12, [][]uint32{
+		{0, 1, 2},  // h0 cluster A
+		{6, 7, 8},  // h1 cluster B
+		{0, 1, 3},  // h2 cluster A
+		{6, 7, 9},  // h3 cluster B
+		{1, 2, 3},  // h4 cluster A
+		{7, 8, 10}, // h5 cluster B
+	})
+}
+
+func TestStackProfileCountsConserve(t *testing.T) {
+	g := clusteredHG()
+	p := ValueReuseProfile(g, IndexSchedule(0, 6), Hyperedges, nil)
+	var sum uint64 = p.Cold
+	for _, b := range p.Buckets {
+		sum += b
+	}
+	if sum != p.Total {
+		t.Fatalf("buckets+cold = %d, total = %d", sum, p.Total)
+	}
+	if p.Total != g.NumBipartiteEdges() {
+		t.Fatalf("total = %d, want %d", p.Total, g.NumBipartiteEdges())
+	}
+}
+
+func TestChainOrderBeatsIndexOrder(t *testing.T) {
+	g := clusteredHG()
+	index := IndexSchedule(0, 6)
+	chain := []uint32{0, 2, 4, 1, 3, 5} // clusters consecutive
+	io := ScheduleOverlap(g, index, Hyperedges)
+	co := ScheduleOverlap(g, chain, Hyperedges)
+	if co.MeanOverlap <= io.MeanOverlap {
+		t.Fatalf("chain overlap %.2f not above index %.2f", co.MeanOverlap, io.MeanOverlap)
+	}
+	if co.ReusableFraction <= io.ReusableFraction {
+		t.Fatal("chain order should have more immediately reusable accesses")
+	}
+}
+
+func TestFootprintInvariantUnderSchedule(t *testing.T) {
+	g := clusteredHG()
+	a := FootprintLines(g, IndexSchedule(0, 6), Hyperedges)
+	b := FootprintLines(g, []uint32{5, 3, 1, 4, 2, 0}, Hyperedges)
+	if a != b {
+		t.Fatalf("footprint depends on order: %d vs %d", a, b)
+	}
+	if a == 0 {
+		t.Fatal("zero footprint")
+	}
+}
+
+func TestHitFractionMonotone(t *testing.T) {
+	g := clusteredHG()
+	p := ValueReuseProfile(g, IndexSchedule(0, 6), Hyperedges, nil)
+	last := -1.0
+	for _, lines := range []int{16, 64, 256, 1024, 4096} {
+		h := p.HitFraction(lines)
+		if h < last {
+			t.Fatalf("hit fraction not monotone at %d lines", lines)
+		}
+		last = h
+	}
+	if p.HitFraction(4096) > 1 {
+		t.Fatal("hit fraction above 1")
+	}
+}
+
+func TestCompareSchedulesRenders(t *testing.T) {
+	g := clusteredHG()
+	out := CompareSchedules(g, IndexSchedule(0, 6), []uint32{0, 2, 4, 1, 3, 5}, Hyperedges)
+	for _, want := range []string{"index order:", "chain order:", "reusable", "hit rate"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestVerticesSide(t *testing.T) {
+	g := clusteredHG()
+	p := ValueReuseProfile(g, IndexSchedule(0, g.NumVertices()), Vertices, nil)
+	if p.Total != g.NumBipartiteEdges() {
+		t.Fatalf("vertex-side total = %d, want %d", p.Total, g.NumBipartiteEdges())
+	}
+}
+
+func TestDegreePercentiles(t *testing.T) {
+	got := DegreePercentiles([]uint32{5, 1, 9, 3, 7}, []float64{0, 0.5, 1})
+	if got[0] != 1 || got[1] != 5 || got[2] != 9 {
+		t.Fatalf("percentiles = %v", got)
+	}
+	empty := DegreePercentiles(nil, []float64{0.5})
+	if empty[0] != 0 {
+		t.Fatal("empty input mishandled")
+	}
+}
+
+func TestLRUStackExactness(t *testing.T) {
+	s := &lruStack{}
+	// touch a b c a: distance of second a = 2 (b, c touched since).
+	if d := s.touch(1); d != -1 {
+		t.Fatalf("first touch = %d", d)
+	}
+	s.touch(2)
+	s.touch(3)
+	if d := s.touch(1); d != 2 {
+		t.Fatalf("reuse distance = %d, want 2", d)
+	}
+	// Immediately repeated: distance 0.
+	if d := s.touch(1); d != 0 {
+		t.Fatalf("repeat distance = %d, want 0", d)
+	}
+}

@@ -1,0 +1,381 @@
+// Package bench reproduces every table and figure of the paper's evaluation
+// (§VI): each runner regenerates one result as a printable table, using the
+// synthetic datasets of internal/gen on the scaled simulated system.
+// Datasets, OAG preprocessing and engine runs are cached and shared across
+// figures, and independent cells run concurrently.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"chgraph/internal/algorithms"
+	"chgraph/internal/engine"
+	"chgraph/internal/gen"
+	"chgraph/internal/hypergraph"
+	"chgraph/internal/sim/system"
+)
+
+// Config parameterizes a reproduction session.
+type Config struct {
+	// Scale multiplies each dataset's calibrated base size (1 = default).
+	Scale float64
+	// Cores is the simulated core count (16 = Table I).
+	Cores int
+	// Sys overrides the system config (zero value = scaled default).
+	Sys system.Config
+	// Parallel bounds concurrently simulated cells (0 = NumCPU, max 8).
+	Parallel int
+	// Datasets restricts the dataset list (nil = all five).
+	Datasets []string
+	// Algos restricts the algorithm list (nil = all six).
+	Algos []string
+	// Verbose prints progress lines.
+	Verbose bool
+	Logf    func(format string, args ...interface{})
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.Cores <= 0 {
+		c.Cores = 16
+	}
+	if c.Sys.Cores == 0 {
+		c.Sys = system.ScaledConfig()
+	}
+	c.Sys.Cores = c.Cores
+	if c.Parallel <= 0 {
+		c.Parallel = runtime.NumCPU()
+	}
+	if c.Parallel > 8 {
+		c.Parallel = 8
+	}
+	if len(c.Datasets) == 0 {
+		c.Datasets = gen.HypergraphNames
+	}
+	if len(c.Algos) == 0 {
+		c.Algos = algorithms.HypergraphAlgos
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...interface{}) {}
+	}
+	return c
+}
+
+// Session caches datasets, preprocessing and runs across figure runners.
+type Session struct {
+	cfg Config
+
+	mu    sync.Mutex
+	data  map[string]*hypergraph.Bipartite
+	preps map[string]*engine.Prep
+	runs  map[string]*engine.Result
+	sem   chan struct{}
+}
+
+// NewSession builds a session.
+func NewSession(cfg Config) *Session {
+	cfg = cfg.withDefaults()
+	return &Session{
+		cfg:   cfg,
+		data:  map[string]*hypergraph.Bipartite{},
+		preps: map[string]*engine.Prep{},
+		runs:  map[string]*engine.Result{},
+		sem:   make(chan struct{}, cfg.Parallel),
+	}
+}
+
+// Cfg returns the session configuration (with defaults applied).
+func (s *Session) Cfg() Config { return s.cfg }
+
+// Dataset loads (and caches) a named dataset at the session scale. Graph
+// datasets (AZ, PK) are recognized by name.
+func (s *Session) Dataset(name string) *hypergraph.Bipartite {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if g, ok := s.data[name]; ok {
+		return g
+	}
+	var g *hypergraph.Bipartite
+	if isGraph(name) {
+		g = gen.MustLoadGraph(name, s.cfg.Scale)
+	} else {
+		g = gen.MustLoad(name, s.cfg.Scale)
+	}
+	s.data[name] = g
+	return g
+}
+
+func isGraph(name string) bool {
+	for _, n := range gen.GraphNames {
+		if strings.EqualFold(n, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// Prep returns the cached chunking+OAG preprocessing for a dataset under the
+// given wMin at the session core count.
+func (s *Session) Prep(name string, wMin uint32) *engine.Prep {
+	return s.prepCores(name, wMin, s.cfg.Cores)
+}
+
+func (s *Session) prepCores(name string, wMin uint32, cores int) *engine.Prep {
+	g := s.Dataset(name)
+	key := fmt.Sprintf("%s/w%d/c%d", name, wMin, cores)
+	s.mu.Lock()
+	if p, ok := s.preps[key]; ok {
+		s.mu.Unlock()
+		return p
+	}
+	s.mu.Unlock()
+	p := engine.Prepare(g, cores, wMin)
+	s.mu.Lock()
+	s.preps[key] = p
+	s.mu.Unlock()
+	return p
+}
+
+// RunSpec identifies one simulated cell.
+type RunSpec struct {
+	Dataset string
+	Algo    string
+	Kind    engine.Kind
+	// Opt tweaks beyond session defaults; fields left zero use defaults.
+	DMax       int
+	WMin       uint32
+	Sys        *system.Config
+	Charge     bool // include preprocessing time
+	NoPrepOAGs bool // skip OAG prep (non-chain engines)
+	Reordered  bool // run on the reordered dataset (Figure 24)
+}
+
+func (rs RunSpec) key() string {
+	sys := ""
+	if rs.Sys != nil {
+		sys = fmt.Sprintf("/llc%d/cores%d/l1-%d/l2-%d", rs.Sys.TotalLLCBytes(), rs.Sys.Cores, rs.Sys.L1.SizeBytes, rs.Sys.L2.SizeBytes)
+	}
+	return fmt.Sprintf("%s/%s/%v/d%d/w%d/ch%v/re%v%s", rs.Dataset, rs.Algo, rs.Kind, rs.DMax, rs.WMin, rs.Charge, rs.Reordered, sys)
+}
+
+// Run simulates one cell (cached).
+func (s *Session) Run(rs RunSpec) *engine.Result {
+	key := rs.key()
+	s.mu.Lock()
+	if r, ok := s.runs[key]; ok {
+		s.mu.Unlock()
+		return r
+	}
+	s.mu.Unlock()
+
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	// Re-check after acquiring the semaphore (another goroutine may have
+	// computed it while we waited).
+	s.mu.Lock()
+	if r, ok := s.runs[key]; ok {
+		s.mu.Unlock()
+		return r
+	}
+	s.mu.Unlock()
+
+	g := s.Dataset(rs.Dataset)
+	wMin := rs.WMin
+	if wMin == 0 {
+		wMin = 3
+	}
+	sys := s.cfg.Sys
+	if rs.Sys != nil {
+		sys = *rs.Sys
+	}
+	var prep *engine.Prep
+	if rs.Reordered {
+		g = s.reordered(rs.Dataset)
+		prep = s.prepFor("reordered/"+rs.Dataset, g, wMin, sys.Cores)
+	} else if needsChains(rs.Kind) {
+		prep = s.prepCores(rs.Dataset, wMin, sys.Cores)
+	}
+	alg, ok := algorithms.ByName(rs.Algo)
+	if !ok {
+		panic("bench: unknown algorithm " + rs.Algo)
+	}
+	s.cfg.Logf("run %s", key)
+	res, err := engine.Run(g, alg, engine.Options{
+		Kind: rs.Kind, Sys: sys, DMax: rs.DMax, WMin: wMin,
+		Prep: prep, ChargePreprocess: rs.Charge,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: %s: %v", key, err))
+	}
+	s.mu.Lock()
+	s.runs[key] = res
+	s.mu.Unlock()
+	return res
+}
+
+func needsChains(k engine.Kind) bool {
+	return k == engine.GLA || k == engine.ChGraph || k == engine.ChGraphHCG
+}
+
+// RunAll simulates many cells concurrently and returns them in order.
+func (s *Session) RunAll(specs []RunSpec) []*engine.Result {
+	out := make([]*engine.Result, len(specs))
+	var wg sync.WaitGroup
+	for i, rs := range specs {
+		wg.Add(1)
+		go func(i int, rs RunSpec) {
+			defer wg.Done()
+			out[i] = s.Run(rs)
+		}(i, rs)
+	}
+	wg.Wait()
+	return out
+}
+
+// reordered returns the cached reordered variant of a dataset.
+func (s *Session) reordered(name string) *hypergraph.Bipartite {
+	key := "reordered/" + name
+	s.mu.Lock()
+	if g, ok := s.data[key]; ok {
+		s.mu.Unlock()
+		return g
+	}
+	s.mu.Unlock()
+	g := s.Dataset(name)
+	res, err := reorderVertices(g)
+	if err != nil {
+		panic(err)
+	}
+	s.mu.Lock()
+	s.data[key] = res
+	s.mu.Unlock()
+	return res
+}
+
+func (s *Session) prepFor(key string, g *hypergraph.Bipartite, wMin uint32, cores int) *engine.Prep {
+	k := fmt.Sprintf("%s/w%d/c%d", key, wMin, cores)
+	s.mu.Lock()
+	if p, ok := s.preps[k]; ok {
+		s.mu.Unlock()
+		return p
+	}
+	s.mu.Unlock()
+	p := engine.Prepare(g, cores, wMin)
+	s.mu.Lock()
+	s.preps[k] = p
+	s.mu.Unlock()
+	return p
+}
+
+// Table is one reproduced result, printable as aligned text.
+type Table struct {
+	ID      string
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner regenerates one paper result.
+type Runner struct {
+	ID, Desc string
+	Run      func(s *Session) *Table
+}
+
+// Runners lists every reproduced table/figure in paper order.
+func Runners() []Runner {
+	return []Runner{
+		{"table1", "Simulated system configuration (Table I)", Table1},
+		{"table2", "Dataset statistics (Table II)", Table2},
+		{"fig2", "GLA vs Hygra main memory accesses, PR on WEB (Figure 2)", Fig2},
+		{"fig3", "GLA and ChGraph runtime vs Hygra, PR on WEB (Figure 3)", Fig3},
+		{"fig5", "Fraction of time stalled on memory under Hygra (Figure 5)", Fig5},
+		{"fig7", "ChGraph vs HATS-V (Figure 7)", Fig7},
+		{"fig8", "Sharable vertex/hyperedge ratios (Figure 8)", Fig8},
+		{"fig14", "Performance of GLA and ChGraph vs Hygra (Figure 14)", Fig14},
+		{"fig15", "Main-memory access breakdown by array group (Figure 15)", Fig15},
+		{"fig16", "HCG / CP ablation (Figure 16)", Fig16},
+		{"area", "Area and power of one ChGraph engine (§VI-E)", AreaPower},
+		{"fig17", "Sensitivity to D_max (Figure 17)", Fig17},
+		{"fig18", "Sensitivity to W_min (Figure 18)", Fig18},
+		{"fig19", "Sensitivity to LLC size (Figure 19)", Fig19},
+		{"fig20", "Scalability with core count (Figure 20)", Fig20},
+		{"fig21", "Preprocessing time and storage overhead (Figure 21)", Fig21},
+		{"fig22", "Total running time incl. preprocessing (Figure 22)", Fig22},
+		{"fig23", "ChGraph vs event-triggered hardware prefetcher (Figure 23)", Fig23},
+		{"fig24", "Interaction with reordering preprocessing (Figure 24)", Fig24},
+		{"fig25", "Ordinary-graph generality vs Ligra/HATS (Figure 25)", Fig25},
+	}
+}
+
+// RunnerByID returns the named runner.
+func RunnerByID(id string) (Runner, bool) {
+	for _, r := range Runners() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// RunnerIDs lists runner ids.
+func RunnerIDs() []string {
+	var ids []string
+	for _, r := range Runners() {
+		ids = append(ids, r.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func f1(x float64) string { return fmt.Sprintf("%.1f", x) }
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func fx(x float64) string { return fmt.Sprintf("%.2fx", x) }
+func pc(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+func u64(x uint64) string { return fmt.Sprintf("%d", x) }
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

@@ -1,0 +1,110 @@
+// Package bitset provides the dense active-element bitmaps used as
+// frontiers. The paper maintains hyperedge and vertex states "in a bitmap
+// with 1 (0) indicating that they are active (inactive)" (§V-A); engines
+// model frontier accesses at 64-bit word granularity.
+package bitset
+
+import "math/bits"
+
+// Bitmap is a dense bitmap over element ids.
+type Bitmap []uint64
+
+// New returns a zeroed bitmap capable of holding n bits.
+func New(n uint32) Bitmap { return make(Bitmap, (uint64(n)+63)/64) }
+
+// Words returns the number of 64-bit words backing the bitmap.
+func (b Bitmap) Words() uint32 { return uint32(len(b)) }
+
+// Get reports bit i.
+func (b Bitmap) Get(i uint32) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+// Set sets bit i.
+func (b Bitmap) Set(i uint32) { b[i/64] |= 1 << (i % 64) }
+
+// Clear clears bit i.
+func (b Bitmap) Clear(i uint32) { b[i/64] &^= 1 << (i % 64) }
+
+// TestAndSet sets bit i and reports whether it was previously clear.
+func (b Bitmap) TestAndSet(i uint32) bool {
+	w, m := i/64, uint64(1)<<(i%64)
+	old := b[w]
+	b[w] = old | m
+	return old&m == 0
+}
+
+// Reset zeroes the bitmap.
+func (b Bitmap) Reset() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// Clone returns an independent copy.
+func (b Bitmap) Clone() Bitmap {
+	c := make(Bitmap, len(b))
+	copy(c, b)
+	return c
+}
+
+// Count returns the number of set bits.
+func (b Bitmap) Count() uint64 {
+	var n uint64
+	for _, w := range b {
+		n += uint64(bits.OnesCount64(w))
+	}
+	return n
+}
+
+// CountRange returns the number of set bits in [lo, hi).
+func (b Bitmap) CountRange(lo, hi uint32) uint64 {
+	var n uint64
+	for i := lo; i < hi; {
+		if i%64 == 0 && i+64 <= hi {
+			n += uint64(bits.OnesCount64(b[i/64]))
+			i += 64
+			continue
+		}
+		if b.Get(i) {
+			n++
+		}
+		i++
+	}
+	return n
+}
+
+// NextSet returns the index of the first set bit in [from, limit), or limit
+// if none. scanned, if non-nil, receives the index of every bitmap word
+// examined (used by engines to model frontier-scan memory traffic).
+func (b Bitmap) NextSet(from, limit uint32, scanned func(word uint32)) uint32 {
+	if from >= limit {
+		return limit
+	}
+	w := from / 64
+	lastW := (limit - 1) / 64
+	// Mask off bits below from in the first word.
+	cur := b[w] &^ ((1 << (from % 64)) - 1)
+	for {
+		if scanned != nil {
+			scanned(w)
+		}
+		if cur != 0 {
+			i := w*64 + uint32(bits.TrailingZeros64(cur))
+			if i < limit {
+				return i
+			}
+			return limit
+		}
+		w++
+		if w > lastW {
+			return limit
+		}
+		cur = b[w]
+	}
+}
+
+// ForEachSet calls fn for every set bit in [lo, hi), in ascending order.
+func (b Bitmap) ForEachSet(lo, hi uint32, fn func(i uint32)) {
+	for i := b.NextSet(lo, hi, nil); i < hi; i = b.NextSet(i+1, hi, nil) {
+		fn(i)
+	}
+}

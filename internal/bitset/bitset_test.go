@@ -1,0 +1,181 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	b := New(200)
+	if b.Words() != 4 {
+		t.Fatalf("words = %d, want 4", b.Words())
+	}
+	for _, i := range []uint32{0, 1, 63, 64, 127, 199} {
+		if b.Get(i) {
+			t.Fatalf("bit %d set in fresh bitmap", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if got := b.Count(); got != 6 {
+		t.Fatalf("count = %d, want 6", got)
+	}
+	b.Clear(63)
+	if b.Get(63) {
+		t.Fatal("bit 63 still set after Clear")
+	}
+	if got := b.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+}
+
+func TestTestAndSet(t *testing.T) {
+	b := New(100)
+	if !b.TestAndSet(42) {
+		t.Fatal("first TestAndSet should report previously clear")
+	}
+	if b.TestAndSet(42) {
+		t.Fatal("second TestAndSet should report previously set")
+	}
+	if !b.Get(42) {
+		t.Fatal("bit not set")
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	b := New(300)
+	b.Set(5)
+	b.Set(64)
+	b.Set(192)
+	b.Set(299)
+
+	cases := []struct{ from, limit, want uint32 }{
+		{0, 300, 5},
+		{5, 300, 5},
+		{6, 300, 64},
+		{65, 300, 192},
+		{193, 299, 299}, // 299 outside limit => limit
+		{193, 300, 299},
+		{300, 300, 300},
+		{0, 5, 5}, // none inside [0,5)
+	}
+	for _, c := range cases {
+		if got := b.NextSet(c.from, c.limit, nil); got != c.want {
+			t.Errorf("NextSet(%d,%d) = %d, want %d", c.from, c.limit, got, c.want)
+		}
+	}
+}
+
+func TestNextSetScannedWords(t *testing.T) {
+	b := New(256)
+	b.Set(130)
+	var words []uint32
+	got := b.NextSet(0, 256, func(w uint32) { words = append(words, w) })
+	if got != 130 {
+		t.Fatalf("got %d", got)
+	}
+	want := []uint32{0, 1, 2}
+	if len(words) != len(want) {
+		t.Fatalf("scanned %v, want %v", words, want)
+	}
+	for i := range want {
+		if words[i] != want[i] {
+			t.Fatalf("scanned %v, want %v", words, want)
+		}
+	}
+}
+
+func TestForEachSetAndCountRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := New(1000)
+	ref := map[uint32]bool{}
+	for i := 0; i < 300; i++ {
+		x := uint32(rng.Intn(1000))
+		b.Set(x)
+		ref[x] = true
+	}
+	var got []uint32
+	b.ForEachSet(100, 900, func(i uint32) { got = append(got, i) })
+	for _, i := range got {
+		if !ref[i] || i < 100 || i >= 900 {
+			t.Fatalf("unexpected bit %d", i)
+		}
+	}
+	var want uint64
+	for x := range ref {
+		if x >= 100 && x < 900 {
+			want++
+		}
+	}
+	if uint64(len(got)) != want {
+		t.Fatalf("ForEachSet found %d, want %d", len(got), want)
+	}
+	if b.CountRange(100, 900) != want {
+		t.Fatalf("CountRange = %d, want %d", b.CountRange(100, 900), want)
+	}
+	// Ascending order.
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatal("ForEachSet not ascending")
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	b := New(64)
+	b.Set(3)
+	c := b.Clone()
+	c.Set(10)
+	if b.Get(10) {
+		t.Fatal("clone aliases original")
+	}
+	if !c.Get(3) {
+		t.Fatal("clone lost bits")
+	}
+}
+
+func TestQuickSetGet(t *testing.T) {
+	f := func(bits []uint16) bool {
+		b := New(1 << 16)
+		ref := map[uint32]bool{}
+		for _, x := range bits {
+			b.Set(uint32(x))
+			ref[uint32(x)] = true
+		}
+		if b.Count() != uint64(len(ref)) {
+			return false
+		}
+		for x := range ref {
+			if !b.Get(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNextSetMatchesLinearScan(t *testing.T) {
+	f := func(bits []uint16, from uint16) bool {
+		const n = 1 << 16
+		b := New(n)
+		for _, x := range bits {
+			b.Set(uint32(x))
+		}
+		got := b.NextSet(uint32(from), n, nil)
+		for i := uint32(from); i < n; i++ {
+			if b.Get(i) {
+				return got == i
+			}
+		}
+		return got == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

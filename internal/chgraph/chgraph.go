@@ -1,0 +1,141 @@
+// Package chgraph describes the ChGraph engine's architectural interface
+// (§V): the configuration register file the core programs through
+// CH_CONFIGURE (Figure 13), the buffer geometry of the hardware chain
+// generator (HCG) and chain-driven prefetcher (CP), and the tuple format
+// delivered through CH_FETCH_BIPARTITE_EDGE.
+//
+// The timing behaviour of the engine is modelled by internal/engine (which
+// compiles HCG/CP op streams) and internal/sim/system (which replays them
+// with FIFO coupling); the area/power of this geometry is estimated by
+// internal/hwcost. This package is the single source of truth for the
+// structural constants shared by those models.
+package chgraph
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Architectural constants of §V-B / §VI-E.
+const (
+	// StackDepth is the chain generator's exploration stack capacity,
+	// equal to the default D_max.
+	StackDepth = 16
+	// StackLevelBytes is one stack level: vertex index (4 B), beginning
+	// offset (4 B), end offset (4 B), and a cacheline of neighbor ids
+	// (64 B).
+	StackLevelBytes = 4 + 4 + 4 + 64
+	// ChainFIFOEntries is the chain FIFO capacity between HCG and CP.
+	ChainFIFOEntries = 32
+	// EdgeFIFOEntries is the bipartite-edge FIFO capacity to the core.
+	EdgeFIFOEntries = 32
+	// TupleBytes is one bipartite-edge tuple:
+	// {h_id, v_id, hyperedge_value[h], vertex_value[v]} = 4+4+8+8.
+	TupleBytes = 24
+)
+
+// Phase is the computation-phase label register (Figure 13): 1 selects
+// hyperedge computation, 0 vertex computation.
+type Phase uint8
+
+// Phase values.
+const (
+	VertexComputation    Phase = 0
+	HyperedgeComputation Phase = 1
+)
+
+// Region describes one memory-resident array (base address + element
+// count) conveyed to the engine.
+type Region struct {
+	Base uint64
+	Size uint32
+}
+
+// ConfigRegisters is the memory-mapped register file of Figure 13. The
+// core writes it with CH_CONFIGURE before a chunk is processed; it conveys
+// (1) the phase label, (2) the six bipartite CSR arrays, (3) the bitmap
+// base, (4) the chunk's first/last indices, and (5) the three OAG arrays.
+type ConfigRegisters struct {
+	Phase Phase
+
+	HyperedgeOffset   Region
+	IncidentVertex    Region
+	HyperedgeValue    Region
+	VertexOffset      Region
+	IncidentHyperedge Region
+	VertexValue       Region
+
+	BitmapBase uint64
+
+	// ChunkFirst and ChunkLast delimit the chunk to process.
+	ChunkFirst, ChunkLast uint32
+
+	OAGOffset Region
+	OAGEdge   Region
+	OAGWeight Region
+}
+
+// RegisterBytes is the encoded size of the register file; §VI-E reports
+// "registers shown in Figure 13 are with only 84 bytes".
+const RegisterBytes = 84
+
+// Encode serializes the register file into its 84-byte memory-mapped image
+// (little endian).
+//
+// Layout (84 bytes exactly): phase (1 B) + 9 regions x {base: 6 B, size in
+// 64 KiB units: 2 B} = 72 B + bitmap base (5 B) + chunk first/last (2 x
+// 3 B, 24-bit element indices).
+func (c *ConfigRegisters) Encode() [RegisterBytes]byte {
+	var out [RegisterBytes]byte
+	i := 0
+	out[i] = byte(c.Phase)
+	i++
+	put := func(r Region) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], r.Base)
+		copy(out[i:i+6], b[:6])
+		i += 6
+		binary.LittleEndian.PutUint16(out[i:i+2], uint16(r.Size>>16))
+		i += 2
+	}
+	for _, r := range []Region{
+		c.HyperedgeOffset, c.IncidentVertex, c.HyperedgeValue,
+		c.VertexOffset, c.IncidentHyperedge, c.VertexValue,
+		c.OAGOffset, c.OAGEdge, c.OAGWeight,
+	} {
+		put(r)
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], c.BitmapBase)
+	copy(out[i:i+5], b[:5])
+	i += 5
+	put24 := func(v uint32) {
+		var w [4]byte
+		binary.LittleEndian.PutUint32(w[:], v)
+		copy(out[i:i+3], w[:3])
+		i += 3
+	}
+	put24(c.ChunkFirst)
+	put24(c.ChunkLast)
+	if i != RegisterBytes {
+		panic(fmt.Sprintf("chgraph: register image is %d bytes, want %d", i, RegisterBytes))
+	}
+	return out
+}
+
+// Tuple is the bipartite-edge record CP packs for the core (§IV-B):
+// {h_id, v_id, hyperedge_value[h_id], vertex_value[v_id]}. The sentinel
+// tuple {^uint32(0), ^uint32(0), -1, -1} suspends the core.
+type Tuple struct {
+	HyperedgeID, VertexID       uint32
+	HyperedgeValue, VertexValue float64
+}
+
+// Sentinel is the fake tuple CP inserts when the chain FIFO delivers the
+// generator's end marker (§V-B).
+func Sentinel() Tuple {
+	return Tuple{HyperedgeID: ^uint32(0), VertexID: ^uint32(0), HyperedgeValue: -1, VertexValue: -1}
+}
+
+// IsSentinel reports whether t suspends the core.
+func (t Tuple) IsSentinel() bool { return t.HyperedgeID == ^uint32(0) && t.VertexID == ^uint32(0) }

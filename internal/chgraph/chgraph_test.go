@@ -1,0 +1,53 @@
+package chgraph
+
+import "testing"
+
+func TestGeometryMatchesPaper(t *testing.T) {
+	// §VI-E: stack 1.19KB, chain FIFO 0.13KB, edge FIFO 0.75KB.
+	if StackDepth*StackLevelBytes != 1216 { // 1.19 KB
+		t.Fatalf("stack bytes = %d", StackDepth*StackLevelBytes)
+	}
+	if ChainFIFOEntries*4 != 128 { // 0.13 KB
+		t.Fatalf("chain FIFO bytes = %d", ChainFIFOEntries*4)
+	}
+	if EdgeFIFOEntries*TupleBytes != 768 { // 0.75 KB
+		t.Fatalf("edge FIFO bytes = %d", EdgeFIFOEntries*TupleBytes)
+	}
+}
+
+func TestRegisterEncoding(t *testing.T) {
+	c := &ConfigRegisters{
+		Phase:           HyperedgeComputation,
+		HyperedgeOffset: Region{Base: 0x1000, Size: 1 << 20},
+		VertexValue:     Region{Base: 0xdeadbe00, Size: 1 << 22},
+		BitmapBase:      0xb000,
+		ChunkFirst:      7,
+		ChunkLast:       4096,
+	}
+	img := c.Encode()
+	if len(img) != RegisterBytes {
+		t.Fatalf("image size %d", len(img))
+	}
+	if img[0] != 1 {
+		t.Fatal("phase bit lost")
+	}
+	// Encoding must be deterministic.
+	if img != c.Encode() {
+		t.Fatal("non-deterministic encoding")
+	}
+	// Different configs encode differently.
+	c2 := *c
+	c2.ChunkLast = 4097
+	if img == c2.Encode() {
+		t.Fatal("chunk bounds not encoded")
+	}
+}
+
+func TestSentinelTuple(t *testing.T) {
+	if !Sentinel().IsSentinel() {
+		t.Fatal("sentinel not recognized")
+	}
+	if (Tuple{HyperedgeID: 3, VertexID: 4}).IsSentinel() {
+		t.Fatal("ordinary tuple misdetected")
+	}
+}

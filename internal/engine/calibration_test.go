@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"testing"
+
+	"chgraph/internal/algorithms"
+	"chgraph/internal/gen"
+)
+
+// TestHeadlineShapePRWEB guards the reproduction's headline result shape on
+// PageRank/Web-trackers (Figures 2, 3, 5):
+//
+//   - Hygra is heavily memory-stalled (paper: 84% for PR on WEB);
+//   - ChGraph's cores are not (the CP hides the latency);
+//   - ChGraph runs faster than Hygra;
+//   - chain scheduling reduces value-array off-chip traffic.
+//
+// Run at a reduced-but-meaningful scale so the test stays minutes-free.
+func TestHeadlineShapePRWEB(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration test simulates a mid-size dataset")
+	}
+	g := gen.MustLoad("WEB", 0.5)
+	prep := Prepare(g, 16, 3)
+
+	run := func(kind Kind) *Result {
+		res, err := Run(g, algorithms.NewPageRank(10), Options{Kind: kind, Prep: prep})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	hygra := run(Hygra)
+	gla := run(GLA)
+	ch := run(ChGraph)
+
+	if sf := hygra.StallFraction(); sf < 0.6 {
+		t.Errorf("Hygra PR/WEB stall fraction %.2f, want heavily memory-bound (paper: 0.84)", sf)
+	}
+	if sf := ch.StallFraction(); sf > 0.2 {
+		t.Errorf("ChGraph core stall fraction %.2f, want near zero (CP hides latency)", sf)
+	}
+	if ch.Cycles >= hygra.Cycles {
+		t.Errorf("ChGraph (%d cycles) must outperform Hygra (%d)", ch.Cycles, hygra.Cycles)
+	}
+	// Chain scheduling must cut value-array DRAM traffic (Figure 15's
+	// dominant component).
+	hv := hygra.MemReads[5] + hygra.MemWrites[5] + hygra.MemReads[2] + hygra.MemWrites[2] // vertex+hyperedge values
+	cv := ch.MemReads[5] + ch.MemWrites[5] + ch.MemReads[2] + ch.MemWrites[2]
+	if cv >= hv {
+		t.Errorf("value-array traffic not reduced: ChGraph %d vs Hygra %d", cv, hv)
+	}
+	// The hardware engines must not lose to the pure software GLA.
+	if ch.Cycles > gla.Cycles*11/10 {
+		t.Errorf("ChGraph (%d) slower than software GLA (%d)", ch.Cycles, gla.Cycles)
+	}
+	// Chains must actually have formed.
+	if ch.ChainCount == 0 || ch.ChainNodes < 2*ch.ChainCount {
+		t.Errorf("chains degenerate: %d chains, %d nodes", ch.ChainCount, ch.ChainNodes)
+	}
+}
+
+// TestFrontierAlgorithmsGLASlower guards the Figure 14 GLA pattern: for
+// frontier-driven algorithms the chains must be regenerated every
+// iteration, so the software GLA pays per-visit costs and loses to Hygra.
+func TestFrontierAlgorithmsGLASlower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration test simulates a mid-size dataset")
+	}
+	g := gen.MustLoad("FS", 0.5)
+	prep := Prepare(g, 16, 3)
+	hygra, err := Run(g, algorithms.NewCC(), Options{Kind: Hygra, Prep: prep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gla, err := Run(g, algorithms.NewCC(), Options{Kind: GLA, Prep: prep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gla.Cycles <= hygra.Cycles {
+		t.Errorf("software GLA (%d) should lose to Hygra (%d) on CC (paper: 1.56x slower)", gla.Cycles, hygra.Cycles)
+	}
+}

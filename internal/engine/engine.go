@@ -1,0 +1,383 @@
+// Package engine executes hypergraph algorithms on the simulated system
+// under the paper's competing execution models:
+//
+//   - Hygra:     the index-ordered software baseline (Algorithm 1) [41];
+//   - GLA:       the chain-driven model executed purely in software —
+//     chain generation runs on the core and serializes with the
+//     Load/Apply work (Figure 3);
+//   - ChGraph:   the hardware-accelerated GLA of §V — a per-core hardware
+//     chain generator (HCG) and chain-driven prefetcher (CP) run
+//     ahead of the core, coupled by the chain FIFO and
+//     bipartite-edge FIFO;
+//   - ChGraphHCG: ChGraph with the prefetcher disabled (Figure 16
+//     ablation): the HCG produces the schedule, the core loads;
+//   - HATSV:     the modified HATS traversal scheduler of §II-C: bounded
+//     DFS over the bipartite structure itself, weight-oblivious,
+//     paying two bipartite hops per neighbor probe;
+//   - HygraPF:   Hygra plus an event-triggered indirect prefetcher [2]
+//     running ahead of the core (Figure 23).
+//
+// Every engine applies the algorithm functionally while compiling per-agent
+// operation streams, which the system simulator replays for timing and
+// off-chip-traffic measurement; all engines therefore produce identical
+// algorithm outputs (up to floating-point summation order), which the test
+// suite verifies against sequential oracles.
+package engine
+
+import (
+	"fmt"
+
+	"chgraph/internal/algorithms"
+	"chgraph/internal/bitset"
+	chg "chgraph/internal/chgraph"
+	"chgraph/internal/core"
+	"chgraph/internal/hypergraph"
+	"chgraph/internal/oag"
+	"chgraph/internal/sim/system"
+	"chgraph/internal/trace"
+)
+
+// Kind selects the execution model.
+type Kind int
+
+const (
+	// Hygra is the index-ordered baseline.
+	Hygra Kind = iota
+	// GLA is the software chain-driven model.
+	GLA
+	// ChGraph is the full hardware-accelerated model (HCG + CP).
+	ChGraph
+	// ChGraphHCG is ChGraph without the chain-driven prefetcher.
+	ChGraphHCG
+	// HATSV is the modified HATS baseline.
+	HATSV
+	// HygraPF is Hygra with an event-triggered hardware prefetcher.
+	HygraPF
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Hygra:
+		return "Hygra"
+	case GLA:
+		return "GLA"
+	case ChGraph:
+		return "ChGraph"
+	case ChGraphHCG:
+		return "ChGraph-HCG"
+	case HATSV:
+		return "HATS-V"
+	case HygraPF:
+		return "Hygra+PF"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Bitmap sides in the simulated address space.
+const (
+	bmVertex    = 0
+	bmHyperedge = 1
+)
+
+// Prep holds the preprocessing products shared by chain-driven engines: the
+// per-core chunking and the per-chunk OAGs for both sides. Building it once
+// and reusing it across algorithms mirrors the paper's amortization argument
+// (§IV-A) and keeps experiment sweeps fast.
+type Prep struct {
+	Cores   int
+	WMin    uint32
+	VChunks []hypergraph.Chunk
+	HChunks []hypergraph.Chunk
+	// VOAG drives chains over vertices (hyperedge-computation phases);
+	// HOAG drives chains over hyperedges (vertex-computation phases).
+	VOAG, HOAG *oag.OAG
+}
+
+// Prepare builds chunks and per-chunk OAGs for g.
+func Prepare(g *hypergraph.Bipartite, cores int, wMin uint32) *Prep {
+	vChunks := hypergraph.Chunks(g.NumVertices(), cores)
+	hChunks := hypergraph.Chunks(g.NumHyperedges(), cores)
+	return &Prep{
+		Cores:   cores,
+		WMin:    wMin,
+		VChunks: vChunks,
+		HChunks: hChunks,
+		VOAG:    oag.Build(g, oag.Vertices, wMin, vChunks),
+		HOAG:    oag.Build(g, oag.Hyperedges, wMin, hChunks),
+	}
+}
+
+// OAGStorageBytes returns the extra storage the OAGs add (Figure 21(b)).
+func (p *Prep) OAGStorageBytes() uint64 {
+	return p.VOAG.StorageBytes() + p.HOAG.StorageBytes()
+}
+
+// OAGBuildOps returns the total OAG construction work units.
+func (p *Prep) OAGBuildOps() uint64 { return p.VOAG.BuildOps() + p.HOAG.BuildOps() }
+
+// Options configures a run.
+type Options struct {
+	Kind Kind
+	// Sys is the simulated system; defaults to system.ScaledConfig().
+	Sys system.Config
+	// DMax bounds chain length (default core.DefaultDMax).
+	DMax int
+	// WMin is the OAG threshold used if Prep must be built (default
+	// oag.DefaultWMin).
+	WMin uint32
+	// Costs are the compute-cost constants (default DefaultCosts).
+	Costs Costs
+	// Prep supplies prebuilt chunks/OAGs; nil builds them on demand.
+	Prep *Prep
+	// ChainFIFO and EdgeFIFO are the ChGraph buffer capacities (32 each
+	// per §VI-E).
+	ChainFIFO, EdgeFIFO int
+	// PrefetchDistance bounds how far the HygraPF prefetcher runs ahead.
+	PrefetchDistance int
+	// ChargePreprocess adds the modelled preprocessing time (CSR build,
+	// plus OAG build for chain engines) to the cycle count (Figure 22).
+	ChargePreprocess bool
+	// PrepCost is the preprocessing cost model (default DefaultPrepCost).
+	PrepCost PrepCostModel
+}
+
+func (o Options) withDefaults() Options {
+	if o.Sys.Cores == 0 {
+		o.Sys = system.ScaledConfig()
+	}
+	if o.DMax == 0 {
+		o.DMax = core.DefaultDMax
+	}
+	if o.WMin == 0 {
+		o.WMin = oag.DefaultWMin
+	}
+	if o.Costs == (Costs{}) {
+		o.Costs = DefaultCosts()
+	}
+	if o.ChainFIFO == 0 {
+		o.ChainFIFO = chg.ChainFIFOEntries
+	}
+	if o.EdgeFIFO == 0 {
+		o.EdgeFIFO = chg.EdgeFIFOEntries
+	}
+	if o.PrefetchDistance == 0 {
+		o.PrefetchDistance = 64
+	}
+	if o.PrepCost == (PrepCostModel{}) {
+		o.PrepCost = DefaultPrepCost()
+	}
+	return o
+}
+
+// Result reports a run's outputs and measurements.
+type Result struct {
+	// Kind echoes the engine.
+	Kind Kind
+	// State holds the final vertex/hyperedge values.
+	State *algorithms.State
+	// Iterations is the number of synchronous iterations executed.
+	Iterations int
+	// Cycles is the simulated execution time (including preprocessing if
+	// charged).
+	Cycles uint64
+	// PreprocessCycles is the modelled preprocessing time included in
+	// Cycles when Options.ChargePreprocess is set.
+	PreprocessCycles uint64
+	// MemReads/MemWrites count off-chip line transfers per array; their
+	// sum is the paper's "number of main memory accesses".
+	MemReads, MemWrites [trace.NumArrays]uint64
+	// CoreCycles and MemStallCycles drive the Figure 5 stall fraction.
+	CoreCycles, MemStallCycles, FifoStallCycles uint64
+	// Cache hit/miss aggregates.
+	L1Hits, L1Misses, L2Hits, L2Misses, L3Hits, L3Misses uint64
+	// EdgesProcessed counts HF/VF applications.
+	EdgesProcessed uint64
+	// MemByPhase splits off-chip accesses between the hyperedge-
+	// computation phases (index 0) and vertex-computation phases (1).
+	MemByPhase [2][trace.NumArrays]uint64
+	// ChainCount and ChainNodes summarize generated chains.
+	ChainCount, ChainNodes uint64
+}
+
+// MemTotal returns total off-chip accesses.
+func (r *Result) MemTotal() uint64 {
+	var n uint64
+	for a := trace.Array(0); a < trace.NumArrays; a++ {
+		n += r.MemReads[a] + r.MemWrites[a]
+	}
+	return n
+}
+
+// MemByGroup returns off-chip accesses per Figure 15 group.
+func (r *Result) MemByGroup() [trace.NumGroups]uint64 {
+	var out [trace.NumGroups]uint64
+	for a := trace.Array(0); a < trace.NumArrays; a++ {
+		out[trace.GroupOf(a)] += r.MemReads[a] + r.MemWrites[a]
+	}
+	return out
+}
+
+// StallFraction returns the fraction of core time stalled on main memory.
+func (r *Result) StallFraction() float64 {
+	if r.CoreCycles == 0 {
+		return 0
+	}
+	return float64(r.MemStallCycles) / float64(r.CoreCycles)
+}
+
+// Run executes alg on g under the given options.
+func Run(g *hypergraph.Bipartite, alg algorithms.Algorithm, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	needChains := opt.Kind == GLA || opt.Kind == ChGraph || opt.Kind == ChGraphHCG
+	prep := opt.Prep
+	if prep == nil {
+		if needChains {
+			prep = Prepare(g, opt.Sys.Cores, opt.WMin)
+		} else {
+			prep = &Prep{
+				Cores:   opt.Sys.Cores,
+				VChunks: hypergraph.Chunks(g.NumVertices(), opt.Sys.Cores),
+				HChunks: hypergraph.Chunks(g.NumHyperedges(), opt.Sys.Cores),
+			}
+		}
+	}
+	if needChains && (prep.VOAG == nil || prep.HOAG == nil) {
+		return nil, fmt.Errorf("engine: %v requires OAGs in Prep", opt.Kind)
+	}
+	if len(prep.VChunks) != opt.Sys.Cores {
+		return nil, fmt.Errorf("engine: prep built for %d cores, system has %d", len(prep.VChunks), opt.Sys.Cores)
+	}
+
+	sys := system.New(opt.Sys)
+	res := &Result{Kind: opt.Kind}
+
+	if opt.ChargePreprocess {
+		res.PreprocessCycles = prepCycles(g, prep, opt)
+		sys.AddCycles(res.PreprocessCycles)
+	}
+
+	s := algorithms.NewState(g)
+	res.State = s
+	frontierV := bitset.New(g.NumVertices())
+	alg.Init(s, frontierV)
+
+	r := &runner{g: g, s: s, alg: alg, opt: opt, prep: prep, sys: sys, res: res}
+
+	maxIter := alg.MaxIterations()
+	for {
+		if frontierV.Count() == 0 {
+			break
+		}
+		if maxIter > 0 && s.Iter >= maxIter {
+			break
+		}
+		// Hyperedge computation: active vertices scatter via HF.
+		alg.BeforeHyperedgePhase(s)
+		frontierE := bitset.New(g.NumHyperedges())
+		r.runPhase(vertexPhase(g, prep, frontierV, frontierE), alg.HF)
+
+		// Vertex computation: active hyperedges scatter via VF.
+		alg.BeforeVertexPhase(s)
+		nextV := bitset.New(g.NumVertices())
+		r.runPhase(hyperedgePhase(g, prep, frontierE, nextV), alg.VF)
+
+		s.Iter++
+		res.Iterations++
+		done := alg.AfterVertexPhase(s, nextV)
+		frontierV = nextV
+		if done {
+			break
+		}
+	}
+
+	res.Cycles = sys.Elapsed()
+	res.MemReads = sys.Hier.Mem().Reads
+	res.MemWrites = sys.Hier.Mem().Writes
+	res.CoreCycles = sys.CoreCycles
+	res.MemStallCycles = sys.MemStallCycles
+	res.FifoStallCycles = sys.FifoStallCycles
+	res.L1Hits, res.L1Misses, res.L2Hits, res.L2Misses, res.L3Hits, res.L3Misses = sys.Hier.CacheStats()
+	return res, nil
+}
+
+// prepCycles models preprocessing time (Figure 21(a)/22): CSR construction
+// for every engine, plus OAG construction for chain-driven engines.
+func prepCycles(g *hypergraph.Bipartite, prep *Prep, opt Options) uint64 {
+	pc := opt.PrepCost
+	cores := pc.ParallelCores
+	if cores <= 0 {
+		cores = 1
+	}
+	cyc := pc.CSRCyclesPerBE * float64(g.NumBipartiteEdges()) / float64(cores)
+	switch opt.Kind {
+	case GLA, ChGraph, ChGraphHCG:
+		cyc += pc.OAGCyclesPerOp * float64(prep.OAGBuildOps()) / float64(cores)
+	}
+	return uint64(cyc)
+}
+
+// HygraPrepCycles returns the baseline preprocessing time alone (the Figure
+// 21(a) denominator).
+func HygraPrepCycles(g *hypergraph.Bipartite, pc PrepCostModel) uint64 {
+	cores := pc.ParallelCores
+	if cores <= 0 {
+		cores = 1
+	}
+	return uint64(pc.CSRCyclesPerBE * float64(g.NumBipartiteEdges()) / float64(cores))
+}
+
+// phaseSpec describes one computation phase generically: "src" elements in
+// the frontier scatter updates to "dst" elements through the bipartite CSR.
+type phaseSpec struct {
+	// idx is 0 for hyperedge-computation phases, 1 for vertex-computation
+	// phases; dense marks an all-active frontier (no bitmap maintenance).
+	idx          int
+	dense        bool
+	srcN, dstN   uint32
+	chunks       []hypergraph.Chunk
+	og           *oag.OAG
+	frontier     bitset.Bitmap
+	next         bitset.Bitmap
+	srcBm, dstBm int
+	offArr       trace.Array
+	incArr       trace.Array
+	srcValArr    trace.Array
+	dstValArr    trace.Array
+	offset       func(uint32) uint32
+	neighbors    func(uint32) []uint32
+	// Back direction (dst side CSR), used by HATS-V's 2-hop probing.
+	backOffArr    trace.Array
+	backIncArr    trace.Array
+	backOffset    func(uint32) uint32
+	backNeighbors func(uint32) []uint32
+}
+
+// vertexPhase is the hyperedge-computation phase (src = vertices).
+func vertexPhase(g *hypergraph.Bipartite, prep *Prep, frontier, next bitset.Bitmap) *phaseSpec {
+	return &phaseSpec{
+		srcN: g.NumVertices(), dstN: g.NumHyperedges(),
+		chunks: prep.VChunks, og: prep.VOAG,
+		frontier: frontier, next: next,
+		srcBm: bmVertex, dstBm: bmHyperedge,
+		offArr: trace.VertexOffset, incArr: trace.IncidentHyperedge,
+		srcValArr: trace.VertexValue, dstValArr: trace.HyperedgeValue,
+		offset: g.VertexOffset, neighbors: g.IncidentHyperedges,
+		backOffArr: trace.HyperedgeOffset, backIncArr: trace.IncidentVertex,
+		backOffset: g.HyperedgeOffset, backNeighbors: g.IncidentVertices,
+	}
+}
+
+// hyperedgePhase is the vertex-computation phase (src = hyperedges).
+func hyperedgePhase(g *hypergraph.Bipartite, prep *Prep, frontier, next bitset.Bitmap) *phaseSpec {
+	return &phaseSpec{
+		srcN: g.NumHyperedges(), dstN: g.NumVertices(),
+		chunks: prep.HChunks, og: prep.HOAG,
+		frontier: frontier, next: next,
+		srcBm: bmHyperedge, dstBm: bmVertex,
+		offArr: trace.HyperedgeOffset, incArr: trace.IncidentVertex,
+		srcValArr: trace.HyperedgeValue, dstValArr: trace.VertexValue,
+		offset: g.HyperedgeOffset, neighbors: g.IncidentVertices,
+		backOffArr: trace.VertexOffset, backIncArr: trace.IncidentHyperedge,
+		backOffset: g.VertexOffset, backNeighbors: g.IncidentHyperedges,
+	}
+}

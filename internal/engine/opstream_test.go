@@ -1,0 +1,194 @@
+package engine
+
+import (
+	"testing"
+
+	"chgraph/internal/algorithms"
+	"chgraph/internal/bitset"
+	"chgraph/internal/sim/system"
+	"chgraph/internal/trace"
+)
+
+// buildPhase compiles one vertex-computation phase for inspection without
+// running the timing simulator.
+func buildPhase(t *testing.T, kind Kind, seed int64) []*system.Agent {
+	t.Helper()
+	g := smallHG(seed)
+	prep := Prepare(g, 2, 1)
+	sys := testSys()
+	sys.Cores = 2
+	s := algorithms.NewState(g)
+	alg := algorithms.NewPageRank(1)
+	frontierV := bitset.New(g.NumVertices())
+	alg.Init(s, frontierV)
+	alg.BeforeHyperedgePhase(s)
+
+	// All hyperedges active for the vertex-computation phase.
+	frontierE := bitset.New(g.NumHyperedges())
+	for i := uint32(0); i < g.NumHyperedges(); i++ {
+		frontierE.Set(i)
+	}
+	next := bitset.New(g.NumVertices())
+	ph := hyperedgePhase(g, prep, frontierE, next)
+	ph.dense = true
+
+	r := &runner{g: g, s: s, alg: alg, opt: Options{Kind: kind, Sys: sys, DMax: 16, WMin: 1, ChainFIFO: 32, EdgeFIFO: 32, PrefetchDistance: 64, Costs: DefaultCosts()}, prep: prep, sys: system.New(sys), res: &Result{}}
+	apply := func(st *algorithms.State, src, dst uint32) algorithms.EdgeResult { return alg.VF(st, src, dst) }
+	switch kind {
+	case Hygra:
+		return r.buildHygra(ph, apply, false)
+	case HygraPF:
+		return r.buildHygra(ph, apply, true)
+	case GLA:
+		return r.buildGLA(ph, apply)
+	case ChGraph:
+		return r.buildChGraph(ph, apply, true)
+	case ChGraphHCG:
+		return r.buildChGraph(ph, apply, false)
+	case HATSV:
+		return r.buildHATSV(ph, apply)
+	}
+	t.Fatalf("kind %v", kind)
+	return nil
+}
+
+func countFlags(agents []*system.Agent, mask trace.OpFlags) (n int) {
+	for _, a := range agents {
+		for _, op := range a.Ops {
+			if op.Flags&mask != 0 {
+				n++
+			}
+		}
+	}
+	return
+}
+
+// TestFIFOPushPopBalance: compiled streams must have exactly matching push
+// and pop counts per FIFO kind, or the timing replay would deadlock.
+func TestFIFOPushPopBalance(t *testing.T) {
+	for _, kind := range []Kind{ChGraph, ChGraphHCG, HATSV, HygraPF} {
+		for seed := int64(1); seed < 5; seed++ {
+			agents := buildPhase(t, kind, seed)
+			pushC := countFlags(agents, trace.FlagPushChain)
+			popC := countFlags(agents, trace.FlagPopChain)
+			pushT := countFlags(agents, trace.FlagPushTuple)
+			popT := countFlags(agents, trace.FlagPopTuple)
+			if pushC != popC {
+				t.Fatalf("%v seed %d: chain pushes %d != pops %d", kind, seed, pushC, popC)
+			}
+			if pushT != popT {
+				t.Fatalf("%v seed %d: tuple pushes %d != pops %d", kind, seed, pushT, popT)
+			}
+		}
+	}
+}
+
+// TestEngineAgentsUseL2Level: HCG/CP/HATS/prefetcher agents access memory at
+// the L2 (they sit beside the L1, §V-A); core agents never do.
+func TestEngineAgentsUseL2Level(t *testing.T) {
+	for _, kind := range []Kind{ChGraph, ChGraphHCG, HATSV, HygraPF} {
+		agents := buildPhase(t, kind, 7)
+		var engineAgents, coreAgents int
+		for _, a := range agents {
+			if a.Engine {
+				engineAgents++
+				for _, op := range a.Ops {
+					if op.HasMem() && op.Flags&trace.FlagL2 == 0 {
+						t.Fatalf("%v: engine agent %s has an L1-level access", kind, a.Name)
+					}
+				}
+			} else {
+				coreAgents++
+				if !a.IsCore {
+					t.Fatalf("%v: non-engine agent %s not marked core", kind, a.Name)
+				}
+				for _, op := range a.Ops {
+					if op.Flags&trace.FlagL2 != 0 {
+						t.Fatalf("%v: core agent %s has an L2-level access", kind, a.Name)
+					}
+				}
+			}
+		}
+		if engineAgents == 0 || coreAgents == 0 {
+			t.Fatalf("%v: agents missing (%d engine, %d core)", kind, engineAgents, coreAgents)
+		}
+	}
+}
+
+// TestHygraHasOnlyCoreAgents: the software baseline runs everything on the
+// cores.
+func TestHygraHasOnlyCoreAgents(t *testing.T) {
+	for _, kind := range []Kind{Hygra, GLA} {
+		for _, a := range buildPhase(t, kind, 7) {
+			if a.Engine || !a.IsCore {
+				t.Fatalf("%v: unexpected agent %s", kind, a.Name)
+			}
+		}
+	}
+}
+
+// TestValueAccessCountsMatchEdges: every engine touches each bipartite edge's
+// destination value exactly once per phase (reads; writes follow the
+// algorithm's Wrote results).
+func TestValueAccessCountsMatchEdges(t *testing.T) {
+	g := smallHG(7)
+	edges := int(g.NumBipartiteEdges())
+	for _, kind := range []Kind{Hygra, GLA, ChGraph, ChGraphHCG, HATSV} {
+		agents := buildPhase(t, kind, 7)
+		var dstReads int
+		for _, a := range agents {
+			for _, op := range a.Ops {
+				if op.HasMem() && op.Arr == trace.VertexValue && !op.IsWrite() && op.Flags&trace.FlagPrefetch == 0 {
+					dstReads++
+				}
+			}
+		}
+		// Chain engines also read src values from the hyperedge side; dst
+		// (vertex) value reads must equal the edge count exactly.
+		if dstReads != edges {
+			t.Fatalf("%v: %d vertex-value reads, want %d (one per bipartite edge)", kind, dstReads, edges)
+		}
+	}
+}
+
+// TestOAGOpsOnlyFromChainEngines at the op-stream level.
+func TestOAGOpsOnlyFromChainEngines(t *testing.T) {
+	for _, kind := range []Kind{Hygra, HygraPF, HATSV} {
+		agents := buildPhase(t, kind, 9)
+		for _, a := range agents {
+			for _, op := range a.Ops {
+				if op.HasMem() && trace.GroupOf(op.Arr) == trace.GroupOAG {
+					t.Fatalf("%v emitted an OAG access", kind)
+				}
+			}
+		}
+	}
+	agents := buildPhase(t, ChGraph, 9)
+	found := false
+	for _, a := range agents {
+		for _, op := range a.Ops {
+			if op.HasMem() && trace.GroupOf(op.Arr) == trace.GroupOAG {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("ChGraph emitted no OAG accesses")
+	}
+}
+
+// TestPrefetcherOpsAreNonBinding: every access of the HygraPF prefetch agent
+// carries the prefetch flag.
+func TestPrefetcherOpsAreNonBinding(t *testing.T) {
+	agents := buildPhase(t, HygraPF, 11)
+	for _, a := range agents {
+		if !a.Engine {
+			continue
+		}
+		for _, op := range a.Ops {
+			if op.HasMem() && op.Flags&trace.FlagPrefetch == 0 {
+				t.Fatalf("prefetch agent has a binding access")
+			}
+		}
+	}
+}

@@ -1,0 +1,470 @@
+package engine
+
+import (
+	"fmt"
+
+	"chgraph/internal/algorithms"
+	"chgraph/internal/bitset"
+	"chgraph/internal/core"
+	"chgraph/internal/hats"
+	"chgraph/internal/hypergraph"
+	"chgraph/internal/sim/system"
+	"chgraph/internal/trace"
+)
+
+// edgeFunc applies the algorithm's HF or VF to bipartite edge (src, dst).
+type edgeFunc func(s *algorithms.State, src, dst uint32) algorithms.EdgeResult
+
+var lay trace.Layout
+
+// oagAddr maps an OAG element to an address, keeping the two sides' OAGs in
+// disjoint halves of the OAG regions.
+func oagAddr(arr trace.Array, side int, idx uint32) uint64 {
+	const sideStride = uint64(1) << 33
+	return lay.Addr(arr, uint64(side)*sideStride+uint64(idx))
+}
+
+type runner struct {
+	g    *hypergraph.Bipartite
+	s    *algorithms.State
+	alg  algorithms.Algorithm
+	opt  Options
+	prep *Prep
+	sys  *system.System
+	res  *Result
+
+	// chainCache memoizes per-side chain schedules: when a phase's
+	// frontier is identical to the previous iteration's (e.g. PageRank,
+	// where everything stays active), the chains are reused instead of
+	// regenerated — §VI-B: "GLA only needs to generate the chains in the
+	// first (rather than every) iteration". The replayed schedule is
+	// streamed from a chain-queue array in memory.
+	chainCache [2]*chainCacheEntry
+}
+
+type chainCacheEntry struct {
+	frontier bitset.Bitmap
+	css      []core.ChainSet // per chunk
+}
+
+// chains returns the per-chunk chain schedules for this phase, generating
+// them (with visitor instrumentation via mkVis) or replaying the cached
+// ones. replayed reports whether generation was skipped.
+func (r *runner) chains(ph *phaseSpec, phaseIdx int, mkVis func(chunk int) core.Visitor) (css []core.ChainSet, replayed bool) {
+	if cc := r.chainCache[phaseIdx]; cc != nil && bitmapsEqual(cc.frontier, ph.frontier) {
+		return cc.css, true
+	}
+	css = make([]core.ChainSet, len(ph.chunks))
+	for i, ch := range ph.chunks {
+		var vis core.Visitor
+		if mkVis != nil {
+			vis = mkVis(i)
+		}
+		css[i] = core.Generate(ph.og, ch.Lo, ch.Hi, ph.frontier.Clone(), r.opt.DMax, vis)
+		r.res.ChainCount += uint64(css[i].NumChains())
+		r.res.ChainNodes += uint64(len(css[i].Queue))
+	}
+	r.chainCache[phaseIdx] = &chainCacheEntry{frontier: ph.frontier.Clone(), css: css}
+	return css, false
+}
+
+func bitmapsEqual(a, b bitset.Bitmap) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// chainQueueAddr addresses the in-memory chain-queue array used when
+// replaying a memoized schedule (stored once, streamed sequentially).
+func chainQueueAddr(side int, idx uint64) uint64 {
+	const sideStride = uint64(1) << 33
+	return lay.Addr(trace.Other, uint64(side)*sideStride+idx)
+}
+
+// runPhase compiles one computation phase into per-agent op streams under
+// the selected execution model and replays them on the simulated system.
+func (r *runner) runPhase(ph *phaseSpec, apply edgeFunc) {
+	if ph.frontier.Count() == 0 {
+		return
+	}
+	phaseIdx := 0
+	if ph.srcBm == bmHyperedge {
+		phaseIdx = 1
+	}
+	ph.idx = phaseIdx
+	// All-active regime (e.g. PageRank): no frontier bitmap maintenance
+	// is needed — §VI-C: "Since all data are always active for PageRank,
+	// there is no need to access the bitmap".
+	ph.dense = ph.frontier.Count() == uint64(ph.srcN)
+	before := r.sys.Hier.Mem().AccessesByArray()
+	defer func() {
+		after := r.sys.Hier.Mem().AccessesByArray()
+		for a := range after {
+			r.res.MemByPhase[phaseIdx][a] += after[a] - before[a]
+		}
+	}()
+	var agents []*system.Agent
+	switch r.opt.Kind {
+	case Hygra:
+		agents = r.buildHygra(ph, apply, false)
+	case HygraPF:
+		agents = r.buildHygra(ph, apply, true)
+	case GLA:
+		agents = r.buildGLA(ph, apply)
+	case ChGraph:
+		agents = r.buildChGraph(ph, apply, true)
+	case ChGraphHCG:
+		agents = r.buildChGraph(ph, apply, false)
+	case HATSV:
+		agents = r.buildHATSV(ph, apply)
+	default:
+		panic(fmt.Sprintf("engine: unknown kind %v", r.opt.Kind))
+	}
+	r.sys.RunPhase(agents)
+}
+
+// emitScan appends dense frontier-bitmap scan ops for chunk [lo, hi).
+func emitScan(ops []trace.Op, side int, lo, hi uint32, cost uint16) []trace.Op {
+	if hi <= lo {
+		return ops
+	}
+	for w := lo / 64; w <= (hi-1)/64; w++ {
+		ops = append(ops, trace.Op{Addr: lay.BitmapAddr(side, uint64(w)*64), Arr: trace.Bitmap, Compute: cost})
+	}
+	return ops
+}
+
+// applyEdge runs the edge function and appends the core-side write/activate
+// ops (value write, next-frontier bitmap update). flags adds e.g. FlagL2.
+func (r *runner) applyEdge(ops []trace.Op, ph *phaseSpec, apply edgeFunc, src, dst uint32, flags trace.OpFlags) []trace.Op {
+	res := apply(r.s, src, dst)
+	r.res.EdgesProcessed++
+	if res&algorithms.Wrote != 0 {
+		ops = append(ops, trace.Op{Addr: lay.Addr(ph.dstValArr, uint64(dst)), Arr: ph.dstValArr, Flags: trace.FlagWrite | flags})
+	}
+	if res&algorithms.Activate != 0 && ph.next.TestAndSet(dst) && !ph.dense {
+		ops = append(ops, trace.Op{Addr: lay.BitmapAddr(ph.dstBm, uint64(dst)), Arr: trace.Bitmap, Flags: trace.FlagWrite | flags})
+	}
+	return ops
+}
+
+// buildHygra compiles the index-ordered baseline: one core agent per chunk,
+// optionally preceded by an event-triggered indirect prefetcher agent
+// (Figure 23) that runs ahead at the L2 and gates the core's value loads
+// through a run-ahead FIFO.
+func (r *runner) buildHygra(ph *phaseSpec, apply edgeFunc, prefetch bool) []*system.Agent {
+	c := r.opt.Costs
+	var agents []*system.Agent
+	for coreID, ch := range ph.chunks {
+		var ops []trace.Op
+		if !ph.dense {
+			ops = emitScan(ops, ph.srcBm, ch.Lo, ch.Hi, c.Scan)
+		}
+		var pfOps []trace.Op
+		var popFlag trace.OpFlags
+		if prefetch {
+			popFlag = trace.FlagPopTuple
+		}
+		ph.frontier.ForEachSet(ch.Lo, ch.Hi, func(e uint32) {
+			ops = append(ops,
+				trace.Op{Addr: lay.Addr(ph.offArr, uint64(e)), Arr: ph.offArr, Compute: c.Element},
+				trace.Op{Addr: lay.Addr(ph.srcValArr, uint64(e)), Arr: ph.srcValArr})
+			if prefetch {
+				pfOps = append(pfOps, trace.Op{Addr: lay.Addr(ph.offArr, uint64(e)), Arr: ph.offArr, Flags: trace.FlagPrefetch | trace.FlagL2})
+			}
+			base := ph.offset(e)
+			for i, d := range ph.neighbors(e) {
+				if prefetch {
+					pfOps = append(pfOps,
+						trace.Op{Addr: lay.Addr(ph.incArr, uint64(base)+uint64(i)), Arr: ph.incArr, Flags: trace.FlagPrefetch | trace.FlagL2},
+						trace.Op{Addr: lay.Addr(ph.dstValArr, uint64(d)), Arr: ph.dstValArr, Flags: trace.FlagPrefetch | trace.FlagL2 | trace.FlagPushTuple})
+				}
+				ops = append(ops,
+					trace.Op{Addr: lay.Addr(ph.incArr, uint64(base)+uint64(i)), Arr: ph.incArr},
+					trace.Op{Addr: lay.Addr(ph.dstValArr, uint64(d)), Arr: ph.dstValArr, Compute: c.Apply, Flags: popFlag})
+				ops = r.applyEdge(ops, ph, apply, e, d, 0)
+			}
+		})
+		coreAgent := &system.Agent{
+			Name: fmt.Sprintf("core%d", coreID), Core: coreID, Ops: ops,
+			MLP: r.opt.Sys.CoreMLP, IsCore: true,
+		}
+		if prefetch {
+			fifo := system.NewFIFO(fmt.Sprintf("pf%d", coreID), r.opt.PrefetchDistance)
+			pf := &system.Agent{
+				Name: fmt.Sprintf("pf%d", coreID), Core: coreID, Ops: pfOps,
+				Engine: true, MLP: r.opt.Sys.PrefetchMLP, Out: fifo,
+			}
+			coreAgent.In = fifo
+			agents = append(agents, pf)
+		}
+		agents = append(agents, coreAgent)
+	}
+	return agents
+}
+
+// swVisitor emits the software GLA chain-generation ops inline into the
+// core's stream, charging per-visit instruction overheads (Figure 3).
+type swVisitor struct {
+	ops  []trace.Op
+	side int // OAG side index for address disambiguation
+	bm   int
+	c    Costs
+}
+
+func (v *swVisitor) RootScan(word uint32) {
+	v.ops = append(v.ops, trace.Op{Addr: lay.BitmapAddr(v.bm, uint64(word)*64), Arr: trace.Bitmap, Compute: v.c.Scan})
+}
+func (v *swVisitor) Select(node uint32) {
+	v.ops = append(v.ops, trace.Op{Addr: lay.BitmapAddr(v.bm, uint64(node)), Arr: trace.Bitmap, Flags: trace.FlagWrite, Compute: v.c.SWSelect})
+}
+func (v *swVisitor) Offsets(node uint32) {
+	v.ops = append(v.ops, trace.Op{Addr: oagAddr(trace.OAGOffset, v.side, node), Arr: trace.OAGOffset, Compute: 1})
+}
+func (v *swVisitor) Inspect(csr, nb uint32) {
+	v.ops = append(v.ops,
+		trace.Op{Addr: oagAddr(trace.OAGEdge, v.side, csr), Arr: trace.OAGEdge, Compute: v.c.SWInspect},
+		trace.Op{Addr: lay.BitmapAddr(v.bm, uint64(nb)), Arr: trace.Bitmap})
+}
+func (v *swVisitor) ChainEnd() {}
+
+// buildGLA compiles the software chain-driven model: chain generation and
+// the chain-ordered load/apply run serially on each core.
+func (r *runner) buildGLA(ph *phaseSpec, apply edgeFunc) []*system.Agent {
+	c := r.opt.Costs
+	visitors := make([]*swVisitor, len(ph.chunks))
+	css, replayed := r.chains(ph, ph.idx, func(chunk int) core.Visitor {
+		visitors[chunk] = &swVisitor{side: ph.srcBm, bm: ph.srcBm, c: c}
+		return visitors[chunk]
+	})
+	var agents []*system.Agent
+	for coreID, ch := range ph.chunks {
+		cs := css[coreID]
+		var ops []trace.Op
+		if replayed {
+			// Stream the memoized chain queue from memory.
+			for i := range cs.Queue {
+				ops = append(ops, trace.Op{Addr: chainQueueAddr(ph.srcBm, uint64(ch.Lo)+uint64(i)), Arr: trace.Other, Compute: 1})
+			}
+		} else {
+			ops = visitors[coreID].ops
+		}
+		for _, e := range cs.Queue {
+			ops = append(ops,
+				trace.Op{Addr: lay.Addr(ph.offArr, uint64(e)), Arr: ph.offArr, Compute: c.Element},
+				trace.Op{Addr: lay.Addr(ph.srcValArr, uint64(e)), Arr: ph.srcValArr})
+			base := ph.offset(e)
+			for i, d := range ph.neighbors(e) {
+				ops = append(ops,
+					trace.Op{Addr: lay.Addr(ph.incArr, uint64(base)+uint64(i)), Arr: ph.incArr, Compute: c.SWLoad},
+					trace.Op{Addr: lay.Addr(ph.dstValArr, uint64(d)), Arr: ph.dstValArr, Compute: c.Apply})
+				ops = r.applyEdge(ops, ph, apply, e, d, 0)
+			}
+		}
+		agents = append(agents, &system.Agent{
+			Name: fmt.Sprintf("core%d", coreID), Core: coreID, Ops: ops,
+			MLP: r.opt.Sys.CoreMLP, IsCore: true,
+		})
+	}
+	return agents
+}
+
+// hwVisitor emits the hardware chain generator's pipeline ops (§V-B): all
+// accesses enter at the L2 and every selected node is pushed into the chain
+// FIFO.
+type hwVisitor struct {
+	ops  []trace.Op
+	side int
+	bm   int
+	c    Costs
+}
+
+func (v *hwVisitor) RootScan(word uint32) {
+	v.ops = append(v.ops, trace.Op{Addr: lay.BitmapAddr(v.bm, uint64(word)*64), Arr: trace.Bitmap, Flags: trace.FlagL2, Compute: v.c.HWStage})
+}
+func (v *hwVisitor) Select(node uint32) {
+	v.ops = append(v.ops, trace.Op{Addr: lay.BitmapAddr(v.bm, uint64(node)), Arr: trace.Bitmap,
+		Flags: trace.FlagL2 | trace.FlagWrite | trace.FlagPushChain, Compute: v.c.HWStage})
+}
+func (v *hwVisitor) Offsets(node uint32) {
+	v.ops = append(v.ops, trace.Op{Addr: oagAddr(trace.OAGOffset, v.side, node), Arr: trace.OAGOffset, Flags: trace.FlagL2, Compute: v.c.HWStage})
+}
+func (v *hwVisitor) Inspect(csr, nb uint32) {
+	v.ops = append(v.ops,
+		trace.Op{Addr: oagAddr(trace.OAGEdge, v.side, csr), Arr: trace.OAGEdge, Flags: trace.FlagL2, Compute: v.c.HWStage},
+		trace.Op{Addr: lay.BitmapAddr(v.bm, uint64(nb)), Arr: trace.Bitmap, Flags: trace.FlagL2, Compute: v.c.HWStage})
+}
+func (v *hwVisitor) ChainEnd() {}
+
+// buildChGraph compiles the hardware-accelerated model: per core, an HCG
+// agent generates chains into the chain FIFO; with the prefetcher enabled a
+// CP agent streams each element's bipartite edges and value data into the
+// bipartite-edge FIFO so the core only applies updates; without it
+// (Figure 16 HCG-only ablation) the core pops chain entries and performs
+// its own loads.
+func (r *runner) buildChGraph(ph *phaseSpec, apply edgeFunc, withCP bool) []*system.Agent {
+	c := r.opt.Costs
+	visitors := make([]*hwVisitor, len(ph.chunks))
+	css, replayed := r.chains(ph, ph.idx, func(chunk int) core.Visitor {
+		visitors[chunk] = &hwVisitor{side: ph.srcBm, bm: ph.srcBm, c: c}
+		return visitors[chunk]
+	})
+	var agents []*system.Agent
+	for coreID, ch := range ph.chunks {
+		cs := css[coreID]
+		var hcgOps []trace.Op
+		if replayed {
+			// Replay the memoized chain queue: the HCG streams it from
+			// memory straight into the chain FIFO.
+			for i := range cs.Queue {
+				hcgOps = append(hcgOps, trace.Op{Addr: chainQueueAddr(ph.srcBm, uint64(ch.Lo)+uint64(i)), Arr: trace.Other,
+					Flags: trace.FlagL2 | trace.FlagPushChain, Compute: c.HWStage})
+			}
+		} else {
+			hcgOps = visitors[coreID].ops
+		}
+		hcgOps = append(hcgOps, trace.Op{Flags: trace.FlagNoMem | trace.FlagPushChain}) // the '-1' sentinel
+		chainFIFO := system.NewFIFO(fmt.Sprintf("chain%d", coreID), r.opt.ChainFIFO)
+
+		hcg := &system.Agent{
+			Name: fmt.Sprintf("hcg%d", coreID), Core: coreID, Ops: hcgOps,
+			Engine: true, MLP: r.opt.Sys.EngineMLP, Out: chainFIFO,
+		}
+
+		var coreOps []trace.Op
+		if withCP {
+			var cpOps []trace.Op
+			edgeFIFO := system.NewFIFO(fmt.Sprintf("bedge%d", coreID), r.opt.EdgeFIFO)
+			for _, e := range cs.Queue {
+				cpOps = append(cpOps,
+					trace.Op{Flags: trace.FlagNoMem | trace.FlagPopChain, Compute: c.HWStage},
+					trace.Op{Addr: lay.Addr(ph.offArr, uint64(e)), Arr: ph.offArr, Flags: trace.FlagL2, Compute: c.HWStage},
+					trace.Op{Addr: lay.Addr(ph.srcValArr, uint64(e)), Arr: ph.srcValArr, Flags: trace.FlagL2, Compute: c.HWStage})
+				base := ph.offset(e)
+				for i, d := range ph.neighbors(e) {
+					cpOps = append(cpOps,
+						trace.Op{Addr: lay.Addr(ph.incArr, uint64(base)+uint64(i)), Arr: ph.incArr, Flags: trace.FlagL2, Compute: c.HWStage},
+						trace.Op{Addr: lay.Addr(ph.dstValArr, uint64(d)), Arr: ph.dstValArr, Flags: trace.FlagL2 | trace.FlagPushTuple, Compute: c.HWStage})
+					coreOps = append(coreOps, trace.Op{Flags: trace.FlagNoMem | trace.FlagPopTuple, Compute: c.Apply})
+					coreOps = r.applyEdge(coreOps, ph, apply, e, d, 0)
+				}
+			}
+			// CP pops the HCG sentinel, then emits the fake tuple that
+			// suspends the core (§V-B).
+			cpOps = append(cpOps,
+				trace.Op{Flags: trace.FlagNoMem | trace.FlagPopChain, Compute: c.HWStage},
+				trace.Op{Flags: trace.FlagNoMem | trace.FlagPushTuple, Compute: c.HWStage})
+			coreOps = append(coreOps, trace.Op{Flags: trace.FlagNoMem | trace.FlagPopTuple})
+			cp := &system.Agent{
+				Name: fmt.Sprintf("cp%d", coreID), Core: coreID, Ops: cpOps,
+				Engine: true, MLP: r.opt.Sys.PrefetchMLP, In: chainFIFO, Out: edgeFIFO,
+			}
+			agents = append(agents, hcg, cp, &system.Agent{
+				Name: fmt.Sprintf("core%d", coreID), Core: coreID, Ops: coreOps,
+				MLP: r.opt.Sys.CoreMLP, IsCore: true, In: edgeFIFO,
+			})
+			continue
+		}
+
+		// HCG-only: the core consumes chain entries and loads data itself.
+		for _, e := range cs.Queue {
+			coreOps = append(coreOps,
+				trace.Op{Flags: trace.FlagNoMem | trace.FlagPopChain, Compute: c.Element},
+				trace.Op{Addr: lay.Addr(ph.offArr, uint64(e)), Arr: ph.offArr},
+				trace.Op{Addr: lay.Addr(ph.srcValArr, uint64(e)), Arr: ph.srcValArr})
+			base := ph.offset(e)
+			for i, d := range ph.neighbors(e) {
+				coreOps = append(coreOps,
+					trace.Op{Addr: lay.Addr(ph.incArr, uint64(base)+uint64(i)), Arr: ph.incArr},
+					trace.Op{Addr: lay.Addr(ph.dstValArr, uint64(d)), Arr: ph.dstValArr, Compute: c.Apply})
+				coreOps = r.applyEdge(coreOps, ph, apply, e, d, 0)
+			}
+		}
+		coreOps = append(coreOps, trace.Op{Flags: trace.FlagNoMem | trace.FlagPopChain})
+		agents = append(agents, hcg, &system.Agent{
+			Name: fmt.Sprintf("core%d", coreID), Core: coreID, Ops: coreOps,
+			MLP: r.opt.Sys.CoreMLP, IsCore: true, In: chainFIFO,
+		})
+	}
+	return agents
+}
+
+// buildHATSV compiles the modified-HATS baseline of §II-C: a per-core
+// traversal engine runs bounded DFS over the bipartite structure itself
+// (two bipartite hops per neighbor probe, no overlap weights) and feeds the
+// schedule to the core, which performs its own loads.
+func (r *runner) buildHATSV(ph *phaseSpec, apply edgeFunc) []*system.Agent {
+	c := r.opt.Costs
+	var agents []*system.Agent
+	for coreID, ch := range ph.chunks {
+		vis := &hatsVisitor{ph: ph, c: c}
+		sched := hats.Generate(hats.Input{
+			Offset: ph.offset, Neighbors: ph.neighbors,
+			BackOffset: ph.backOffset, BackNeighbors: ph.backNeighbors,
+			Lo: ch.Lo, Hi: ch.Hi, Active: ph.frontier.Clone(), DMax: r.opt.DMax,
+		}, vis)
+		hatsOps := append(vis.ops, trace.Op{Flags: trace.FlagNoMem | trace.FlagPushChain})
+		fifo := system.NewFIFO(fmt.Sprintf("hats%d", coreID), r.opt.ChainFIFO)
+		agents = append(agents, &system.Agent{
+			Name: fmt.Sprintf("hats%d", coreID), Core: coreID, Ops: hatsOps,
+			Engine: true, MLP: r.opt.Sys.EngineMLP, Out: fifo,
+		})
+
+		var coreOps []trace.Op
+		for _, e := range sched {
+			coreOps = append(coreOps,
+				trace.Op{Flags: trace.FlagNoMem | trace.FlagPopChain, Compute: c.Element},
+				trace.Op{Addr: lay.Addr(ph.offArr, uint64(e)), Arr: ph.offArr},
+				trace.Op{Addr: lay.Addr(ph.srcValArr, uint64(e)), Arr: ph.srcValArr})
+			base := ph.offset(e)
+			for i, d := range ph.neighbors(e) {
+				coreOps = append(coreOps,
+					trace.Op{Addr: lay.Addr(ph.incArr, uint64(base)+uint64(i)), Arr: ph.incArr},
+					trace.Op{Addr: lay.Addr(ph.dstValArr, uint64(d)), Arr: ph.dstValArr, Compute: c.Apply})
+				coreOps = r.applyEdge(coreOps, ph, apply, e, d, 0)
+			}
+		}
+		coreOps = append(coreOps, trace.Op{Flags: trace.FlagNoMem | trace.FlagPopChain})
+		agents = append(agents, &system.Agent{
+			Name: fmt.Sprintf("core%d", coreID), Core: coreID, Ops: coreOps,
+			MLP: r.opt.Sys.CoreMLP, IsCore: true, In: fifo,
+		})
+	}
+	return agents
+}
+
+// hatsVisitor emits the HATS engine's traversal ops: it walks the bipartite
+// CSR directly (offset + incident arrays of both sides) instead of an OAG.
+type hatsVisitor struct {
+	ops []trace.Op
+	ph  *phaseSpec
+	c   Costs
+}
+
+func (v *hatsVisitor) RootScan(word uint32) {
+	v.ops = append(v.ops, trace.Op{Addr: lay.BitmapAddr(v.ph.srcBm, uint64(word)*64), Arr: trace.Bitmap, Flags: trace.FlagL2, Compute: v.c.HWStage})
+}
+func (v *hatsVisitor) Select(node uint32) {
+	v.ops = append(v.ops, trace.Op{Addr: lay.BitmapAddr(v.ph.srcBm, uint64(node)), Arr: trace.Bitmap,
+		Flags: trace.FlagL2 | trace.FlagWrite | trace.FlagPushChain, Compute: v.c.HWStage})
+}
+func (v *hatsVisitor) SrcOffsets(node uint32) {
+	v.ops = append(v.ops, trace.Op{Addr: lay.Addr(v.ph.offArr, uint64(node)), Arr: v.ph.offArr, Flags: trace.FlagL2, Compute: v.c.HWStage})
+}
+func (v *hatsVisitor) SrcEdge(csr uint32) {
+	v.ops = append(v.ops, trace.Op{Addr: lay.Addr(v.ph.incArr, uint64(csr)), Arr: v.ph.incArr, Flags: trace.FlagL2, Compute: v.c.HWStage})
+}
+func (v *hatsVisitor) MidOffsets(mid uint32) {
+	v.ops = append(v.ops, trace.Op{Addr: lay.Addr(v.ph.backOffArr, uint64(mid)), Arr: v.ph.backOffArr, Flags: trace.FlagL2, Compute: v.c.HWStage})
+}
+func (v *hatsVisitor) MidEdge(csr uint32, nb uint32) {
+	v.ops = append(v.ops,
+		trace.Op{Addr: lay.Addr(v.ph.backIncArr, uint64(csr)), Arr: v.ph.backIncArr, Flags: trace.FlagL2, Compute: v.c.HWStage},
+		trace.Op{Addr: lay.BitmapAddr(v.ph.srcBm, uint64(nb)), Arr: trace.Bitmap, Flags: trace.FlagL2, Compute: v.c.HWStage})
+}

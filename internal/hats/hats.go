@@ -1,0 +1,131 @@
+// Package hats models HATS-V, the paper's modified version (§II-C) of the
+// HATS hardware-accelerated traversal scheduler [34], used as a baseline in
+// Figure 7 and Figure 25.
+//
+// HATS performs bounded depth-first traversal to schedule related elements
+// together. Unlike ChGraph it has no overlap-aware abstraction graph: to
+// find the "neighbor" of a hyperedge it must traverse two bipartite hops
+// (hyperedge -> vertex -> hyperedge), reading both CSR directions, and it
+// picks the first active neighbor it encounters rather than the
+// maximally-overlapped one. Per the paper, this costs "two redundant
+// bipartite edges to find a neighbor with much extra overhead" and forgoes
+// overlap-inducing locality.
+//
+// Like hardware HATS, the probe effort per scheduling step is bounded: the
+// engine gives up on extending the current chain after ProbeBudget
+// adjacency entries and falls back to the next active root.
+package hats
+
+import "chgraph/internal/bitset"
+
+// ProbeBudget bounds the adjacency entries inspected per extension step.
+const ProbeBudget = 64
+
+// Visitor observes the traversal engine's micro-steps so the caller can
+// translate them into memory operations.
+type Visitor interface {
+	// RootScan reports a frontier-bitmap word examined for root setting.
+	RootScan(word uint32)
+	// Select reports that node was scheduled and marked inactive.
+	Select(node uint32)
+	// SrcOffsets reports reading node's CSR offsets (source side).
+	SrcOffsets(node uint32)
+	// SrcEdge reports reading the source-side adjacency entry at csr.
+	SrcEdge(csr uint32)
+	// MidOffsets reports reading the CSR offsets of intermediate element
+	// mid (the opposite side).
+	MidOffsets(mid uint32)
+	// MidEdge reports reading the back-direction adjacency entry at csr,
+	// naming candidate neighbor nb, plus its active-bit check.
+	MidEdge(csr uint32, nb uint32)
+}
+
+// Input describes one chunk's traversal problem. Offset/Neighbors address
+// the source side (the side being scheduled); BackOffset/BackNeighbors
+// address the opposite side, needed for the second hop.
+type Input struct {
+	Offset        func(uint32) uint32
+	Neighbors     func(uint32) []uint32
+	BackOffset    func(uint32) uint32
+	BackNeighbors func(uint32) []uint32
+	// Lo, Hi bound the chunk; only elements inside are scheduled.
+	Lo, Hi uint32
+	// Active is consumed: scheduled elements are cleared.
+	Active bitset.Bitmap
+	// DMax bounds the DFS depth (chain length).
+	DMax int
+}
+
+// Generate produces the HATS-V schedule for one chunk: every active element
+// in [Lo, Hi) exactly once, in bounded-DFS order over 2-hop bipartite
+// adjacency.
+func Generate(in Input, v Visitor) []uint32 {
+	if v == nil {
+		v = nopVisitor{}
+	}
+	dMax := in.DMax
+	if dMax < 1 {
+		dMax = 1
+	}
+	var sched []uint32
+	cursor := in.Lo
+	for {
+		root := in.Active.NextSet(cursor, in.Hi, v.RootScan)
+		if root >= in.Hi {
+			break
+		}
+		cursor = root
+		node := root
+		for depth := 0; ; depth++ {
+			in.Active.Clear(node)
+			v.Select(node)
+			sched = append(sched, node)
+			if depth+1 >= dMax {
+				break
+			}
+			next, ok := probe(in, node, v)
+			if !ok {
+				break
+			}
+			node = next
+		}
+	}
+	return sched
+}
+
+// probe looks for an active 2-hop neighbor of node, spending at most
+// ProbeBudget adjacency reads.
+func probe(in Input, node uint32, v Visitor) (uint32, bool) {
+	budget := ProbeBudget
+	v.SrcOffsets(node)
+	base := in.Offset(node)
+	for i, mid := range in.Neighbors(node) {
+		if budget <= 0 {
+			return 0, false
+		}
+		budget--
+		v.SrcEdge(base + uint32(i))
+		v.MidOffsets(mid)
+		backBase := in.BackOffset(mid)
+		for j, nb := range in.BackNeighbors(mid) {
+			if budget <= 0 {
+				return 0, false
+			}
+			budget--
+			v.MidEdge(backBase+uint32(j), nb)
+			if nb >= in.Lo && nb < in.Hi && in.Active.Get(nb) {
+				return nb, true
+			}
+		}
+	}
+	return 0, false
+}
+
+type nopVisitor struct{}
+
+func (nopVisitor) RootScan(uint32)        {}
+func (nopVisitor) Select(uint32)          {}
+func (nopVisitor) SrcOffsets(uint32)      {}
+func (nopVisitor) SrcEdge(uint32)         {}
+func (nopVisitor) MidOffsets(uint32)      {}
+func (nopVisitor) MidEdge(uint32, uint32) {}

@@ -1,0 +1,113 @@
+package hats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chgraph/internal/bitset"
+	"chgraph/internal/hypergraph"
+)
+
+func inputFor(g *hypergraph.Bipartite, lo, hi uint32, active bitset.Bitmap, dmax int) Input {
+	return Input{
+		Offset: g.HyperedgeOffset, Neighbors: g.IncidentVertices,
+		BackOffset: g.VertexOffset, BackNeighbors: g.IncidentHyperedges,
+		Lo: lo, Hi: hi, Active: active, DMax: dmax,
+	}
+}
+
+func TestCoversActiveExactlyOnce(t *testing.T) {
+	f := func(seed int64, dmaxRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numV := uint32(rng.Intn(40) + 2)
+		hs := make([][]uint32, rng.Intn(50)+2)
+		for i := range hs {
+			sz := rng.Intn(5)
+			for k := 0; k < sz; k++ {
+				hs[i] = append(hs[i], uint32(rng.Intn(int(numV))))
+			}
+		}
+		g := hypergraph.MustBuild(numV, hs)
+		n := g.NumHyperedges()
+		active := bitset.New(n)
+		for i := uint32(0); i < n; i++ {
+			if rng.Intn(3) > 0 {
+				active.Set(i)
+			}
+		}
+		orig := active.Clone()
+		sched := Generate(inputFor(g, 0, n, active, int(dmaxRaw%20)+1), nil)
+		seen := map[uint32]int{}
+		for _, e := range sched {
+			seen[e]++
+		}
+		ok := true
+		orig.ForEachSet(0, n, func(i uint32) {
+			if seen[i] != 1 {
+				ok = false
+			}
+		})
+		return ok && len(seen) == len(sched)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedulesLocallyRelatedElements(t *testing.T) {
+	// Two overlapping hyperedges and one unrelated one, ids interleaved:
+	// the DFS must schedule the overlapping pair adjacently.
+	g := hypergraph.MustBuild(6, [][]uint32{
+		{0, 1},    // h0 overlaps h2 via v0
+		{4, 5},    // h1 unrelated
+		{0, 2, 3}, // h2
+	})
+	active := bitset.New(3)
+	for i := uint32(0); i < 3; i++ {
+		active.Set(i)
+	}
+	sched := Generate(inputFor(g, 0, 3, active, 16), nil)
+	if len(sched) != 3 {
+		t.Fatalf("sched = %v", sched)
+	}
+	if sched[0] != 0 || sched[1] != 2 {
+		t.Fatalf("sched = %v, want h2 right after h0", sched)
+	}
+}
+
+func TestProbeBudgetBounds(t *testing.T) {
+	// A hub vertex with many incident hyperedges: probing must stay
+	// within ProbeBudget adjacency reads per step.
+	hs := make([][]uint32, 300)
+	for i := range hs {
+		hs[i] = []uint32{0} // all share hub v0
+	}
+	g := hypergraph.MustBuild(1, hs)
+	n := g.NumHyperedges()
+	active := bitset.New(n)
+	active.Set(0)
+	active.Set(299)
+	var midEdges int
+	v := countVisitor{onMidEdge: func() { midEdges++ }}
+	Generate(inputFor(g, 0, n, active, 16), &v)
+	// Two selections at most; each probe bounded.
+	if midEdges > 2*ProbeBudget {
+		t.Fatalf("probing read %d entries, budget is %d per step", midEdges, ProbeBudget)
+	}
+}
+
+type countVisitor struct {
+	onMidEdge func()
+}
+
+func (countVisitor) RootScan(uint32)   {}
+func (countVisitor) Select(uint32)     {}
+func (countVisitor) SrcOffsets(uint32) {}
+func (countVisitor) SrcEdge(uint32)    {}
+func (countVisitor) MidOffsets(uint32) {}
+func (v *countVisitor) MidEdge(uint32, uint32) {
+	if v.onMidEdge != nil {
+		v.onMidEdge()
+	}
+}

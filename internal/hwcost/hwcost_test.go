@@ -1,0 +1,51 @@
+package hwcost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperBufferSizes(t *testing.T) {
+	cfg := PaperConfig()
+	if cfg.StackBytes() != 16*76 {
+		t.Fatalf("stack = %dB", cfg.StackBytes())
+	}
+	r := Estimate(cfg, Tech65nm())
+	// §VI-E reports 1.19KB, 0.13KB, 0.75KB, 84B.
+	if math.Abs(r.StackKB-1.19) > 0.01 {
+		t.Errorf("stack = %.2fKB, paper 1.19KB", r.StackKB)
+	}
+	if math.Abs(r.ChainFIFOKB-0.125) > 0.01 {
+		t.Errorf("chain FIFO = %.2fKB, paper 0.13KB", r.ChainFIFOKB)
+	}
+	if math.Abs(r.EdgeFIFOKB-0.75) > 0.001 {
+		t.Errorf("edge FIFO = %.2fKB, paper 0.75KB", r.EdgeFIFOKB)
+	}
+}
+
+func TestPaperTotals(t *testing.T) {
+	r := Estimate(PaperConfig(), Tech65nm())
+	if math.Abs(r.Areamm2-0.094) > 0.005 {
+		t.Errorf("area = %.3fmm2, paper 0.094mm2", r.Areamm2)
+	}
+	if math.Abs(r.PowermW-61) > 3 {
+		t.Errorf("power = %.1fmW, paper 61mW", r.PowermW)
+	}
+	if math.Abs(r.AreaFracOfCore-0.0026) > 0.0005 {
+		t.Errorf("area fraction = %.4f, paper 0.26%%", r.AreaFracOfCore)
+	}
+	if math.Abs(r.PowerFracOfCore-0.0019) > 0.0005 {
+		t.Errorf("power fraction = %.4f, paper 0.19%%", r.PowerFracOfCore)
+	}
+}
+
+func TestScalesWithBuffers(t *testing.T) {
+	small := PaperConfig()
+	big := PaperConfig()
+	big.EdgeFIFOEntries *= 4
+	rs := Estimate(small, Tech65nm())
+	rb := Estimate(big, Tech65nm())
+	if rb.Areamm2 <= rs.Areamm2 || rb.PowermW <= rs.PowermW {
+		t.Fatal("larger buffers must cost more")
+	}
+}

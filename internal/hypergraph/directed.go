@@ -1,0 +1,104 @@
+package hypergraph
+
+import "fmt"
+
+// Directed hypergraph support (§II-A): "For a directed hypergraph, the
+// incident vertices of a directed hyperedge can be divided into a source
+// vertex set and a destination vertex set." The paper's evaluation treats
+// all hypergraphs as undirected, but ChGraph itself "supports both directed
+// and undirected hypergraphs".
+//
+// A directed hypergraph is represented with the same two CSR structures the
+// engines consume, made asymmetric:
+//
+//   - the vertex-side CSR (vertex_offset / incident_hyperedge) lists, for
+//     each vertex, the hyperedges it is a SOURCE of — the hyperedge
+//     computation phase propagates v's value into exactly those;
+//   - the hyperedge-side CSR (hyperedge_offset / incident_vertex) lists,
+//     for each hyperedge, its DESTINATION vertices — the vertex computation
+//     phase updates exactly those.
+//
+// Every engine works unchanged on this representation: direction is a
+// property of the stored adjacency, not of the execution model.
+
+// BuildDirected constructs a directed hypergraph from per-hyperedge source
+// and destination vertex sets. srcs and dsts must have equal length (one
+// entry per hyperedge); a vertex may appear in both sets of one hyperedge.
+func BuildDirected(numV uint32, srcs, dsts [][]uint32) (*Bipartite, error) {
+	if len(srcs) != len(dsts) {
+		return nil, fmt.Errorf("hypergraph: %d source sets vs %d destination sets", len(srcs), len(dsts))
+	}
+	numH := uint32(len(srcs))
+	g := &Bipartite{numV: numV, numH: numH, directed: true}
+
+	dedup := func(in []uint32, what string, h int) ([]uint32, error) {
+		seen := make(map[uint32]struct{}, len(in))
+		out := make([]uint32, 0, len(in))
+		for _, v := range in {
+			if v >= numV {
+				return nil, fmt.Errorf("hypergraph: hyperedge %d %s vertex %d >= numV %d", h, what, v, numV)
+			}
+			if _, dup := seen[v]; dup {
+				continue
+			}
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+
+	// Hyperedge-side CSR: destination vertices.
+	g.hOff = make([]uint32, numH+1)
+	for i, ds := range dsts {
+		d, err := dedup(ds, "destination", i)
+		if err != nil {
+			return nil, err
+		}
+		g.hOff[i] = uint32(len(g.hAdj))
+		g.hAdj = append(g.hAdj, d...)
+	}
+	g.hOff[numH] = uint32(len(g.hAdj))
+
+	// Vertex-side CSR: hyperedges each vertex sources.
+	deg := make([]uint32, numV)
+	cleanSrcs := make([][]uint32, numH)
+	for i, ss := range srcs {
+		s, err := dedup(ss, "source", i)
+		if err != nil {
+			return nil, err
+		}
+		cleanSrcs[i] = s
+		for _, v := range s {
+			deg[v]++
+		}
+	}
+	g.vOff = make([]uint32, numV+1)
+	var acc uint32
+	for v := uint32(0); v < numV; v++ {
+		g.vOff[v] = acc
+		acc += deg[v]
+	}
+	g.vOff[numV] = acc
+	g.vAdj = make([]uint32, acc)
+	cursor := make([]uint32, numV)
+	copy(cursor, g.vOff[:numV])
+	for h := uint32(0); h < numH; h++ {
+		for _, v := range cleanSrcs[h] {
+			g.vAdj[cursor[v]] = h
+			cursor[v]++
+		}
+	}
+	return g, nil
+}
+
+// Directed reports whether the hypergraph was built with BuildDirected
+// (asymmetric incidence).
+func (g *Bipartite) Directed() bool { return g.directed }
+
+// SourceHyperedges returns the hyperedges vertex v sources (alias of
+// IncidentHyperedges, named for directed readers).
+func (g *Bipartite) SourceHyperedges(v uint32) []uint32 { return g.IncidentHyperedges(v) }
+
+// DestinationVertices returns hyperedge h's destination set (alias of
+// IncidentVertices, named for directed readers).
+func (g *Bipartite) DestinationVertices(h uint32) []uint32 { return g.IncidentVertices(h) }

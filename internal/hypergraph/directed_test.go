@@ -1,0 +1,57 @@
+package hypergraph
+
+import "testing"
+
+func TestBuildDirectedShape(t *testing.T) {
+	// h0: {0,1} -> {2,3};  h1: {2} -> {0}.
+	g, err := BuildDirected(4,
+		[][]uint32{{0, 1}, {2}},
+		[][]uint32{{2, 3}, {0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Directed() {
+		t.Fatal("directed flag lost")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Destinations.
+	d0 := g.DestinationVertices(0)
+	if len(d0) != 2 || d0[0] != 2 || d0[1] != 3 {
+		t.Fatalf("dst(h0) = %v", d0)
+	}
+	// Sources: vertex 0 sources h0 only; vertex 2 sources h1 only.
+	if s := g.SourceHyperedges(0); len(s) != 1 || s[0] != 0 {
+		t.Fatalf("src(v0) = %v", s)
+	}
+	if s := g.SourceHyperedges(2); len(s) != 1 || s[0] != 1 {
+		t.Fatalf("src(v2) = %v", s)
+	}
+	// Vertex 3 sources nothing.
+	if len(g.SourceHyperedges(3)) != 0 {
+		t.Fatal("v3 should source nothing")
+	}
+}
+
+func TestBuildDirectedErrors(t *testing.T) {
+	if _, err := BuildDirected(2, [][]uint32{{0}}, nil); err == nil {
+		t.Fatal("mismatched set counts accepted")
+	}
+	if _, err := BuildDirected(2, [][]uint32{{5}}, [][]uint32{{0}}); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	if _, err := BuildDirected(2, [][]uint32{{0}}, [][]uint32{{5}}); err == nil {
+		t.Fatal("out-of-range destination accepted")
+	}
+}
+
+func TestDirectedDedup(t *testing.T) {
+	g, err := BuildDirected(3, [][]uint32{{0, 0, 1}}, [][]uint32{{2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.HyperedgeDegree(0) != 1 || g.VertexDegree(0) != 1 {
+		t.Fatal("duplicates not removed")
+	}
+}

@@ -1,0 +1,253 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// fig1 builds the paper's running example (Figure 1(a)): 7 vertices, 4
+// hyperedges.
+func fig1() *Bipartite {
+	return MustBuild(7, [][]uint32{
+		{0, 4, 6},    // h0
+		{1, 2, 3, 5}, // h1
+		{0, 2, 4},    // h2
+		{1, 3, 6},    // h3
+	})
+}
+
+func TestFig1Shape(t *testing.T) {
+	g := fig1()
+	if g.NumVertices() != 7 || g.NumHyperedges() != 4 {
+		t.Fatalf("shape %d/%d", g.NumVertices(), g.NumHyperedges())
+	}
+	if g.NumBipartiteEdges() != 13 {
+		t.Fatalf("bedges = %d, want 13", g.NumBipartiteEdges())
+	}
+	if g.HyperedgeDegree(0) != 3 {
+		t.Errorf("deg(h0) = %d, want 3 (paper §II-A)", g.HyperedgeDegree(0))
+	}
+	if g.VertexDegree(0) != 2 {
+		t.Errorf("deg(v0) = %d, want 2 (paper §II-A)", g.VertexDegree(0))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig1Overlap(t *testing.T) {
+	g := fig1()
+	// Paper: N(h0) ∩ N(h2) = {v0, v4}.
+	if w := g.OverlapSize(0, 2); w != 2 {
+		t.Errorf("overlap(h0,h2) = %d, want 2", w)
+	}
+	if !g.Overlapped(0, 2) {
+		t.Error("h0 and h2 must be overlapped")
+	}
+	if g.Overlapped(0, 1) {
+		t.Error("h0 and h1 share no vertex")
+	}
+	if w := g.OverlapSize(1, 3); w != 2 { // {v1, v3}
+		t.Errorf("overlap(h1,h3) = %d, want 2", w)
+	}
+}
+
+func TestBuildRejectsOutOfRange(t *testing.T) {
+	if _, err := Build(3, [][]uint32{{0, 3}}); err == nil {
+		t.Fatal("expected error for vertex id out of range")
+	}
+}
+
+func TestBuildDedupsWithinHyperedge(t *testing.T) {
+	g := MustBuild(4, [][]uint32{{1, 1, 2, 2, 3}})
+	if g.HyperedgeDegree(0) != 3 {
+		t.Fatalf("deg = %d, want 3 after dedup", g.HyperedgeDegree(0))
+	}
+}
+
+func TestEmptyHyperedgesAllowed(t *testing.T) {
+	g := MustBuild(3, [][]uint32{{}, {0, 1}})
+	if g.HyperedgeDegree(0) != 0 || g.HyperedgeDegree(1) != 2 {
+		t.Fatal("empty hyperedge mishandled")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMirrorConsistency(t *testing.T) {
+	g := fig1()
+	// v4 is in h0 and h2.
+	hs := g.IncidentHyperedges(4)
+	if len(hs) != 2 {
+		t.Fatalf("N(v4) = %v", hs)
+	}
+	seen := map[uint32]bool{}
+	for _, h := range hs {
+		seen[h] = true
+	}
+	if !seen[0] || !seen[2] {
+		t.Fatalf("N(v4) = %v, want {h0,h2}", hs)
+	}
+}
+
+func TestChunks(t *testing.T) {
+	chunks := Chunks(10, 3)
+	if len(chunks) != 3 {
+		t.Fatalf("len = %d", len(chunks))
+	}
+	var total uint32
+	var prev uint32
+	for _, c := range chunks {
+		if c.Lo != prev {
+			t.Fatal("chunks not contiguous")
+		}
+		prev = c.Hi
+		total += c.Len()
+	}
+	if total != 10 || prev != 10 {
+		t.Fatalf("coverage mismatch: total=%d end=%d", total, prev)
+	}
+	// Balance within one element.
+	for _, c := range chunks {
+		if c.Len() < 3 || c.Len() > 4 {
+			t.Fatalf("unbalanced chunk %v", c)
+		}
+	}
+	// More parts than elements.
+	chunks = Chunks(2, 5)
+	var n uint32
+	for _, c := range chunks {
+		n += c.Len()
+	}
+	if n != 2 {
+		t.Fatal("over-partitioned chunks lose elements")
+	}
+}
+
+func TestBalancedChunks(t *testing.T) {
+	// Weight concentrated in the first elements.
+	w := func(i uint32) uint32 {
+		if i < 2 {
+			return 100
+		}
+		return 1
+	}
+	chunks := BalancedChunks(10, 2, w)
+	if len(chunks) != 2 {
+		t.Fatalf("len = %d", len(chunks))
+	}
+	if chunks[0].Hi > 3 {
+		t.Errorf("first chunk should be small (heavy elements): %+v", chunks)
+	}
+	var total uint32
+	for _, c := range chunks {
+		total += c.Len()
+	}
+	if total != 10 {
+		t.Fatal("coverage mismatch")
+	}
+}
+
+func TestFromGraphEdges(t *testing.T) {
+	g, err := FromGraphEdges(4, [][2]uint32{{0, 1}, {1, 2}, {2, 2}, {3, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Self loop dropped.
+	if g.NumHyperedges() != 3 {
+		t.Fatalf("hyperedges = %d, want 3", g.NumHyperedges())
+	}
+	for h := uint32(0); h < g.NumHyperedges(); h++ {
+		if g.HyperedgeDegree(h) != 2 {
+			t.Fatal("graph hyperedges must be 2-uniform")
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := fig1()
+	s := ComputeStats(g)
+	if s.NumBipartiteEdges != 13 || s.MaxHyperedgeDegree != 4 || s.MaxVertexDegree != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.MeanHyperedgeDegree != 13.0/4 {
+		t.Fatalf("mean h degree %f", s.MeanHyperedgeDegree)
+	}
+}
+
+func TestSharedRatios(t *testing.T) {
+	g := fig1()
+	// All 7 vertices have degree 2 except v5 (deg 1): wait, v5 is only in
+	// h1. deg: v0=2,v1=2,v2=2,v3=2,v4=2,v5=1,v6=2.
+	r := SharedVertexRatio(g, []uint32{1, 2, 3})
+	if r[0] != 1.0 {
+		t.Errorf("ratio >=1 should be 1.0, got %f", r[0])
+	}
+	if r[1] != 6.0/7 {
+		t.Errorf("ratio >=2 = %f, want 6/7", r[1])
+	}
+	if r[2] != 0 {
+		t.Errorf("ratio >=3 = %f, want 0", r[2])
+	}
+}
+
+func TestDegreeHistograms(t *testing.T) {
+	g := fig1()
+	hh := DegreeHistogramH(g)
+	if hh[3] != 3 || hh[4] != 1 {
+		t.Fatalf("hyperedge degree hist %v", hh)
+	}
+	hv := DegreeHistogramV(g)
+	if hv[2] != 6 || hv[1] != 1 {
+		t.Fatalf("vertex degree hist %v", hv)
+	}
+}
+
+// randomHypergraph builds a random hypergraph from a seed for property
+// tests.
+func randomHypergraph(seed int64, maxV, maxH int) *Bipartite {
+	rng := rand.New(rand.NewSource(seed))
+	numV := uint32(rng.Intn(maxV) + 1)
+	numH := rng.Intn(maxH) + 1
+	hs := make([][]uint32, numH)
+	for i := range hs {
+		sz := rng.Intn(6)
+		for k := 0; k < sz; k++ {
+			hs[i] = append(hs[i], uint32(rng.Intn(int(numV))))
+		}
+	}
+	return MustBuild(numV, hs)
+}
+
+func TestQuickBuildValidates(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomHypergraph(seed, 64, 48)
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickOverlapSymmetric(t *testing.T) {
+	f := func(seed int64, a, b uint8) bool {
+		g := randomHypergraph(seed, 32, 24)
+		ha := uint32(a) % g.NumHyperedges()
+		hb := uint32(b) % g.NumHyperedges()
+		return g.OverlapSize(ha, hb) == g.OverlapSize(hb, ha)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStorageBytes(t *testing.T) {
+	g := fig1()
+	// CSR: (5 + 13 + 8 + 13) uint32 + (7+4) float64 values.
+	want := uint64(4*(5+13+8+13) + 8*11)
+	if g.StorageBytes() != want {
+		t.Fatalf("storage = %d, want %d", g.StorageBytes(), want)
+	}
+}

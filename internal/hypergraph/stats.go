@@ -1,0 +1,121 @@
+package hypergraph
+
+// Stats summarizes the structural properties reported in Table II and
+// exploited in Figure 8.
+type Stats struct {
+	NumVertices       uint32
+	NumHyperedges     uint32
+	NumBipartiteEdges uint64
+	// SizeBytes is the CSR + value storage footprint.
+	SizeBytes uint64
+	// MaxHyperedgeDegree and MaxVertexDegree are the maximum degrees.
+	MaxHyperedgeDegree uint32
+	MaxVertexDegree    uint32
+	// MeanHyperedgeDegree and MeanVertexDegree are the average degrees.
+	MeanHyperedgeDegree float64
+	MeanVertexDegree    float64
+}
+
+// ComputeStats returns the Table II row for g.
+func ComputeStats(g *Bipartite) Stats {
+	s := Stats{
+		NumVertices:       g.NumVertices(),
+		NumHyperedges:     g.NumHyperedges(),
+		NumBipartiteEdges: g.NumBipartiteEdges(),
+		SizeBytes:         g.StorageBytes(),
+	}
+	for h := uint32(0); h < g.numH; h++ {
+		if d := g.HyperedgeDegree(h); d > s.MaxHyperedgeDegree {
+			s.MaxHyperedgeDegree = d
+		}
+	}
+	for v := uint32(0); v < g.numV; v++ {
+		if d := g.VertexDegree(v); d > s.MaxVertexDegree {
+			s.MaxVertexDegree = d
+		}
+	}
+	if g.numH > 0 {
+		s.MeanHyperedgeDegree = float64(s.NumBipartiteEdges) / float64(g.numH)
+	}
+	if g.numV > 0 {
+		s.MeanVertexDegree = float64(s.NumBipartiteEdges) / float64(g.numV)
+	}
+	return s
+}
+
+// SharedVertexRatio returns, for each k in ks, the fraction of vertices
+// shared by at least k hyperedges, i.e. with vertex degree >= k. This is the
+// quantity plotted in Figure 8(a): a vertex incident to k hyperedges is
+// reusable across those k hyperedges' computations.
+func SharedVertexRatio(g *Bipartite, ks []uint32) []float64 {
+	return sharedRatio(uint32(g.numV), func(i uint32) uint32 { return g.VertexDegree(i) }, ks)
+}
+
+// SharedHyperedgeRatio returns, for each k in ks, the fraction of hyperedges
+// shared by at least k vertices (hyperedge degree >= k), Figure 8(b).
+func SharedHyperedgeRatio(g *Bipartite, ks []uint32) []float64 {
+	return sharedRatio(uint32(g.numH), func(i uint32) uint32 { return g.HyperedgeDegree(i) }, ks)
+}
+
+func sharedRatio(n uint32, deg func(uint32) uint32, ks []uint32) []float64 {
+	out := make([]float64, len(ks))
+	if n == 0 {
+		return out
+	}
+	// Histogram once, then suffix-sum per threshold.
+	var maxDeg uint32
+	degs := make([]uint32, n)
+	for i := uint32(0); i < n; i++ {
+		degs[i] = deg(i)
+		if degs[i] > maxDeg {
+			maxDeg = degs[i]
+		}
+	}
+	hist := make([]uint64, maxDeg+2)
+	for _, d := range degs {
+		hist[d]++
+	}
+	// suffix[k] = #elements with degree >= k
+	suffix := make([]uint64, maxDeg+2)
+	for d := int(maxDeg); d >= 0; d-- {
+		suffix[d] = suffix[d+1] + hist[d]
+	}
+	for i, k := range ks {
+		if uint64(k) > uint64(maxDeg)+1 {
+			out[i] = 0
+			continue
+		}
+		out[i] = float64(suffix[k]) / float64(n)
+	}
+	return out
+}
+
+// DegreeHistogramH returns the hyperedge degree histogram (index = degree).
+func DegreeHistogramH(g *Bipartite) []uint64 {
+	var maxDeg uint32
+	for h := uint32(0); h < g.numH; h++ {
+		if d := g.HyperedgeDegree(h); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	hist := make([]uint64, maxDeg+1)
+	for h := uint32(0); h < g.numH; h++ {
+		hist[g.HyperedgeDegree(h)]++
+	}
+	return hist
+}
+
+// DegreeHistogramV returns the vertex degree histogram (index = degree).
+func DegreeHistogramV(g *Bipartite) []uint64 {
+	var maxDeg uint32
+	for v := uint32(0); v < g.numV; v++ {
+		if d := g.VertexDegree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	hist := make([]uint64, maxDeg+1)
+	for v := uint32(0); v < g.numV; v++ {
+		hist[g.VertexDegree(v)]++
+	}
+	return hist
+}

@@ -1,0 +1,83 @@
+package reorder
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"chgraph/internal/hypergraph"
+)
+
+func TestPermutationValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numV := uint32(rng.Intn(50) + 2)
+		hs := make([][]uint32, rng.Intn(40)+1)
+		for i := range hs {
+			sz := rng.Intn(5)
+			for k := 0; k < sz; k++ {
+				hs[i] = append(hs[i], uint32(rng.Intn(int(numV))))
+			}
+		}
+		g := hypergraph.MustBuild(numV, hs)
+		res, err := Vertices(g)
+		if err != nil {
+			return false
+		}
+		// Perm is a bijection.
+		seen := make([]bool, numV)
+		for _, p := range res.VertexPerm {
+			if p >= numV || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		// Structure preserved: degree multiset and per-hyperedge sizes.
+		if res.G.NumBipartiteEdges() != g.NumBipartiteEdges() {
+			return false
+		}
+		for h := uint32(0); h < g.NumHyperedges(); h++ {
+			if res.G.HyperedgeDegree(h) != g.HyperedgeDegree(h) {
+				return false
+			}
+		}
+		dOld := degrees(g)
+		dNew := degrees(res.G)
+		for i := range dOld {
+			if dOld[i] != dNew[i] {
+				return false
+			}
+		}
+		return res.Ops > 0 && res.G.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func degrees(g *hypergraph.Bipartite) []int {
+	out := make([]int, 0, g.NumVertices())
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		out = append(out, int(g.VertexDegree(v)))
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestFirstTouchPacksHyperedges(t *testing.T) {
+	g := hypergraph.MustBuild(9, [][]uint32{{8, 3, 5}, {1, 7, 2}})
+	res, err := Vertices(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First hyperedge's members must map to ids 0..2 (in CSR order).
+	vs := res.G.IncidentVertices(0)
+	sorted := append([]uint32{}, vs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, v := range sorted {
+		if v != uint32(i) {
+			t.Fatalf("first hyperedge not packed: %v", vs)
+		}
+	}
+}

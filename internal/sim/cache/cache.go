@@ -1,0 +1,282 @@
+// Package cache implements the set-associative caches of the simulated
+// memory hierarchy (Table I): per-core L1D and L2, and a shared, banked,
+// inclusive L3 with an in-cache directory. Lines are 64 bytes with LRU
+// replacement and MESI states. Each line carries the trace.Array tag of the
+// data it holds so off-chip traffic can be attributed per array (Figure 15),
+// and lines holding read-only arrays (the OAG and CSR structure) are never
+// dirty, so they are dropped on eviction without a writeback (§V-A).
+package cache
+
+import (
+	"fmt"
+
+	"chgraph/internal/trace"
+)
+
+// LineBytes is the cache line size used throughout the hierarchy.
+const LineBytes = 64
+
+// State is the per-line MESI state as seen by one cache. For the shared L3
+// the state distinguishes only clean (Exclusive) from dirty-at-L3
+// (Modified); sharing among private caches is tracked by the directory.
+type State uint8
+
+const (
+	// Invalid marks an empty way.
+	Invalid State = iota
+	// Shared holds clean data that other caches may also hold.
+	Shared
+	// Exclusive holds clean data held by no other private cache.
+	Exclusive
+	// Modified holds dirty data that must be written back on eviction.
+	Modified
+)
+
+// Config sizes one cache.
+type Config struct {
+	// SizeBytes is the total capacity; must be a multiple of
+	// Ways*LineBytes.
+	SizeBytes uint64
+	// Ways is the associativity.
+	Ways uint32
+	// Latency is the access latency in cycles.
+	Latency uint64
+	// Hashed selects hashed set indexing (used by the L3 per Table I);
+	// otherwise the low line-address bits index the set.
+	Hashed bool
+}
+
+// Sets returns the number of sets implied by the config.
+func (c Config) Sets() uint32 {
+	s := uint32(c.SizeBytes / uint64(c.Ways) / LineBytes)
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// Victim describes a line displaced by a fill.
+type Victim struct {
+	Line    uint64
+	Arr     trace.Array
+	Dirty   bool
+	Sharers uint64
+	Owner   int16
+	Valid   bool
+}
+
+// Cache is one set-associative cache.
+type Cache struct {
+	cfg  Config
+	sets uint32
+
+	tags  []uint64
+	state []State
+	arr   []trace.Array
+	lru   []uint64
+
+	// Directory metadata (L3 banks only): which cores' private caches
+	// hold the line, and which (if any) may hold it dirty.
+	sharers []uint64
+	owner   []int16
+
+	tick uint64
+
+	// Hits and Misses count lookups.
+	Hits, Misses uint64
+}
+
+// New builds a cache; directory enables per-line sharer tracking (L3 banks).
+func New(cfg Config, directory bool) *Cache {
+	sets := cfg.Sets()
+	n := sets * cfg.Ways
+	c := &Cache{
+		cfg:   cfg,
+		sets:  sets,
+		tags:  make([]uint64, n),
+		state: make([]State, n),
+		arr:   make([]trace.Array, n),
+		lru:   make([]uint64, n),
+	}
+	if directory {
+		c.sharers = make([]uint64, n)
+		c.owner = make([]int16, n)
+	}
+	return c
+}
+
+// Latency returns the configured access latency.
+func (c *Cache) Latency() uint64 { return c.cfg.Latency }
+
+// SizeBytes returns the configured capacity.
+func (c *Cache) SizeBytes() uint64 { return c.cfg.SizeBytes }
+
+func (c *Cache) setOf(line uint64) uint32 {
+	if c.cfg.Hashed {
+		return uint32((line * 0x9E3779B97F4A7C15 >> 40) % uint64(c.sets))
+	}
+	return uint32(line % uint64(c.sets))
+}
+
+// find returns the way index of line within its set, or -1.
+func (c *Cache) find(line uint64) int {
+	set := c.setOf(line)
+	base := set * c.cfg.Ways
+	for w := base; w < base+c.cfg.Ways; w++ {
+		if c.state[w] != Invalid && c.tags[w] == line {
+			return int(w)
+		}
+	}
+	return -1
+}
+
+// Lookup probes for line, updating LRU and hit/miss counters.
+func (c *Cache) Lookup(line uint64) bool {
+	if w := c.find(line); w >= 0 {
+		c.tick++
+		c.lru[w] = c.tick
+		c.Hits++
+		return true
+	}
+	c.Misses++
+	return false
+}
+
+// Contains probes for line without updating statistics or LRU.
+func (c *Cache) Contains(line uint64) bool { return c.find(line) >= 0 }
+
+// State returns line's state (Invalid if absent).
+func (c *Cache) State(line uint64) State {
+	w := c.find(line)
+	if w < 0 {
+		return Invalid
+	}
+	return c.state[w]
+}
+
+// SetState updates line's state; no-op if absent. Read-only arrays are
+// clamped to clean states.
+func (c *Cache) SetState(line uint64, st State) {
+	if w := c.find(line); w >= 0 {
+		if st == Modified && c.arr[w].ReadOnly() {
+			st = Exclusive
+		}
+		c.state[w] = st
+	}
+}
+
+// Fill installs line (tagged arr, with state st), evicting the LRU way if
+// the set is full.
+func (c *Cache) Fill(line uint64, arr trace.Array, st State) Victim {
+	if st == Modified && arr.ReadOnly() {
+		st = Exclusive
+	}
+	if w := c.find(line); w >= 0 {
+		if st > c.state[w] {
+			c.state[w] = st
+		}
+		c.arr[w] = arr
+		c.tick++
+		c.lru[w] = c.tick
+		return Victim{}
+	}
+	set := c.setOf(line)
+	base := set * c.cfg.Ways
+	victim := base
+	for w := base; w < base+c.cfg.Ways; w++ {
+		if c.state[w] == Invalid {
+			victim = w
+			break
+		}
+		if c.lru[w] < c.lru[victim] {
+			victim = w
+		}
+	}
+	var ev Victim
+	if c.state[victim] != Invalid {
+		ev = Victim{
+			Line:  c.tags[victim],
+			Arr:   c.arr[victim],
+			Dirty: c.state[victim] == Modified,
+			Owner: -1,
+			Valid: true,
+		}
+		if c.sharers != nil {
+			ev.Sharers = c.sharers[int(victim)]
+			ev.Owner = c.owner[int(victim)]
+		}
+	}
+	c.tags[victim] = line
+	c.arr[victim] = arr
+	c.state[victim] = st
+	if c.sharers != nil {
+		c.sharers[victim] = 0
+		c.owner[victim] = -1
+	}
+	c.tick++
+	c.lru[victim] = c.tick
+	return ev
+}
+
+// Invalidate removes line if present, returning whether it was present and
+// whether it was dirty (the caller propagates the writeback).
+func (c *Cache) Invalidate(line uint64) (present, dirty bool) {
+	w := c.find(line)
+	if w < 0 {
+		return false, false
+	}
+	dirty = c.state[w] == Modified
+	c.state[w] = Invalid
+	if c.sharers != nil {
+		c.sharers[w] = 0
+		c.owner[w] = -1
+	}
+	return true, dirty
+}
+
+// Sharers returns the directory sharer mask of line (L3 banks only).
+func (c *Cache) Sharers(line uint64) uint64 {
+	w := c.find(line)
+	if w < 0 || c.sharers == nil {
+		return 0
+	}
+	return c.sharers[w]
+}
+
+// SetSharers replaces the sharer mask of line; no-op if absent.
+func (c *Cache) SetSharers(line uint64, mask uint64) {
+	if w := c.find(line); w >= 0 && c.sharers != nil {
+		c.sharers[w] = mask
+	}
+}
+
+// AddSharer sets bit core in line's sharer mask.
+func (c *Cache) AddSharer(line uint64, core int) {
+	if w := c.find(line); w >= 0 && c.sharers != nil {
+		c.sharers[w] |= 1 << uint(core)
+	}
+}
+
+// Owner returns the core that may hold line dirty, or -1.
+func (c *Cache) Owner(line uint64) int {
+	w := c.find(line)
+	if w < 0 || c.owner == nil {
+		return -1
+	}
+	return int(c.owner[w])
+}
+
+// SetOwner records the core that may hold line dirty (-1 for none).
+func (c *Cache) SetOwner(line uint64, core int) {
+	if w := c.find(line); w >= 0 && c.owner != nil {
+		c.owner[w] = int16(core)
+	}
+}
+
+// Accesses returns total lookups.
+func (c *Cache) Accesses() uint64 { return c.Hits + c.Misses }
+
+// String describes the geometry.
+func (c *Cache) String() string {
+	return fmt.Sprintf("cache{%dB, %d sets x %d ways, %d cyc}", c.cfg.SizeBytes, c.sets, c.cfg.Ways, c.cfg.Latency)
+}

@@ -1,0 +1,93 @@
+// Package mem models the main memory of Table I: four DDR4-1600 channels,
+// each with a fixed access latency plus a bandwidth queue (12.8 GB/s per
+// controller = one 64 B line every ~11 core cycles at 2.2 GHz). Lines are
+// interleaved across controllers by line address. Every access is tagged
+// with its trace.Array so Figure 2/15-style off-chip traffic breakdowns can
+// be reported.
+package mem
+
+import "chgraph/internal/trace"
+
+// Config describes main memory.
+type Config struct {
+	// Controllers is the number of memory controllers/channels.
+	Controllers int
+	// LatencyCycles is the idle-load access latency (controller + DRAM).
+	LatencyCycles uint64
+	// ServiceCycles is the bandwidth-imposed minimum spacing between line
+	// transfers on one controller (64 B / per-controller bandwidth).
+	ServiceCycles uint64
+}
+
+// Memory is the DRAM model.
+type Memory struct {
+	cfg    Config
+	freeAt []uint64
+
+	// Reads and Writes count line transfers per array.
+	Reads  [trace.NumArrays]uint64
+	Writes [trace.NumArrays]uint64
+}
+
+// New builds a Memory.
+func New(cfg Config) *Memory {
+	if cfg.Controllers <= 0 {
+		cfg.Controllers = 1
+	}
+	return &Memory{cfg: cfg, freeAt: make([]uint64, cfg.Controllers)}
+}
+
+// Controllers returns the channel count.
+func (m *Memory) Controllers() int { return m.cfg.Controllers }
+
+// ControllerOf maps a line address to its channel (line interleaving).
+func (m *Memory) ControllerOf(line uint64) int {
+	return int(line % uint64(m.cfg.Controllers))
+}
+
+// Access performs one line transfer on the controller owning line, starting
+// no earlier than now, and returns the completion time. write marks a
+// writeback; arr attributes the traffic.
+func (m *Memory) Access(line uint64, arr trace.Array, write bool, now uint64) uint64 {
+	c := m.ControllerOf(line)
+	start := now
+	if m.freeAt[c] > start {
+		start = m.freeAt[c]
+	}
+	m.freeAt[c] = start + m.cfg.ServiceCycles
+	if write {
+		m.Writes[arr]++
+		// Writebacks are posted: they occupy bandwidth but nobody waits
+		// for them, so completion is the queue slot itself.
+		return start + m.cfg.ServiceCycles
+	}
+	m.Reads[arr]++
+	return start + m.cfg.LatencyCycles
+}
+
+// TotalAccesses returns the total number of line transfers.
+func (m *Memory) TotalAccesses() uint64 {
+	var n uint64
+	for a := trace.Array(0); a < trace.NumArrays; a++ {
+		n += m.Reads[a] + m.Writes[a]
+	}
+	return n
+}
+
+// AccessesByArray returns reads+writes per array.
+func (m *Memory) AccessesByArray() [trace.NumArrays]uint64 {
+	var out [trace.NumArrays]uint64
+	for a := trace.Array(0); a < trace.NumArrays; a++ {
+		out[a] = m.Reads[a] + m.Writes[a]
+	}
+	return out
+}
+
+// Reset clears counters and queues.
+func (m *Memory) Reset() {
+	for i := range m.freeAt {
+		m.freeAt[i] = 0
+	}
+	m.Reads = [trace.NumArrays]uint64{}
+	m.Writes = [trace.NumArrays]uint64{}
+}

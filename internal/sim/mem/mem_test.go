@@ -1,0 +1,78 @@
+package mem
+
+import (
+	"testing"
+
+	"chgraph/internal/trace"
+)
+
+func TestLatencyAndCounters(t *testing.T) {
+	m := New(Config{Controllers: 4, LatencyCycles: 200, ServiceCycles: 11})
+	done := m.Access(0, trace.VertexValue, false, 1000)
+	if done != 1200 {
+		t.Fatalf("done = %d, want 1200", done)
+	}
+	if m.Reads[trace.VertexValue] != 1 {
+		t.Fatal("read not counted")
+	}
+	m.Access(4, trace.IncidentVertex, true, 0) // line 4 -> controller 0
+	if m.Writes[trace.IncidentVertex] != 1 {
+		t.Fatal("write not counted")
+	}
+	if m.TotalAccesses() != 2 {
+		t.Fatalf("total = %d", m.TotalAccesses())
+	}
+}
+
+func TestBandwidthQueueing(t *testing.T) {
+	m := New(Config{Controllers: 1, LatencyCycles: 100, ServiceCycles: 10})
+	// Back-to-back accesses on one controller must be spaced by the
+	// service interval.
+	d1 := m.Access(0, trace.VertexValue, false, 0)
+	d2 := m.Access(1, trace.VertexValue, false, 0)
+	d3 := m.Access(2, trace.VertexValue, false, 0)
+	if d1 != 100 || d2 != 110 || d3 != 120 {
+		t.Fatalf("done = %d,%d,%d; want 100,110,120", d1, d2, d3)
+	}
+	// An access arriving after the queue drained sees idle latency.
+	d4 := m.Access(3, trace.VertexValue, false, 500)
+	if d4 != 600 {
+		t.Fatalf("done = %d, want 600", d4)
+	}
+}
+
+func TestControllerInterleaving(t *testing.T) {
+	m := New(Config{Controllers: 4, LatencyCycles: 100, ServiceCycles: 10})
+	// Different controllers don't queue against each other.
+	d1 := m.Access(0, trace.VertexValue, false, 0)
+	d2 := m.Access(1, trace.VertexValue, false, 0)
+	if d1 != 100 || d2 != 100 {
+		t.Fatalf("independent controllers queued: %d, %d", d1, d2)
+	}
+	if m.ControllerOf(0) == m.ControllerOf(1) {
+		t.Fatal("adjacent lines should interleave")
+	}
+}
+
+func TestPostedWrites(t *testing.T) {
+	m := New(Config{Controllers: 1, LatencyCycles: 200, ServiceCycles: 10})
+	// Writebacks consume bandwidth but complete at the queue slot.
+	d := m.Access(0, trace.VertexValue, true, 0)
+	if d != 10 {
+		t.Fatalf("posted write done = %d, want 10", d)
+	}
+	// The next read queues behind the write's slot.
+	d2 := m.Access(1, trace.VertexValue, false, 0)
+	if d2 != 210 {
+		t.Fatalf("read after write done = %d, want 210", d2)
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := New(Config{Controllers: 2, LatencyCycles: 10, ServiceCycles: 1})
+	m.Access(0, trace.Bitmap, false, 0)
+	m.Reset()
+	if m.TotalAccesses() != 0 {
+		t.Fatal("counters not reset")
+	}
+}

@@ -1,0 +1,241 @@
+package system
+
+import (
+	"testing"
+
+	"chgraph/internal/trace"
+)
+
+var lay trace.Layout
+
+func testConfig() Config {
+	c := ScaledConfig()
+	c.Cores = 4
+	return c
+}
+
+func TestReuseHitsAfterFirstTouch(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	addr := lay.Addr(trace.VertexValue, 100)
+	_, d := h.Access(0, addr, trace.VertexValue, false, false, 0)
+	if d != DepthMem {
+		t.Fatalf("first touch depth = %v, want DepthMem", d)
+	}
+	_, d = h.Access(0, addr, trace.VertexValue, false, false, 1000)
+	if d != DepthL1 {
+		t.Fatalf("second touch depth = %v, want DepthL1", d)
+	}
+	if h.Mem().TotalAccesses() != 1 {
+		t.Fatalf("mem accesses = %d", h.Mem().TotalAccesses())
+	}
+}
+
+func TestWriteInvalidatesOtherSharers(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	addr := lay.Addr(trace.VertexValue, 8)
+	h.Access(0, addr, trace.VertexValue, false, false, 0)
+	h.Access(1, addr, trace.VertexValue, false, false, 100)
+	// Core 1 writes: core 0's copy must be invalidated.
+	h.Access(1, addr, trace.VertexValue, true, false, 200)
+	_, d := h.Access(0, addr, trace.VertexValue, false, false, 300)
+	if d == DepthL1 || d == DepthL2 {
+		t.Fatalf("core 0 still hit privately after remote write (depth %v)", d)
+	}
+	if h.InvalidationsSent == 0 {
+		t.Fatal("no invalidations were sent")
+	}
+}
+
+func TestDirtyDataForwardedNotRefetched(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	addr := lay.Addr(trace.VertexValue, 16)
+	h.Access(0, addr, trace.VertexValue, true, false, 0) // core 0 dirty
+	before := h.Mem().TotalAccesses()
+	_, d := h.Access(1, addr, trace.VertexValue, false, false, 100)
+	if d == DepthMem {
+		t.Fatal("dirty line refetched from memory instead of forwarded")
+	}
+	// Only the original fill (and possibly a writeback) may hit DRAM; the
+	// read itself must not add a DRAM read.
+	if h.Mem().Reads[trace.VertexValue] != before {
+		t.Fatalf("extra DRAM reads: %d", h.Mem().Reads[trace.VertexValue]-before)
+	}
+}
+
+func TestEngineAccessBypassesL1(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	addr := lay.Addr(trace.OAGEdge, 5)
+	h.Access(0, addr, trace.OAGEdge, false, true, 0)
+	// A core (L1) access next: must miss L1 (engine filled only L2),
+	// then hit L2.
+	_, d := h.Access(0, addr, trace.OAGEdge, false, false, 100)
+	if d != DepthL2 {
+		t.Fatalf("depth = %v, want DepthL2", d)
+	}
+}
+
+func TestOAGLinesNeverWrittenBack(t *testing.T) {
+	cfg := testConfig()
+	h := NewHierarchy(cfg)
+	// Stream enough OAG lines through a tiny hierarchy to force
+	// evictions everywhere; no DRAM writes may appear.
+	for i := uint64(0); i < 5000; i++ {
+		h.Access(0, lay.Addr(trace.OAGEdge, i*16), trace.OAGEdge, false, true, i*10)
+	}
+	if h.Mem().Writes[trace.OAGEdge] != 0 {
+		t.Fatalf("OAG writebacks = %d, want 0 (drop-on-evict, §V-A)", h.Mem().Writes[trace.OAGEdge])
+	}
+}
+
+func TestDirtyWritebackOnEviction(t *testing.T) {
+	h := NewHierarchy(testConfig())
+	// Dirty many distinct value lines; evictions must eventually write
+	// some back.
+	for i := uint64(0); i < 5000; i++ {
+		addr := lay.Addr(trace.VertexValue, i*8)
+		h.Access(0, addr, trace.VertexValue, false, false, i*100)
+		h.Access(0, addr, trace.VertexValue, true, false, i*100+50)
+	}
+	if h.Mem().Writes[trace.VertexValue] == 0 {
+		t.Fatal("no writebacks despite dirty evictions")
+	}
+}
+
+func TestRunPhaseSingleAgent(t *testing.T) {
+	sys := New(testConfig())
+	ops := []trace.Op{
+		{Addr: lay.Addr(trace.VertexValue, 0), Arr: trace.VertexValue, Compute: 5},
+		{Addr: lay.Addr(trace.VertexValue, 0), Arr: trace.VertexValue, Compute: 5},
+	}
+	dur := sys.RunPhase([]*Agent{{Name: "core0", Core: 0, Ops: ops, MLP: 1, IsCore: true}})
+	if dur == 0 {
+		t.Fatal("phase took zero time")
+	}
+	// First access misses to DRAM (>=200 cycles), second hits L1.
+	if dur < 200+10 {
+		t.Fatalf("duration %d too small for a DRAM miss", dur)
+	}
+	if sys.Elapsed() != dur {
+		t.Fatal("elapsed mismatch")
+	}
+	// A second phase continues the clock.
+	dur2 := sys.RunPhase([]*Agent{{Name: "core0", Core: 0, Ops: ops[:1], MLP: 1, IsCore: true}})
+	if sys.Elapsed() != dur+dur2 {
+		t.Fatal("phases must accumulate")
+	}
+}
+
+func TestFIFOCoupling(t *testing.T) {
+	sys := New(testConfig())
+	fifo := NewFIFO("f", 2)
+	// Producer pushes 5 tokens; consumer pops 5. Capacity 2 forces
+	// blocking both ways.
+	var prodOps, consOps []trace.Op
+	for i := 0; i < 5; i++ {
+		prodOps = append(prodOps, trace.Op{Flags: trace.FlagNoMem | trace.FlagPushChain, Compute: 1})
+		consOps = append(consOps, trace.Op{Flags: trace.FlagNoMem | trace.FlagPopChain, Compute: 50})
+	}
+	prod := &Agent{Name: "prod", Core: 0, Ops: prodOps, MLP: 1, Out: fifo}
+	cons := &Agent{Name: "cons", Core: 0, Ops: consOps, MLP: 1, In: fifo, IsCore: true}
+	sys.RunPhase([]*Agent{prod, cons})
+	if fifo.Len() != 0 {
+		t.Fatalf("fifo not drained: %d", fifo.Len())
+	}
+	if fifo.MaxOccupancy > 2 {
+		t.Fatalf("fifo exceeded capacity: %d", fifo.MaxOccupancy)
+	}
+	// The slow consumer dominates: ~5*50 cycles.
+	if cons.Finish < 250 {
+		t.Fatalf("consumer finished too early: %d", cons.Finish)
+	}
+	// Producer must have been throttled by the full FIFO (it cannot
+	// finish all pushes before the consumer started popping).
+	if prod.FifoStallCycles == 0 {
+		t.Fatal("producer never blocked on the full FIFO")
+	}
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected deadlock panic")
+		}
+	}()
+	sys := New(testConfig())
+	fifo := NewFIFO("f", 1)
+	// Consumer pops but no producer pushes.
+	cons := &Agent{Name: "cons", Core: 0, Ops: []trace.Op{{Flags: trace.FlagNoMem | trace.FlagPopChain}}, MLP: 1, In: fifo}
+	sys.RunPhase([]*Agent{cons})
+}
+
+func TestPrefetchOpsDontBlockAgent(t *testing.T) {
+	sys := New(testConfig())
+	var ops []trace.Op
+	for i := uint64(0); i < 100; i++ {
+		ops = append(ops, trace.Op{Addr: lay.Addr(trace.VertexValue, i*8), Arr: trace.VertexValue,
+			Flags: trace.FlagPrefetch | trace.FlagL2, Compute: 1})
+	}
+	a := &Agent{Name: "pf", Core: 0, Ops: ops, Engine: true, MLP: 1}
+	dur := sys.RunPhase([]*Agent{a})
+	// 100 prefetches at ~2 cycles each, not 100 x 200-cycle misses.
+	if dur > 2000 {
+		t.Fatalf("prefetches blocked the agent: %d cycles", dur)
+	}
+	if sys.Hier.Mem().TotalAccesses() == 0 {
+		t.Fatal("prefetches did not reach memory")
+	}
+}
+
+func TestMLPDividesLatency(t *testing.T) {
+	run := func(mlp int) uint64 {
+		sys := New(testConfig())
+		var ops []trace.Op
+		for i := uint64(0); i < 64; i++ {
+			ops = append(ops, trace.Op{Addr: lay.Addr(trace.VertexValue, i*800), Arr: trace.VertexValue})
+		}
+		return sys.RunPhase([]*Agent{{Name: "c", Core: 0, Ops: ops, MLP: mlp, IsCore: true}})
+	}
+	d1, d4 := run(1), run(4)
+	if d4 >= d1 {
+		t.Fatalf("MLP 4 (%d) not faster than MLP 1 (%d)", d4, d1)
+	}
+	if d4 > d1/2 {
+		t.Fatalf("MLP 4 should roughly quarter the miss time: %d vs %d", d4, d1)
+	}
+}
+
+func TestStallAccounting(t *testing.T) {
+	sys := New(testConfig())
+	var ops []trace.Op
+	for i := uint64(0); i < 64; i++ {
+		ops = append(ops, trace.Op{Addr: lay.Addr(trace.VertexValue, i*800), Arr: trace.VertexValue, Compute: 1})
+	}
+	a := &Agent{Name: "c", Core: 0, Ops: ops, MLP: 4, IsCore: true}
+	sys.RunPhase([]*Agent{a})
+	if a.MemStallCycles == 0 {
+		t.Fatal("no memory stalls recorded for a miss-heavy stream")
+	}
+	if sys.MemStallCycles != a.MemStallCycles {
+		t.Fatal("system stall aggregation mismatch")
+	}
+	if a.MemStallCycles >= a.Finish {
+		t.Fatal("stalls exceed total time")
+	}
+}
+
+func TestConfigSweepHelpers(t *testing.T) {
+	c := DefaultConfig()
+	if c.TotalLLCBytes() != 32<<20 {
+		t.Fatalf("default LLC = %d", c.TotalLLCBytes())
+	}
+	c2 := c.WithLLCBytes(8 << 20)
+	if c2.TotalLLCBytes() != 8<<20 {
+		t.Fatalf("LLC sweep = %d", c2.TotalLLCBytes())
+	}
+	if c.TotalLLCBytes() != 32<<20 {
+		t.Fatal("WithLLCBytes mutated the receiver")
+	}
+	if c.WithCores(4).Cores != 4 {
+		t.Fatal("WithCores failed")
+	}
+}

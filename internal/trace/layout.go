@@ -1,0 +1,58 @@
+package trace
+
+// Elem sizes (bytes) of one element of each array in the simulated address
+// space. Offsets and adjacency indices are 4-byte words; values are 8-byte
+// doubles; bitmap entries are addressed at word (8 B per 64 elements)
+// granularity through Layout.BitmapWordAddr.
+var elemSize = [NumArrays]uint64{
+	HyperedgeOffset:   4,
+	IncidentVertex:    4,
+	HyperedgeValue:    8,
+	VertexOffset:      4,
+	IncidentHyperedge: 4,
+	VertexValue:       8,
+	OAGOffset:         4,
+	OAGEdge:           4,
+	OAGWeight:         4,
+	Bitmap:            8,
+	Other:             8,
+}
+
+// ElemSize returns the size in bytes of one element of array a.
+func ElemSize(a Array) uint64 { return elemSize[a] }
+
+// regionBits is the size, log2, of the address region reserved for each
+// array. 38 bits (256 GiB) per region keeps regions disjoint for any dataset
+// we can hold in host memory while leaving the line/set index bits realistic.
+const regionBits = 38
+
+// Layout maps (array, element index) pairs to simulated physical addresses.
+// Each array occupies a disjoint region; elements are laid out contiguously
+// from the region base, exactly like the flat arrays of the CSR
+// representation in Figure 4(c).
+type Layout struct{}
+
+// Addr returns the simulated byte address of element idx of array a.
+func (Layout) Addr(a Array, idx uint64) uint64 {
+	return uint64(a)<<regionBits | idx*elemSize[a]
+}
+
+// BitmapAddr returns the address of the 64-bit bitmap word that holds the
+// active bit of element idx. side selects between the hyperedge bitmap
+// (side=0) and the vertex bitmap (side=1), which are disjoint halves of the
+// bitmap region.
+func (Layout) BitmapAddr(side int, idx uint64) uint64 {
+	const halfRegion = uint64(1) << (regionBits - 1)
+	word := idx / 64
+	return uint64(Bitmap)<<regionBits | uint64(side)*halfRegion | word*8
+}
+
+// ArrayOf recovers the array tag from an address produced by Addr or
+// BitmapAddr.
+func (Layout) ArrayOf(addr uint64) Array {
+	a := Array(addr >> regionBits)
+	if a >= NumArrays {
+		return Other
+	}
+	return a
+}

@@ -1,0 +1,55 @@
+package trace
+
+// OpFlags qualifies a simulated operation.
+type OpFlags uint8
+
+const (
+	// FlagWrite marks a store; everything else is a load.
+	FlagWrite OpFlags = 1 << iota
+	// FlagL2 routes the access into the hierarchy at the L2 (used by the
+	// ChGraph engine and HATS, which sit beside the core's L1 and access
+	// main memory via the L2, §V-A).
+	FlagL2
+	// FlagNoMem marks an op with no memory access: it only spends Compute
+	// cycles and/or performs FIFO actions.
+	FlagNoMem
+	// FlagPushChain: after this op completes, push one entry into the
+	// chain FIFO (blocks while full).
+	FlagPushChain
+	// FlagPopChain: before this op starts, pop one entry from the chain
+	// FIFO (blocks while empty).
+	FlagPopChain
+	// FlagPushTuple: after this op completes, push one tuple into the
+	// bipartite-edge FIFO (blocks while full).
+	FlagPushTuple
+	// FlagPopTuple: before this op starts, pop one tuple from the
+	// bipartite-edge FIFO (blocks while empty).
+	FlagPopTuple
+	// FlagPrefetch marks a non-binding access: it installs data in the
+	// cache and consumes bandwidth but the issuing agent does not wait
+	// for it.
+	FlagPrefetch
+)
+
+// Op is one step of an agent's execution: optional compute cycles followed
+// by an optional memory access, with optional FIFO actions. Engines compile
+// each phase of an algorithm into per-agent []Op streams which the timing
+// simulator replays.
+type Op struct {
+	// Addr is the simulated physical address (from Layout); ignored when
+	// FlagNoMem is set.
+	Addr uint64
+	// Arr tags the access for per-array traffic accounting.
+	Arr Array
+	// Flags qualifies the op.
+	Flags OpFlags
+	// Compute is the number of core cycles of computation charged before
+	// the access is issued.
+	Compute uint16
+}
+
+// IsWrite reports whether the op is a store.
+func (o Op) IsWrite() bool { return o.Flags&FlagWrite != 0 }
+
+// HasMem reports whether the op performs a memory access.
+func (o Op) HasMem() bool { return o.Flags&FlagNoMem == 0 }

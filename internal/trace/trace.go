@@ -1,0 +1,123 @@
+// Package trace defines the taxonomy of memory-resident data arrays used by
+// hypergraph processing and the address layout that maps (array, index)
+// pairs onto the simulated physical address space.
+//
+// The paper's Figure 13 enumerates the arrays a ChGraph engine is configured
+// with; Figure 15 breaks main-memory traffic down by the same taxonomy. Every
+// simulated memory operation is tagged with its Array so that the memory
+// hierarchy can attribute off-chip traffic per array.
+package trace
+
+import "fmt"
+
+// Array identifies one of the memory-resident data arrays of the bipartite
+// hypergraph representation, the OAG, or auxiliary state.
+type Array uint8
+
+const (
+	// HyperedgeOffset is the CSR offset array for hyperedges
+	// (hyperedge_offset in the paper, Figure 4(c)).
+	HyperedgeOffset Array = iota
+	// IncidentVertex is the CSR adjacency array holding the incident
+	// vertices of each hyperedge.
+	IncidentVertex
+	// HyperedgeValue holds one attribute value per hyperedge.
+	HyperedgeValue
+	// VertexOffset is the CSR offset array for vertices.
+	VertexOffset
+	// IncidentHyperedge is the CSR adjacency array holding the incident
+	// hyperedges of each vertex.
+	IncidentHyperedge
+	// VertexValue holds one attribute value per vertex.
+	VertexValue
+	// OAGOffset is the CSR offset array of an overlap-aware abstraction
+	// graph (either side).
+	OAGOffset
+	// OAGEdge is the CSR neighbor array of an OAG.
+	OAGEdge
+	// OAGWeight is the per-edge overlap weight array of an OAG.
+	OAGWeight
+	// Bitmap is the active-element bitmap (frontier state), one bit per
+	// hyperedge or vertex ("Other" in Figure 15).
+	Bitmap
+	// Other covers miscellaneous accesses (algorithm-private state).
+	Other
+
+	// NumArrays is the number of distinct Array values.
+	NumArrays
+)
+
+var arrayNames = [NumArrays]string{
+	"hyperedge_offset",
+	"incident_vertex",
+	"hyperedge_value",
+	"vertex_offset",
+	"incident_hyperedge",
+	"vertex_value",
+	"OAG_offset",
+	"OAG_edge",
+	"OAG_weight",
+	"bitmap",
+	"other",
+}
+
+// String returns the paper's name for the array.
+func (a Array) String() string {
+	if a < NumArrays {
+		return arrayNames[a]
+	}
+	return fmt.Sprintf("array(%d)", uint8(a))
+}
+
+// Group identifies the coarse array grouping used by Figure 15.
+type Group uint8
+
+const (
+	// GroupOffset covers hyperedge_offset and vertex_offset.
+	GroupOffset Group = iota
+	// GroupIncident covers incident_vertex and incident_hyperedge.
+	GroupIncident
+	// GroupValue covers hyperedge_value and vertex_value.
+	GroupValue
+	// GroupOAG covers OAG_offset, OAG_edge and OAG_weight.
+	GroupOAG
+	// GroupOther covers the bitmap and miscellaneous accesses.
+	GroupOther
+
+	// NumGroups is the number of distinct Group values.
+	NumGroups
+)
+
+var groupNames = [NumGroups]string{"offset", "incident", "value", "OAG", "other"}
+
+// String returns the Figure 15 label of the group.
+func (g Group) String() string { return groupNames[g] }
+
+// GroupOf maps an array to its Figure 15 group.
+func GroupOf(a Array) Group {
+	switch a {
+	case HyperedgeOffset, VertexOffset:
+		return GroupOffset
+	case IncidentVertex, IncidentHyperedge:
+		return GroupIncident
+	case HyperedgeValue, VertexValue:
+		return GroupValue
+	case OAGOffset, OAGEdge, OAGWeight:
+		return GroupOAG
+	default:
+		return GroupOther
+	}
+}
+
+// ReadOnly reports whether the array is immutable at run time. Lines holding
+// read-only arrays are never dirty, so the cache hierarchy can discard them
+// on eviction without a writeback (§V-A: OAG entries "can be discarded rather
+// than written back").
+func (a Array) ReadOnly() bool {
+	switch a {
+	case HyperedgeOffset, VertexOffset, IncidentVertex, IncidentHyperedge,
+		OAGOffset, OAGEdge, OAGWeight:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,120 @@
+package trace
+
+import "testing"
+
+func TestArrayNames(t *testing.T) {
+	want := map[Array]string{
+		HyperedgeOffset:   "hyperedge_offset",
+		IncidentVertex:    "incident_vertex",
+		HyperedgeValue:    "hyperedge_value",
+		VertexOffset:      "vertex_offset",
+		IncidentHyperedge: "incident_hyperedge",
+		VertexValue:       "vertex_value",
+		OAGOffset:         "OAG_offset",
+		OAGEdge:           "OAG_edge",
+		OAGWeight:         "OAG_weight",
+		Bitmap:            "bitmap",
+	}
+	for a, n := range want {
+		if a.String() != n {
+			t.Errorf("%d.String() = %q, want %q", a, a.String(), n)
+		}
+	}
+	if Array(250).String() == "" {
+		t.Error("out-of-range array should still stringify")
+	}
+}
+
+func TestGroups(t *testing.T) {
+	cases := map[Array]Group{
+		HyperedgeOffset:   GroupOffset,
+		VertexOffset:      GroupOffset,
+		IncidentVertex:    GroupIncident,
+		IncidentHyperedge: GroupIncident,
+		HyperedgeValue:    GroupValue,
+		VertexValue:       GroupValue,
+		OAGOffset:         GroupOAG,
+		OAGEdge:           GroupOAG,
+		OAGWeight:         GroupOAG,
+		Bitmap:            GroupOther,
+		Other:             GroupOther,
+	}
+	for a, g := range cases {
+		if GroupOf(a) != g {
+			t.Errorf("GroupOf(%v) = %v, want %v", a, GroupOf(a), g)
+		}
+	}
+}
+
+func TestReadOnly(t *testing.T) {
+	ro := []Array{HyperedgeOffset, VertexOffset, IncidentVertex, IncidentHyperedge, OAGOffset, OAGEdge, OAGWeight}
+	rw := []Array{HyperedgeValue, VertexValue, Bitmap, Other}
+	for _, a := range ro {
+		if !a.ReadOnly() {
+			t.Errorf("%v should be read-only", a)
+		}
+	}
+	for _, a := range rw {
+		if a.ReadOnly() {
+			t.Errorf("%v should be writable", a)
+		}
+	}
+}
+
+func TestLayoutDisjointRegions(t *testing.T) {
+	var l Layout
+	// Addresses from different arrays must never collide even for large
+	// indices; array tags must round-trip.
+	const bigIdx = 1 << 30
+	seen := map[uint64]Array{}
+	for a := Array(0); a < NumArrays; a++ {
+		for _, idx := range []uint64{0, 1, 12345, bigIdx} {
+			addr := l.Addr(a, idx)
+			if prev, dup := seen[addr]; dup {
+				t.Fatalf("address collision between %v and %v", prev, a)
+			}
+			seen[addr] = a
+			if got := l.ArrayOf(addr); got != a {
+				t.Fatalf("ArrayOf(Addr(%v,%d)) = %v", a, idx, got)
+			}
+		}
+	}
+}
+
+func TestLayoutElementSpacing(t *testing.T) {
+	var l Layout
+	if l.Addr(VertexValue, 1)-l.Addr(VertexValue, 0) != 8 {
+		t.Error("values must be 8 bytes apart")
+	}
+	if l.Addr(IncidentVertex, 1)-l.Addr(IncidentVertex, 0) != 4 {
+		t.Error("indices must be 4 bytes apart")
+	}
+}
+
+func TestBitmapAddr(t *testing.T) {
+	var l Layout
+	// Bits within one word share an address; different words differ.
+	if l.BitmapAddr(0, 0) != l.BitmapAddr(0, 63) {
+		t.Error("bits 0 and 63 must share a word")
+	}
+	if l.BitmapAddr(0, 63) == l.BitmapAddr(0, 64) {
+		t.Error("bits 63 and 64 must not share a word")
+	}
+	if l.BitmapAddr(0, 0) == l.BitmapAddr(1, 0) {
+		t.Error("sides must be disjoint")
+	}
+	if l.ArrayOf(l.BitmapAddr(1, 12345)) != Bitmap {
+		t.Error("bitmap addresses must tag as Bitmap")
+	}
+}
+
+func TestOpFlags(t *testing.T) {
+	w := Op{Flags: FlagWrite}
+	if !w.IsWrite() || !w.HasMem() {
+		t.Error("write op misclassified")
+	}
+	n := Op{Flags: FlagNoMem | FlagPushChain}
+	if n.HasMem() {
+		t.Error("no-mem op misclassified")
+	}
+}
