@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: tier1 build vet test race bench
+
+# tier1 is the gate every change must pass: clean build, vet, and the full
+# test suite under the race detector (the host-side parallel layers in
+# internal/par, internal/oag and internal/engine are exercised concurrently
+# by the equivalence tests).
+tier1: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs the host-parallelism benchmarks (Prepare and engine.Run with
+# Workers=1 vs all CPUs). Speedup requires a multi-core host.
+bench:
+	$(GO) test ./internal/engine/ -run xxx -bench 'Workers' -benchtime 3x

@@ -201,6 +201,10 @@ type RunConfig struct {
 	Source uint32
 	// Iterations overrides the iteration count for PR/Adsorption.
 	Iterations int
+	// Workers bounds the host-side parallelism used to build OAGs and
+	// compile phase op streams. Simulated results are identical for every
+	// value; 0 uses all available CPUs, 1 forces the serial path.
+	Workers int
 }
 
 // Result reports a run's outputs and architectural measurements.
@@ -271,7 +275,7 @@ func Run(g *Hypergraph, algorithm string, cfg RunConfig) (*Result, error) {
 	}
 	res, err := engine.Run(g.b, alg, engine.Options{
 		Kind: cfg.Engine, Sys: sys, DMax: cfg.DMax, WMin: cfg.WMin,
-		ChargePreprocess: cfg.IncludePreprocessing,
+		ChargePreprocess: cfg.IncludePreprocessing, Workers: cfg.Workers,
 	})
 	if err != nil {
 		return nil, err

@@ -30,6 +30,7 @@ func main() {
 		datasets = flag.String("datasets", "", "comma-separated dataset subset (default: all five)")
 		algos    = flag.String("algos", "", "comma-separated algorithm subset (default: all six)")
 		parallel = flag.Int("parallel", 0, "max concurrently simulated cells (0 = auto)")
+		workers  = flag.Int("workers", 1, "host worker threads inside each cell (prep/compile); results are identical for every value")
 		verbose  = flag.Bool("v", false, "log every simulated cell")
 	)
 	flag.Parse()
@@ -45,7 +46,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := bench.Config{Scale: *scale, Parallel: *parallel}
+	cfg := bench.Config{Scale: *scale, Parallel: *parallel, Workers: *workers}
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
 	}

@@ -36,6 +36,7 @@ func main() {
 		wmin    = flag.Uint("wmin", 3, "OAG overlap threshold (W_min)")
 		prep    = flag.Bool("prep", false, "charge preprocessing time")
 		source  = flag.Uint("source", 0, "source vertex for BFS/BC/SSSP")
+		workers = flag.Int("workers", 0, "host worker threads for prep/compile (0 = all CPUs, 1 = serial); results are identical for every value")
 	)
 	flag.Parse()
 
@@ -68,7 +69,7 @@ func main() {
 
 	res, err := chgraph.Run(g, *algo, chgraph.RunConfig{
 		Engine: kind, Cores: *cores, DMax: *dmax, WMin: uint32(*wmin),
-		IncludePreprocessing: *prep, Source: uint32(*source),
+		IncludePreprocessing: *prep, Source: uint32(*source), Workers: *workers,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -29,6 +29,11 @@ type Config struct {
 	Sys system.Config
 	// Parallel bounds concurrently simulated cells (0 = NumCPU, max 8).
 	Parallel int
+	// Workers bounds the host-side parallelism inside each cell (OAG
+	// construction, phase compilation). Results are identical for every
+	// value. 0 defaults to 1: sessions already parallelize across cells,
+	// so intra-cell workers would oversubscribe the host.
+	Workers int
 	// Datasets restricts the dataset list (nil = all five).
 	Datasets []string
 	// Algos restricts the algorithm list (nil = all six).
@@ -54,6 +59,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Parallel > 8 {
 		c.Parallel = 8
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
 	}
 	if len(c.Datasets) == 0 {
 		c.Datasets = gen.HypergraphNames
@@ -135,7 +143,7 @@ func (s *Session) prepCores(name string, wMin uint32, cores int) *engine.Prep {
 		return p
 	}
 	s.mu.Unlock()
-	p := engine.Prepare(g, cores, wMin)
+	p := engine.PrepareParallel(g, cores, wMin, s.cfg.Workers)
 	s.mu.Lock()
 	s.preps[key] = p
 	s.mu.Unlock()
@@ -208,7 +216,7 @@ func (s *Session) Run(rs RunSpec) *engine.Result {
 	s.cfg.Logf("run %s", key)
 	res, err := engine.Run(g, alg, engine.Options{
 		Kind: rs.Kind, Sys: sys, DMax: rs.DMax, WMin: wMin,
-		Prep: prep, ChargePreprocess: rs.Charge,
+		Prep: prep, ChargePreprocess: rs.Charge, Workers: s.cfg.Workers,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("bench: %s: %v", key, err))
@@ -266,7 +274,7 @@ func (s *Session) prepFor(key string, g *hypergraph.Bipartite, wMin uint32, core
 		return p
 	}
 	s.mu.Unlock()
-	p := engine.Prepare(g, cores, wMin)
+	p := engine.PrepareParallel(g, cores, wMin, s.cfg.Workers)
 	s.mu.Lock()
 	s.preps[k] = p
 	s.mu.Unlock()

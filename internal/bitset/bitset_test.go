@@ -137,6 +137,106 @@ func TestCloneIndependence(t *testing.T) {
 	}
 }
 
+func TestNextSetWordBoundaries(t *testing.T) {
+	b := New(256)
+	// Set bits exactly at every word boundary and just before it.
+	for _, i := range []uint32{0, 63, 64, 127, 128, 191, 192, 255} {
+		b.Set(i)
+	}
+	cases := []struct{ from, limit, want uint32 }{
+		{0, 256, 0},
+		{1, 256, 63},   // first-word mask must not drop bit 63
+		{63, 64, 63},   // limit at word boundary, hit in last position
+		{64, 64, 64},   // empty range at a word boundary
+		{64, 65, 64},   // single-bit range on a boundary
+		{65, 127, 127}, // mid-word from, hit at word end... limit excludes nothing
+		{65, 128, 127},
+		{128, 191, 128},
+		{129, 191, 191}, // 191 is the last bit inside the limit
+		{129, 190, 190}, // hit (191) outside limit => limit
+		{193, 255, 255}, // hit exactly at limit => limit
+		{193, 256, 255},
+	}
+	for _, c := range cases {
+		if got := b.NextSet(c.from, c.limit, nil); got != c.want {
+			t.Errorf("NextSet(%d,%d) = %d, want %d", c.from, c.limit, got, c.want)
+		}
+	}
+}
+
+func TestNextSetMidWordFromAndLimit(t *testing.T) {
+	b := New(128)
+	b.Set(10)
+	b.Set(20)
+	if got := b.NextSet(11, 20, nil); got != 20 {
+		t.Fatalf("NextSet(11,20) = %d, want 20 (bit 20 excluded by limit)", got)
+	}
+	if got := b.NextSet(11, 21, nil); got != 20 {
+		t.Fatalf("NextSet(11,21) = %d, want 20", got)
+	}
+	if got := b.NextSet(21, 128, nil); got != 128 {
+		t.Fatalf("NextSet(21,128) = %d, want 128 (none)", got)
+	}
+}
+
+func TestCountRangeStraddlesWords(t *testing.T) {
+	b := New(320)
+	for i := uint32(0); i < 320; i += 3 {
+		b.Set(i)
+	}
+	ref := func(lo, hi uint32) uint64 {
+		var n uint64
+		for i := lo; i < hi; i++ {
+			if b.Get(i) {
+				n++
+			}
+		}
+		return n
+	}
+	cases := [][2]uint32{
+		{0, 320}, {0, 64}, {64, 128}, // exact word spans
+		{1, 63}, {63, 65}, {60, 70}, // straddling a single boundary
+		{31, 289},  // mid-word lo and hi across several full words
+		{64, 64},   // empty
+		{127, 128}, // single bit at word end
+		{128, 129}, // single bit at word start
+	}
+	for _, c := range cases {
+		if got, want := b.CountRange(c[0], c[1]), ref(c[0], c[1]); got != want {
+			t.Errorf("CountRange(%d,%d) = %d, want %d", c[0], c[1], got, want)
+		}
+	}
+}
+
+func TestTestAndSetWordBoundaries(t *testing.T) {
+	b := New(192)
+	for _, i := range []uint32{0, 63, 64, 127, 128, 191} {
+		if !b.TestAndSet(i) {
+			t.Fatalf("bit %d: first TestAndSet should report previously clear", i)
+		}
+		if b.TestAndSet(i) {
+			t.Fatalf("bit %d: second TestAndSet should report previously set", i)
+		}
+	}
+	if b.Count() != 6 {
+		t.Fatalf("count = %d, want 6", b.Count())
+	}
+}
+
+func TestForEachSetEmptyRanges(t *testing.T) {
+	b := New(256)
+	b.Set(10)
+	b.Set(200)
+	for _, c := range [][2]uint32{{0, 0}, {10, 10}, {11, 200}, {201, 256}, {256, 256}} {
+		b.ForEachSet(c[0], c[1], func(i uint32) {
+			t.Fatalf("ForEachSet(%d,%d) visited %d", c[0], c[1], i)
+		})
+	}
+	// A completely empty bitmap visits nothing over its whole range.
+	e := New(256)
+	e.ForEachSet(0, 256, func(i uint32) { t.Fatalf("empty bitmap visited %d", i) })
+}
+
 func TestQuickSetGet(t *testing.T) {
 	f := func(bits []uint16) bool {
 		b := New(1 << 16)

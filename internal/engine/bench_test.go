@@ -1,0 +1,53 @@
+package engine
+
+import (
+	"testing"
+
+	"chgraph/internal/algorithms"
+	"chgraph/internal/gen"
+	"chgraph/internal/par"
+)
+
+// benchGraph is shared by the host-parallelism benchmarks; loading it once
+// keeps the per-benchmark setup cost out of the loop.
+var benchGraph = gen.MustLoad("WEB", 0.25)
+
+func benchmarkPrepare(b *testing.B, workers int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		PrepareParallel(benchGraph, 8, 3, workers)
+	}
+}
+
+func BenchmarkPrepareWorkers1(b *testing.B) { benchmarkPrepare(b, 1) }
+func BenchmarkPrepareWorkersN(b *testing.B) { benchmarkPrepare(b, par.DefaultWorkers()) }
+
+func benchmarkRunPR(b *testing.B, workers int) {
+	sys := testSys()
+	sys.Cores = 8
+	prep := Prepare(benchGraph, 8, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(benchGraph, algorithms.NewPageRank(3), Options{Kind: ChGraph, Sys: sys, Prep: prep, Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunPRWorkers1(b *testing.B) { benchmarkRunPR(b, 1) }
+func BenchmarkRunPRWorkersN(b *testing.B) { benchmarkRunPR(b, par.DefaultWorkers()) }
+
+func benchmarkRunBFS(b *testing.B, workers int) {
+	sys := testSys()
+	sys.Cores = 8
+	prep := Prepare(benchGraph, 8, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(benchGraph, algorithms.NewBFS(0), Options{Kind: ChGraph, Sys: sys, Prep: prep, Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunBFSWorkers1(b *testing.B) { benchmarkRunBFS(b, 1) }
+func BenchmarkRunBFSWorkersN(b *testing.B) { benchmarkRunBFS(b, par.DefaultWorkers()) }

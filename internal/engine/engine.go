@@ -26,6 +26,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"chgraph/internal/algorithms"
 	"chgraph/internal/bitset"
@@ -33,6 +34,7 @@ import (
 	"chgraph/internal/core"
 	"chgraph/internal/hypergraph"
 	"chgraph/internal/oag"
+	"chgraph/internal/par"
 	"chgraph/internal/sim/system"
 	"chgraph/internal/trace"
 )
@@ -93,18 +95,40 @@ type Prep struct {
 	VOAG, HOAG *oag.OAG
 }
 
-// Prepare builds chunks and per-chunk OAGs for g.
+// Prepare builds chunks and per-chunk OAGs for g at the default host
+// parallelism (PrepareParallel with par.DefaultWorkers()); the result is
+// identical to the serial build.
 func Prepare(g *hypergraph.Bipartite, cores int, wMin uint32) *Prep {
-	vChunks := hypergraph.Chunks(g.NumVertices(), cores)
-	hChunks := hypergraph.Chunks(g.NumHyperedges(), cores)
-	return &Prep{
+	return PrepareParallel(g, cores, wMin, par.DefaultWorkers())
+}
+
+// PrepareParallel builds chunks and per-chunk OAGs for g using at most
+// workers goroutines: the two sides build concurrently, and each side fans
+// its per-chunk OAG construction out across a worker pool (chunks are
+// independent by construction). Any workers value produces a byte-identical
+// Prep; workers <= 1 is the fully serial path.
+func PrepareParallel(g *hypergraph.Bipartite, cores int, wMin uint32, workers int) *Prep {
+	p := &Prep{
 		Cores:   cores,
 		WMin:    wMin,
-		VChunks: vChunks,
-		HChunks: hChunks,
-		VOAG:    oag.Build(g, oag.Vertices, wMin, vChunks),
-		HOAG:    oag.Build(g, oag.Hyperedges, wMin, hChunks),
+		VChunks: hypergraph.Chunks(g.NumVertices(), cores),
+		HChunks: hypergraph.Chunks(g.NumHyperedges(), cores),
 	}
+	if workers <= 1 {
+		p.VOAG = oag.Build(g, oag.Vertices, wMin, p.VChunks)
+		p.HOAG = oag.Build(g, oag.Hyperedges, wMin, p.HChunks)
+		return p
+	}
+	sideWorkers := (workers + 1) / 2
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.VOAG = oag.BuildParallel(g, oag.Vertices, wMin, p.VChunks, sideWorkers)
+	}()
+	p.HOAG = oag.BuildParallel(g, oag.Hyperedges, wMin, p.HChunks, sideWorkers)
+	wg.Wait()
+	return p
 }
 
 // OAGStorageBytes returns the extra storage the OAGs add (Figure 21(b)).
@@ -139,6 +163,13 @@ type Options struct {
 	ChargePreprocess bool
 	// PrepCost is the preprocessing cost model (default DefaultPrepCost).
 	PrepCost PrepCostModel
+	// Workers bounds host-side parallelism for phase compilation and for
+	// on-demand Prep construction. The simulated results are identical for
+	// every value: parallel work is restricted to independent per-chunk
+	// compilation, and all algorithm state mutation stays sequential in
+	// core order. 0 selects runtime.GOMAXPROCS(0); 1 is the fully serial
+	// path.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -165,6 +196,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PrepCost == (PrepCostModel{}) {
 		o.PrepCost = DefaultPrepCost()
+	}
+	if o.Workers == 0 {
+		o.Workers = par.DefaultWorkers()
 	}
 	return o
 }
@@ -195,8 +229,16 @@ type Result struct {
 	// MemByPhase splits off-chip accesses between the hyperedge-
 	// computation phases (index 0) and vertex-computation phases (1).
 	MemByPhase [2][trace.NumArrays]uint64
-	// ChainCount and ChainNodes summarize generated chains.
+	// ChainCount and ChainNodes summarize the chain schedules *executed*:
+	// every phase that runs a schedule contributes, whether the schedule
+	// was freshly generated or replayed from the §VI-B memoization cache.
+	// This keeps them consistent with EdgesProcessed across multi-iteration
+	// all-active runs (PageRank replays the same schedule every iteration).
 	ChainCount, ChainNodes uint64
+	// ChainGenCount and ChainGenNodes count only freshly *generated*
+	// schedules (replays excluded); an all-active run generates once per
+	// side and replays thereafter, so these stay near one phase's worth.
+	ChainGenCount, ChainGenNodes uint64
 }
 
 // MemTotal returns total off-chip accesses.
@@ -232,7 +274,7 @@ func Run(g *hypergraph.Bipartite, alg algorithms.Algorithm, opt Options) (*Resul
 	prep := opt.Prep
 	if prep == nil {
 		if needChains {
-			prep = Prepare(g, opt.Sys.Cores, opt.WMin)
+			prep = PrepareParallel(g, opt.Sys.Cores, opt.WMin, opt.Workers)
 		} else {
 			prep = &Prep{
 				Cores:   opt.Sys.Cores,
@@ -244,8 +286,14 @@ func Run(g *hypergraph.Bipartite, alg algorithms.Algorithm, opt Options) (*Resul
 	if needChains && (prep.VOAG == nil || prep.HOAG == nil) {
 		return nil, fmt.Errorf("engine: %v requires OAGs in Prep", opt.Kind)
 	}
+	// Both sides' chunkings must match the simulated core count; a mismatch
+	// on either side would otherwise surface as an index panic deep inside
+	// phase compilation.
 	if len(prep.VChunks) != opt.Sys.Cores {
-		return nil, fmt.Errorf("engine: prep built for %d cores, system has %d", len(prep.VChunks), opt.Sys.Cores)
+		return nil, fmt.Errorf("engine: prep vertex chunks built for %d cores, system has %d", len(prep.VChunks), opt.Sys.Cores)
+	}
+	if len(prep.HChunks) != opt.Sys.Cores {
+		return nil, fmt.Errorf("engine: prep hyperedge chunks built for %d cores, system has %d", len(prep.HChunks), opt.Sys.Cores)
 	}
 
 	sys := system.New(opt.Sys)

@@ -298,9 +298,25 @@ func TestChainMemoizationKeepsResultsIdentical(t *testing.T) {
 			t.Fatal("memoized chains changed the functional result")
 		}
 	}
-	// Chains must have been generated for far fewer than 2*iterations
-	// phases (first iteration only).
-	if res.ChainNodes > uint64(g.NumVertices())+uint64(g.NumHyperedges())+10 {
-		t.Fatalf("chains regenerated every iteration: %d nodes", res.ChainNodes)
+	// Chains must have been *generated* for far fewer than 2*iterations
+	// phases (first iteration only; a side may regenerate once more if the
+	// frontier settles after iteration one).
+	if res.ChainGenNodes > 2*(uint64(g.NumVertices())+uint64(g.NumHyperedges()))+20 {
+		t.Fatalf("chains regenerated every iteration: %d nodes generated", res.ChainGenNodes)
+	}
+	// But the *executed* totals must count the replayed schedules too — the
+	// replays run every iteration, so the executed total has to dwarf the
+	// generated one over 10 iterations.
+	if res.ChainNodes < 3*res.ChainGenNodes {
+		t.Fatalf("replayed schedules not accumulated: executed %d vs generated %d", res.ChainNodes, res.ChainGenNodes)
+	}
+}
+
+func TestPrepHyperedgeChunksMismatchRejected(t *testing.T) {
+	g := smallHG(30)
+	prep := Prepare(g, 4, 3)
+	prep.HChunks = prep.HChunks[:len(prep.HChunks)-1]
+	if _, err := Run(g, algorithms.NewBFS(0), Options{Kind: ChGraph, Sys: testSys(), Prep: prep}); err == nil {
+		t.Fatal("expected hyperedge-chunk/prep mismatch error")
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"chgraph/internal/algorithms"
 	"chgraph/internal/bitset"
+	"chgraph/internal/hypergraph"
 	"chgraph/internal/sim/system"
 	"chgraph/internal/trace"
 )
@@ -30,26 +31,10 @@ func buildPhase(t *testing.T, kind Kind, seed int64) []*system.Agent {
 	}
 	next := bitset.New(g.NumVertices())
 	ph := hyperedgePhase(g, prep, frontierE, next)
-	ph.dense = true
 
 	r := &runner{g: g, s: s, alg: alg, opt: Options{Kind: kind, Sys: sys, DMax: 16, WMin: 1, ChainFIFO: 32, EdgeFIFO: 32, PrefetchDistance: 64, Costs: DefaultCosts()}, prep: prep, sys: system.New(sys), res: &Result{}}
 	apply := func(st *algorithms.State, src, dst uint32) algorithms.EdgeResult { return alg.VF(st, src, dst) }
-	switch kind {
-	case Hygra:
-		return r.buildHygra(ph, apply, false)
-	case HygraPF:
-		return r.buildHygra(ph, apply, true)
-	case GLA:
-		return r.buildGLA(ph, apply)
-	case ChGraph:
-		return r.buildChGraph(ph, apply, true)
-	case ChGraphHCG:
-		return r.buildChGraph(ph, apply, false)
-	case HATSV:
-		return r.buildHATSV(ph, apply)
-	}
-	t.Fatalf("kind %v", kind)
-	return nil
+	return r.compilePhase(ph, apply)
 }
 
 func countFlags(agents []*system.Agent, mask trace.OpFlags) (n int) {
@@ -174,6 +159,66 @@ func TestOAGOpsOnlyFromChainEngines(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("ChGraph emitted no OAG accesses")
+	}
+}
+
+// TestNextFrontierBitmapMaintenance: a dense source phase must still emit
+// destination-bitmap update traffic when the next frontier comes out sparse
+// — the successor phase will scan that bitmap. Elision is only legal when
+// the next frontier ends the phase all-active (it is then consumed by a
+// dense phase that never reads the bitmap). Regression test: the elision
+// used to key on the *source* frontier's density, silently dropping the
+// update ops whenever the producing phase was dense.
+func TestNextFrontierBitmapMaintenance(t *testing.T) {
+	// Every vertex needs degree > 0 so an all-activating apply really does
+	// leave the next frontier all-active.
+	hs := make([][]uint32, 60)
+	for i := range hs {
+		hs[i] = []uint32{uint32(i % 40), uint32((i * 7) % 40)}
+	}
+	g := hypergraph.MustBuild(40, hs)
+	prep := Prepare(g, 2, 1)
+	sys := testSys()
+	sys.Cores = 2
+	s := algorithms.NewState(g)
+	alg := algorithms.NewPageRank(1)
+	frontierV := bitset.New(g.NumVertices())
+	alg.Init(s, frontierV)
+	alg.BeforeHyperedgePhase(s)
+	frontierE := bitset.New(g.NumHyperedges())
+	for i := uint32(0); i < g.NumHyperedges(); i++ {
+		frontierE.Set(i)
+	}
+
+	countBitmapWrites := func(apply edgeFunc) int {
+		next := bitset.New(g.NumVertices())
+		ph := hyperedgePhase(g, prep, frontierE, next)
+		r := &runner{g: g, s: s, alg: alg, opt: Options{Kind: Hygra, Sys: sys, DMax: 16, WMin: 1, Costs: DefaultCosts()}, prep: prep, sys: system.New(sys), res: &Result{}}
+		var n int
+		for _, a := range r.compilePhase(ph, apply) {
+			for _, op := range a.Ops {
+				if op.HasMem() && op.Arr == trace.Bitmap && op.IsWrite() {
+					n++
+				}
+			}
+		}
+		return n
+	}
+
+	shrink := countBitmapWrites(func(st *algorithms.State, src, dst uint32) algorithms.EdgeResult {
+		if dst%2 == 0 {
+			return algorithms.Wrote | algorithms.Activate
+		}
+		return algorithms.Wrote
+	})
+	if shrink == 0 {
+		t.Fatal("dense source phase with a shrinking next frontier emitted no bitmap updates")
+	}
+	full := countBitmapWrites(func(st *algorithms.State, src, dst uint32) algorithms.EdgeResult {
+		return algorithms.Wrote | algorithms.Activate
+	})
+	if full != 0 {
+		t.Fatalf("all-active next frontier still emitted %d bitmap updates", full)
 	}
 }
 

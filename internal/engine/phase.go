@@ -8,6 +8,7 @@ import (
 	"chgraph/internal/core"
 	"chgraph/internal/hats"
 	"chgraph/internal/hypergraph"
+	"chgraph/internal/par"
 	"chgraph/internal/sim/system"
 	"chgraph/internal/trace"
 )
@@ -49,23 +50,36 @@ type chainCacheEntry struct {
 
 // chains returns the per-chunk chain schedules for this phase, generating
 // them (with visitor instrumentation via mkVis) or replaying the cached
-// ones. replayed reports whether generation was skipped.
+// ones. Generation fans out across Options.Workers goroutines — each chunk
+// walks its own disposable frontier clone, so chunks are independent.
+// replayed reports whether generation was skipped. ChainCount/ChainNodes
+// accumulate on every call (the schedule runs this phase whether fresh or
+// replayed, keeping the stats consistent with EdgesProcessed);
+// ChainGenCount/ChainGenNodes accumulate only on fresh generation.
 func (r *runner) chains(ph *phaseSpec, phaseIdx int, mkVis func(chunk int) core.Visitor) (css []core.ChainSet, replayed bool) {
 	if cc := r.chainCache[phaseIdx]; cc != nil && bitmapsEqual(cc.frontier, ph.frontier) {
-		return cc.css, true
-	}
-	css = make([]core.ChainSet, len(ph.chunks))
-	for i, ch := range ph.chunks {
-		var vis core.Visitor
-		if mkVis != nil {
-			vis = mkVis(i)
+		css, replayed = cc.css, true
+	} else {
+		css = make([]core.ChainSet, len(ph.chunks))
+		par.For(r.opt.Workers, len(ph.chunks), func(i int) {
+			ch := ph.chunks[i]
+			var vis core.Visitor
+			if mkVis != nil {
+				vis = mkVis(i)
+			}
+			css[i] = core.Generate(ph.og, ch.Lo, ch.Hi, ph.frontier.Clone(), r.opt.DMax, vis)
+		})
+		for i := range css {
+			r.res.ChainGenCount += uint64(css[i].NumChains())
+			r.res.ChainGenNodes += uint64(len(css[i].Queue))
 		}
-		css[i] = core.Generate(ph.og, ch.Lo, ch.Hi, ph.frontier.Clone(), r.opt.DMax, vis)
+		r.chainCache[phaseIdx] = &chainCacheEntry{frontier: ph.frontier.Clone(), css: css}
+	}
+	for i := range css {
 		r.res.ChainCount += uint64(css[i].NumChains())
 		r.res.ChainNodes += uint64(len(css[i].Queue))
 	}
-	r.chainCache[phaseIdx] = &chainCacheEntry{frontier: ph.frontier.Clone(), css: css}
-	return css, false
+	return css, replayed
 }
 
 func bitmapsEqual(a, b bitset.Bitmap) bool {
@@ -97,11 +111,6 @@ func (r *runner) runPhase(ph *phaseSpec, apply edgeFunc) {
 	if ph.srcBm == bmHyperedge {
 		phaseIdx = 1
 	}
-	ph.idx = phaseIdx
-	// All-active regime (e.g. PageRank): no frontier bitmap maintenance
-	// is needed — §VI-C: "Since all data are always active for PageRank,
-	// there is no need to access the bitmap".
-	ph.dense = ph.frontier.Count() == uint64(ph.srcN)
 	before := r.sys.Hier.Mem().AccessesByArray()
 	defer func() {
 		after := r.sys.Hier.Mem().AccessesByArray()
@@ -109,24 +118,151 @@ func (r *runner) runPhase(ph *phaseSpec, apply edgeFunc) {
 			r.res.MemByPhase[phaseIdx][a] += after[a] - before[a]
 		}
 	}()
-	var agents []*system.Agent
+	r.sys.RunPhase(r.compilePhase(ph, apply))
+}
+
+// edgeMark defers one HF/VF application discovered during compilation: the
+// applyEdge ops (destination value write, next-frontier bitmap update) are
+// inserted at position pos of the core's op stream once the application's
+// outcome is known.
+type edgeMark struct {
+	pos      int // core ops preceding the application
+	src, dst uint32
+}
+
+// edgeOutcome records what one deferred application did.
+type edgeOutcome struct {
+	res   algorithms.EdgeResult
+	first bool // first activation of dst this phase
+}
+
+// compiledCore is pass 1's output for one core: every agent fully compiled
+// except the core agent (always last in agents), whose final Ops are
+// assembled in pass 3 from coreOps, marks and the per-edge outcomes.
+type compiledCore struct {
+	agents  []*system.Agent
+	coreOps []trace.Op
+	marks   []edgeMark
+}
+
+// compilePhase compiles the phase with the two-pass scheme:
+//
+//   - pass 1 compiles every core's chain generation and memory-op stream
+//     concurrently (bounded by Options.Workers). Each chunk works only on
+//     per-core buffers — its own op slices, edge-mark list, and a scratch
+//     clone of the frontier bitmap for chain generation — so there is no
+//     shared mutable state and the pass is race-free.
+//   - pass 2 runs the algorithm's HF/VF work strictly sequentially in core
+//     order over the per-core edge lists, mutating the shared State and the
+//     next-frontier bitmap exactly as the historical serial compiler did.
+//   - pass 3 stitches each core's applyEdge ops into its stream at the
+//     recorded positions (again fanned out per core).
+//
+// Because pass 2 preserves the serial application order and passes 1 and 3
+// touch only per-core data, the functional result and the compiled op
+// streams are byte-for-byte identical for every Workers setting.
+func (r *runner) compilePhase(ph *phaseSpec, apply edgeFunc) []*system.Agent {
+	ph.idx = 0
+	if ph.srcBm == bmHyperedge {
+		ph.idx = 1
+	}
+	// All-active regime (e.g. PageRank): no source-frontier scanning is
+	// needed — §VI-C: "Since all data are always active for PageRank,
+	// there is no need to access the bitmap".
+	ph.dense = ph.frontier.Count() == uint64(ph.srcN)
+
+	n := len(ph.chunks)
+	cc := make([]*compiledCore, n)
+	w := r.opt.Workers
 	switch r.opt.Kind {
 	case Hygra:
-		agents = r.buildHygra(ph, apply, false)
+		par.For(w, n, func(i int) { cc[i] = r.compileHygra(ph, i, false) })
 	case HygraPF:
-		agents = r.buildHygra(ph, apply, true)
+		par.For(w, n, func(i int) { cc[i] = r.compileHygra(ph, i, true) })
 	case GLA:
-		agents = r.buildGLA(ph, apply)
-	case ChGraph:
-		agents = r.buildChGraph(ph, apply, true)
-	case ChGraphHCG:
-		agents = r.buildChGraph(ph, apply, false)
+		visitors := make([]*swVisitor, n)
+		css, replayed := r.chains(ph, ph.idx, func(chunk int) core.Visitor {
+			visitors[chunk] = &swVisitor{side: ph.srcBm, bm: ph.srcBm, c: r.opt.Costs}
+			return visitors[chunk]
+		})
+		par.For(w, n, func(i int) { cc[i] = r.compileGLA(ph, i, css[i], visitors[i], replayed) })
+	case ChGraph, ChGraphHCG:
+		withCP := r.opt.Kind == ChGraph
+		visitors := make([]*hwVisitor, n)
+		css, replayed := r.chains(ph, ph.idx, func(chunk int) core.Visitor {
+			visitors[chunk] = &hwVisitor{side: ph.srcBm, bm: ph.srcBm, c: r.opt.Costs}
+			return visitors[chunk]
+		})
+		par.For(w, n, func(i int) { cc[i] = r.compileChGraph(ph, i, css[i], visitors[i], replayed, withCP) })
 	case HATSV:
-		agents = r.buildHATSV(ph, apply)
+		par.For(w, n, func(i int) { cc[i] = r.compileHATSV(ph, i) })
 	default:
 		panic(fmt.Sprintf("engine: unknown kind %v", r.opt.Kind))
 	}
-	r.sys.RunPhase(agents)
+
+	// Pass 2: the algorithm's functional work, sequential in core order.
+	outs := make([][]edgeOutcome, n)
+	for i := 0; i < n; i++ {
+		marks := cc[i].marks
+		o := make([]edgeOutcome, len(marks))
+		for j, m := range marks {
+			res := apply(r.s, m.src, m.dst)
+			r.res.EdgesProcessed++
+			o[j] = edgeOutcome{
+				res:   res,
+				first: res&algorithms.Activate != 0 && ph.next.TestAndSet(m.dst),
+			}
+		}
+		outs[i] = o
+	}
+
+	// The destination frontier needs bitmap maintenance unless it ends the
+	// phase all-active: an all-active frontier is consumed by a dense phase
+	// that never reads the bitmap (§VI-C), so only then is its update
+	// traffic elided. Keying this on the destination side — not on the
+	// source frontier's density — means a dense-source phase producing a
+	// sparse next frontier still pays for the bitmap writes its successor
+	// phase will scan.
+	maintainNext := ph.next.Count() != uint64(ph.dstN)
+
+	// Pass 3: stitch the outcome-dependent ops into each core's stream.
+	par.For(w, n, func(i int) {
+		coreAgent := cc[i].agents[len(cc[i].agents)-1]
+		coreAgent.Ops = stitchOps(ph, cc[i].coreOps, cc[i].marks, outs[i], maintainNext)
+	})
+
+	var agents []*system.Agent
+	for _, c := range cc {
+		agents = append(agents, c.agents...)
+	}
+	return agents
+}
+
+// stitchOps inserts each deferred application's ops (value write when the
+// algorithm wrote, next-frontier bitmap write on first activation) at its
+// recorded position in the core's op stream.
+func stitchOps(ph *phaseSpec, ops []trace.Op, marks []edgeMark, outs []edgeOutcome, maintainNext bool) []trace.Op {
+	if len(marks) == 0 {
+		return ops
+	}
+	out := make([]trace.Op, 0, len(ops)+2*len(marks))
+	mi := 0
+	for i := 0; i <= len(ops); i++ {
+		for mi < len(marks) && marks[mi].pos == i {
+			m, o := marks[mi], outs[mi]
+			if o.res&algorithms.Wrote != 0 {
+				out = append(out, trace.Op{Addr: lay.Addr(ph.dstValArr, uint64(m.dst)), Arr: ph.dstValArr, Flags: trace.FlagWrite})
+			}
+			if o.first && maintainNext {
+				out = append(out, trace.Op{Addr: lay.BitmapAddr(ph.dstBm, uint64(m.dst)), Arr: trace.Bitmap, Flags: trace.FlagWrite})
+			}
+			mi++
+		}
+		if i < len(ops) {
+			out = append(out, ops[i])
+		}
+	}
+	return out
 }
 
 // emitScan appends dense frontier-bitmap scan ops for chunk [lo, hi).
@@ -140,73 +276,59 @@ func emitScan(ops []trace.Op, side int, lo, hi uint32, cost uint16) []trace.Op {
 	return ops
 }
 
-// applyEdge runs the edge function and appends the core-side write/activate
-// ops (value write, next-frontier bitmap update). flags adds e.g. FlagL2.
-func (r *runner) applyEdge(ops []trace.Op, ph *phaseSpec, apply edgeFunc, src, dst uint32, flags trace.OpFlags) []trace.Op {
-	res := apply(r.s, src, dst)
-	r.res.EdgesProcessed++
-	if res&algorithms.Wrote != 0 {
-		ops = append(ops, trace.Op{Addr: lay.Addr(ph.dstValArr, uint64(dst)), Arr: ph.dstValArr, Flags: trace.FlagWrite | flags})
-	}
-	if res&algorithms.Activate != 0 && ph.next.TestAndSet(dst) && !ph.dense {
-		ops = append(ops, trace.Op{Addr: lay.BitmapAddr(ph.dstBm, uint64(dst)), Arr: trace.Bitmap, Flags: trace.FlagWrite | flags})
-	}
-	return ops
-}
-
-// buildHygra compiles the index-ordered baseline: one core agent per chunk,
-// optionally preceded by an event-triggered indirect prefetcher agent
-// (Figure 23) that runs ahead at the L2 and gates the core's value loads
-// through a run-ahead FIFO.
-func (r *runner) buildHygra(ph *phaseSpec, apply edgeFunc, prefetch bool) []*system.Agent {
+// compileHygra compiles one core of the index-ordered baseline: a core
+// agent per chunk, optionally preceded by an event-triggered indirect
+// prefetcher agent (Figure 23) that runs ahead at the L2 and gates the
+// core's value loads through a run-ahead FIFO.
+func (r *runner) compileHygra(ph *phaseSpec, coreID int, prefetch bool) *compiledCore {
 	c := r.opt.Costs
-	var agents []*system.Agent
-	for coreID, ch := range ph.chunks {
-		var ops []trace.Op
-		if !ph.dense {
-			ops = emitScan(ops, ph.srcBm, ch.Lo, ch.Hi, c.Scan)
-		}
-		var pfOps []trace.Op
-		var popFlag trace.OpFlags
-		if prefetch {
-			popFlag = trace.FlagPopTuple
-		}
-		ph.frontier.ForEachSet(ch.Lo, ch.Hi, func(e uint32) {
-			ops = append(ops,
-				trace.Op{Addr: lay.Addr(ph.offArr, uint64(e)), Arr: ph.offArr, Compute: c.Element},
-				trace.Op{Addr: lay.Addr(ph.srcValArr, uint64(e)), Arr: ph.srcValArr})
-			if prefetch {
-				pfOps = append(pfOps, trace.Op{Addr: lay.Addr(ph.offArr, uint64(e)), Arr: ph.offArr, Flags: trace.FlagPrefetch | trace.FlagL2})
-			}
-			base := ph.offset(e)
-			for i, d := range ph.neighbors(e) {
-				if prefetch {
-					pfOps = append(pfOps,
-						trace.Op{Addr: lay.Addr(ph.incArr, uint64(base)+uint64(i)), Arr: ph.incArr, Flags: trace.FlagPrefetch | trace.FlagL2},
-						trace.Op{Addr: lay.Addr(ph.dstValArr, uint64(d)), Arr: ph.dstValArr, Flags: trace.FlagPrefetch | trace.FlagL2 | trace.FlagPushTuple})
-				}
-				ops = append(ops,
-					trace.Op{Addr: lay.Addr(ph.incArr, uint64(base)+uint64(i)), Arr: ph.incArr},
-					trace.Op{Addr: lay.Addr(ph.dstValArr, uint64(d)), Arr: ph.dstValArr, Compute: c.Apply, Flags: popFlag})
-				ops = r.applyEdge(ops, ph, apply, e, d, 0)
-			}
-		})
-		coreAgent := &system.Agent{
-			Name: fmt.Sprintf("core%d", coreID), Core: coreID, Ops: ops,
-			MLP: r.opt.Sys.CoreMLP, IsCore: true,
-		}
-		if prefetch {
-			fifo := system.NewFIFO(fmt.Sprintf("pf%d", coreID), r.opt.PrefetchDistance)
-			pf := &system.Agent{
-				Name: fmt.Sprintf("pf%d", coreID), Core: coreID, Ops: pfOps,
-				Engine: true, MLP: r.opt.Sys.PrefetchMLP, Out: fifo,
-			}
-			coreAgent.In = fifo
-			agents = append(agents, pf)
-		}
-		agents = append(agents, coreAgent)
+	ch := ph.chunks[coreID]
+	out := &compiledCore{}
+	var ops []trace.Op
+	if !ph.dense {
+		ops = emitScan(ops, ph.srcBm, ch.Lo, ch.Hi, c.Scan)
 	}
-	return agents
+	var pfOps []trace.Op
+	var popFlag trace.OpFlags
+	if prefetch {
+		popFlag = trace.FlagPopTuple
+	}
+	ph.frontier.ForEachSet(ch.Lo, ch.Hi, func(e uint32) {
+		ops = append(ops,
+			trace.Op{Addr: lay.Addr(ph.offArr, uint64(e)), Arr: ph.offArr, Compute: c.Element},
+			trace.Op{Addr: lay.Addr(ph.srcValArr, uint64(e)), Arr: ph.srcValArr})
+		if prefetch {
+			pfOps = append(pfOps, trace.Op{Addr: lay.Addr(ph.offArr, uint64(e)), Arr: ph.offArr, Flags: trace.FlagPrefetch | trace.FlagL2})
+		}
+		base := ph.offset(e)
+		for i, d := range ph.neighbors(e) {
+			if prefetch {
+				pfOps = append(pfOps,
+					trace.Op{Addr: lay.Addr(ph.incArr, uint64(base)+uint64(i)), Arr: ph.incArr, Flags: trace.FlagPrefetch | trace.FlagL2},
+					trace.Op{Addr: lay.Addr(ph.dstValArr, uint64(d)), Arr: ph.dstValArr, Flags: trace.FlagPrefetch | trace.FlagL2 | trace.FlagPushTuple})
+			}
+			ops = append(ops,
+				trace.Op{Addr: lay.Addr(ph.incArr, uint64(base)+uint64(i)), Arr: ph.incArr},
+				trace.Op{Addr: lay.Addr(ph.dstValArr, uint64(d)), Arr: ph.dstValArr, Compute: c.Apply, Flags: popFlag})
+			out.marks = append(out.marks, edgeMark{pos: len(ops), src: e, dst: d})
+		}
+	})
+	coreAgent := &system.Agent{
+		Name: fmt.Sprintf("core%d", coreID), Core: coreID,
+		MLP: r.opt.Sys.CoreMLP, IsCore: true,
+	}
+	if prefetch {
+		fifo := system.NewFIFO(fmt.Sprintf("pf%d", coreID), r.opt.PrefetchDistance)
+		pf := &system.Agent{
+			Name: fmt.Sprintf("pf%d", coreID), Core: coreID, Ops: pfOps,
+			Engine: true, MLP: r.opt.Sys.PrefetchMLP, Out: fifo,
+		}
+		coreAgent.In = fifo
+		out.agents = append(out.agents, pf)
+	}
+	out.agents = append(out.agents, coreAgent)
+	out.coreOps = ops
+	return out
 }
 
 // swVisitor emits the software GLA chain-generation ops inline into the
@@ -234,45 +356,39 @@ func (v *swVisitor) Inspect(csr, nb uint32) {
 }
 func (v *swVisitor) ChainEnd() {}
 
-// buildGLA compiles the software chain-driven model: chain generation and
-// the chain-ordered load/apply run serially on each core.
-func (r *runner) buildGLA(ph *phaseSpec, apply edgeFunc) []*system.Agent {
+// compileGLA compiles one core of the software chain-driven model: chain
+// generation and the chain-ordered load/apply run serially on the core.
+func (r *runner) compileGLA(ph *phaseSpec, coreID int, cs core.ChainSet, vis *swVisitor, replayed bool) *compiledCore {
 	c := r.opt.Costs
-	visitors := make([]*swVisitor, len(ph.chunks))
-	css, replayed := r.chains(ph, ph.idx, func(chunk int) core.Visitor {
-		visitors[chunk] = &swVisitor{side: ph.srcBm, bm: ph.srcBm, c: c}
-		return visitors[chunk]
-	})
-	var agents []*system.Agent
-	for coreID, ch := range ph.chunks {
-		cs := css[coreID]
-		var ops []trace.Op
-		if replayed {
-			// Stream the memoized chain queue from memory.
-			for i := range cs.Queue {
-				ops = append(ops, trace.Op{Addr: chainQueueAddr(ph.srcBm, uint64(ch.Lo)+uint64(i)), Arr: trace.Other, Compute: 1})
-			}
-		} else {
-			ops = visitors[coreID].ops
+	ch := ph.chunks[coreID]
+	out := &compiledCore{}
+	var ops []trace.Op
+	if replayed {
+		// Stream the memoized chain queue from memory.
+		for i := range cs.Queue {
+			ops = append(ops, trace.Op{Addr: chainQueueAddr(ph.srcBm, uint64(ch.Lo)+uint64(i)), Arr: trace.Other, Compute: 1})
 		}
-		for _, e := range cs.Queue {
-			ops = append(ops,
-				trace.Op{Addr: lay.Addr(ph.offArr, uint64(e)), Arr: ph.offArr, Compute: c.Element},
-				trace.Op{Addr: lay.Addr(ph.srcValArr, uint64(e)), Arr: ph.srcValArr})
-			base := ph.offset(e)
-			for i, d := range ph.neighbors(e) {
-				ops = append(ops,
-					trace.Op{Addr: lay.Addr(ph.incArr, uint64(base)+uint64(i)), Arr: ph.incArr, Compute: c.SWLoad},
-					trace.Op{Addr: lay.Addr(ph.dstValArr, uint64(d)), Arr: ph.dstValArr, Compute: c.Apply})
-				ops = r.applyEdge(ops, ph, apply, e, d, 0)
-			}
-		}
-		agents = append(agents, &system.Agent{
-			Name: fmt.Sprintf("core%d", coreID), Core: coreID, Ops: ops,
-			MLP: r.opt.Sys.CoreMLP, IsCore: true,
-		})
+	} else {
+		ops = vis.ops
 	}
-	return agents
+	for _, e := range cs.Queue {
+		ops = append(ops,
+			trace.Op{Addr: lay.Addr(ph.offArr, uint64(e)), Arr: ph.offArr, Compute: c.Element},
+			trace.Op{Addr: lay.Addr(ph.srcValArr, uint64(e)), Arr: ph.srcValArr})
+		base := ph.offset(e)
+		for i, d := range ph.neighbors(e) {
+			ops = append(ops,
+				trace.Op{Addr: lay.Addr(ph.incArr, uint64(base)+uint64(i)), Arr: ph.incArr, Compute: c.SWLoad},
+				trace.Op{Addr: lay.Addr(ph.dstValArr, uint64(d)), Arr: ph.dstValArr, Compute: c.Apply})
+			out.marks = append(out.marks, edgeMark{pos: len(ops), src: e, dst: d})
+		}
+	}
+	out.agents = []*system.Agent{{
+		Name: fmt.Sprintf("core%d", coreID), Core: coreID,
+		MLP: r.opt.Sys.CoreMLP, IsCore: true,
+	}}
+	out.coreOps = ops
+	return out
 }
 
 // hwVisitor emits the hardware chain generator's pipeline ops (§V-B): all
@@ -302,141 +418,136 @@ func (v *hwVisitor) Inspect(csr, nb uint32) {
 }
 func (v *hwVisitor) ChainEnd() {}
 
-// buildChGraph compiles the hardware-accelerated model: per core, an HCG
-// agent generates chains into the chain FIFO; with the prefetcher enabled a
-// CP agent streams each element's bipartite edges and value data into the
-// bipartite-edge FIFO so the core only applies updates; without it
+// compileChGraph compiles one core of the hardware-accelerated model: an
+// HCG agent generates chains into the chain FIFO; with the prefetcher
+// enabled a CP agent streams each element's bipartite edges and value data
+// into the bipartite-edge FIFO so the core only applies updates; without it
 // (Figure 16 HCG-only ablation) the core pops chain entries and performs
 // its own loads.
-func (r *runner) buildChGraph(ph *phaseSpec, apply edgeFunc, withCP bool) []*system.Agent {
+func (r *runner) compileChGraph(ph *phaseSpec, coreID int, cs core.ChainSet, vis *hwVisitor, replayed, withCP bool) *compiledCore {
 	c := r.opt.Costs
-	visitors := make([]*hwVisitor, len(ph.chunks))
-	css, replayed := r.chains(ph, ph.idx, func(chunk int) core.Visitor {
-		visitors[chunk] = &hwVisitor{side: ph.srcBm, bm: ph.srcBm, c: c}
-		return visitors[chunk]
-	})
-	var agents []*system.Agent
-	for coreID, ch := range ph.chunks {
-		cs := css[coreID]
-		var hcgOps []trace.Op
-		if replayed {
-			// Replay the memoized chain queue: the HCG streams it from
-			// memory straight into the chain FIFO.
-			for i := range cs.Queue {
-				hcgOps = append(hcgOps, trace.Op{Addr: chainQueueAddr(ph.srcBm, uint64(ch.Lo)+uint64(i)), Arr: trace.Other,
-					Flags: trace.FlagL2 | trace.FlagPushChain, Compute: c.HWStage})
-			}
-		} else {
-			hcgOps = visitors[coreID].ops
+	ch := ph.chunks[coreID]
+	out := &compiledCore{}
+	var hcgOps []trace.Op
+	if replayed {
+		// Replay the memoized chain queue: the HCG streams it from
+		// memory straight into the chain FIFO.
+		for i := range cs.Queue {
+			hcgOps = append(hcgOps, trace.Op{Addr: chainQueueAddr(ph.srcBm, uint64(ch.Lo)+uint64(i)), Arr: trace.Other,
+				Flags: trace.FlagL2 | trace.FlagPushChain, Compute: c.HWStage})
 		}
-		hcgOps = append(hcgOps, trace.Op{Flags: trace.FlagNoMem | trace.FlagPushChain}) // the '-1' sentinel
-		chainFIFO := system.NewFIFO(fmt.Sprintf("chain%d", coreID), r.opt.ChainFIFO)
+	} else {
+		hcgOps = vis.ops
+	}
+	hcgOps = append(hcgOps, trace.Op{Flags: trace.FlagNoMem | trace.FlagPushChain}) // the '-1' sentinel
+	chainFIFO := system.NewFIFO(fmt.Sprintf("chain%d", coreID), r.opt.ChainFIFO)
 
-		hcg := &system.Agent{
-			Name: fmt.Sprintf("hcg%d", coreID), Core: coreID, Ops: hcgOps,
-			Engine: true, MLP: r.opt.Sys.EngineMLP, Out: chainFIFO,
-		}
+	hcg := &system.Agent{
+		Name: fmt.Sprintf("hcg%d", coreID), Core: coreID, Ops: hcgOps,
+		Engine: true, MLP: r.opt.Sys.EngineMLP, Out: chainFIFO,
+	}
 
-		var coreOps []trace.Op
-		if withCP {
-			var cpOps []trace.Op
-			edgeFIFO := system.NewFIFO(fmt.Sprintf("bedge%d", coreID), r.opt.EdgeFIFO)
-			for _, e := range cs.Queue {
-				cpOps = append(cpOps,
-					trace.Op{Flags: trace.FlagNoMem | trace.FlagPopChain, Compute: c.HWStage},
-					trace.Op{Addr: lay.Addr(ph.offArr, uint64(e)), Arr: ph.offArr, Flags: trace.FlagL2, Compute: c.HWStage},
-					trace.Op{Addr: lay.Addr(ph.srcValArr, uint64(e)), Arr: ph.srcValArr, Flags: trace.FlagL2, Compute: c.HWStage})
-				base := ph.offset(e)
-				for i, d := range ph.neighbors(e) {
-					cpOps = append(cpOps,
-						trace.Op{Addr: lay.Addr(ph.incArr, uint64(base)+uint64(i)), Arr: ph.incArr, Flags: trace.FlagL2, Compute: c.HWStage},
-						trace.Op{Addr: lay.Addr(ph.dstValArr, uint64(d)), Arr: ph.dstValArr, Flags: trace.FlagL2 | trace.FlagPushTuple, Compute: c.HWStage})
-					coreOps = append(coreOps, trace.Op{Flags: trace.FlagNoMem | trace.FlagPopTuple, Compute: c.Apply})
-					coreOps = r.applyEdge(coreOps, ph, apply, e, d, 0)
-				}
-			}
-			// CP pops the HCG sentinel, then emits the fake tuple that
-			// suspends the core (§V-B).
+	var coreOps []trace.Op
+	if withCP {
+		var cpOps []trace.Op
+		edgeFIFO := system.NewFIFO(fmt.Sprintf("bedge%d", coreID), r.opt.EdgeFIFO)
+		for _, e := range cs.Queue {
 			cpOps = append(cpOps,
 				trace.Op{Flags: trace.FlagNoMem | trace.FlagPopChain, Compute: c.HWStage},
-				trace.Op{Flags: trace.FlagNoMem | trace.FlagPushTuple, Compute: c.HWStage})
-			coreOps = append(coreOps, trace.Op{Flags: trace.FlagNoMem | trace.FlagPopTuple})
-			cp := &system.Agent{
-				Name: fmt.Sprintf("cp%d", coreID), Core: coreID, Ops: cpOps,
-				Engine: true, MLP: r.opt.Sys.PrefetchMLP, In: chainFIFO, Out: edgeFIFO,
-			}
-			agents = append(agents, hcg, cp, &system.Agent{
-				Name: fmt.Sprintf("core%d", coreID), Core: coreID, Ops: coreOps,
-				MLP: r.opt.Sys.CoreMLP, IsCore: true, In: edgeFIFO,
-			})
-			continue
-		}
-
-		// HCG-only: the core consumes chain entries and loads data itself.
-		for _, e := range cs.Queue {
-			coreOps = append(coreOps,
-				trace.Op{Flags: trace.FlagNoMem | trace.FlagPopChain, Compute: c.Element},
-				trace.Op{Addr: lay.Addr(ph.offArr, uint64(e)), Arr: ph.offArr},
-				trace.Op{Addr: lay.Addr(ph.srcValArr, uint64(e)), Arr: ph.srcValArr})
+				trace.Op{Addr: lay.Addr(ph.offArr, uint64(e)), Arr: ph.offArr, Flags: trace.FlagL2, Compute: c.HWStage},
+				trace.Op{Addr: lay.Addr(ph.srcValArr, uint64(e)), Arr: ph.srcValArr, Flags: trace.FlagL2, Compute: c.HWStage})
 			base := ph.offset(e)
 			for i, d := range ph.neighbors(e) {
-				coreOps = append(coreOps,
-					trace.Op{Addr: lay.Addr(ph.incArr, uint64(base)+uint64(i)), Arr: ph.incArr},
-					trace.Op{Addr: lay.Addr(ph.dstValArr, uint64(d)), Arr: ph.dstValArr, Compute: c.Apply})
-				coreOps = r.applyEdge(coreOps, ph, apply, e, d, 0)
+				cpOps = append(cpOps,
+					trace.Op{Addr: lay.Addr(ph.incArr, uint64(base)+uint64(i)), Arr: ph.incArr, Flags: trace.FlagL2, Compute: c.HWStage},
+					trace.Op{Addr: lay.Addr(ph.dstValArr, uint64(d)), Arr: ph.dstValArr, Flags: trace.FlagL2 | trace.FlagPushTuple, Compute: c.HWStage})
+				coreOps = append(coreOps, trace.Op{Flags: trace.FlagNoMem | trace.FlagPopTuple, Compute: c.Apply})
+				out.marks = append(out.marks, edgeMark{pos: len(coreOps), src: e, dst: d})
 			}
 		}
-		coreOps = append(coreOps, trace.Op{Flags: trace.FlagNoMem | trace.FlagPopChain})
-		agents = append(agents, hcg, &system.Agent{
-			Name: fmt.Sprintf("core%d", coreID), Core: coreID, Ops: coreOps,
-			MLP: r.opt.Sys.CoreMLP, IsCore: true, In: chainFIFO,
-		})
+		// CP pops the HCG sentinel, then emits the fake tuple that
+		// suspends the core (§V-B).
+		cpOps = append(cpOps,
+			trace.Op{Flags: trace.FlagNoMem | trace.FlagPopChain, Compute: c.HWStage},
+			trace.Op{Flags: trace.FlagNoMem | trace.FlagPushTuple, Compute: c.HWStage})
+		coreOps = append(coreOps, trace.Op{Flags: trace.FlagNoMem | trace.FlagPopTuple})
+		cp := &system.Agent{
+			Name: fmt.Sprintf("cp%d", coreID), Core: coreID, Ops: cpOps,
+			Engine: true, MLP: r.opt.Sys.PrefetchMLP, In: chainFIFO, Out: edgeFIFO,
+		}
+		out.agents = []*system.Agent{hcg, cp, {
+			Name: fmt.Sprintf("core%d", coreID), Core: coreID,
+			MLP: r.opt.Sys.CoreMLP, IsCore: true, In: edgeFIFO,
+		}}
+		out.coreOps = coreOps
+		return out
 	}
-	return agents
+
+	// HCG-only: the core consumes chain entries and loads data itself.
+	for _, e := range cs.Queue {
+		coreOps = append(coreOps,
+			trace.Op{Flags: trace.FlagNoMem | trace.FlagPopChain, Compute: c.Element},
+			trace.Op{Addr: lay.Addr(ph.offArr, uint64(e)), Arr: ph.offArr},
+			trace.Op{Addr: lay.Addr(ph.srcValArr, uint64(e)), Arr: ph.srcValArr})
+		base := ph.offset(e)
+		for i, d := range ph.neighbors(e) {
+			coreOps = append(coreOps,
+				trace.Op{Addr: lay.Addr(ph.incArr, uint64(base)+uint64(i)), Arr: ph.incArr},
+				trace.Op{Addr: lay.Addr(ph.dstValArr, uint64(d)), Arr: ph.dstValArr, Compute: c.Apply})
+			out.marks = append(out.marks, edgeMark{pos: len(coreOps), src: e, dst: d})
+		}
+	}
+	coreOps = append(coreOps, trace.Op{Flags: trace.FlagNoMem | trace.FlagPopChain})
+	out.agents = []*system.Agent{hcg, {
+		Name: fmt.Sprintf("core%d", coreID), Core: coreID,
+		MLP: r.opt.Sys.CoreMLP, IsCore: true, In: chainFIFO,
+	}}
+	out.coreOps = coreOps
+	return out
 }
 
-// buildHATSV compiles the modified-HATS baseline of §II-C: a per-core
-// traversal engine runs bounded DFS over the bipartite structure itself
-// (two bipartite hops per neighbor probe, no overlap weights) and feeds the
-// schedule to the core, which performs its own loads.
-func (r *runner) buildHATSV(ph *phaseSpec, apply edgeFunc) []*system.Agent {
+// compileHATSV compiles one core of the modified-HATS baseline of §II-C: a
+// per-core traversal engine runs bounded DFS over the bipartite structure
+// itself (two bipartite hops per neighbor probe, no overlap weights) and
+// feeds the schedule to the core, which performs its own loads.
+func (r *runner) compileHATSV(ph *phaseSpec, coreID int) *compiledCore {
 	c := r.opt.Costs
-	var agents []*system.Agent
-	for coreID, ch := range ph.chunks {
-		vis := &hatsVisitor{ph: ph, c: c}
-		sched := hats.Generate(hats.Input{
-			Offset: ph.offset, Neighbors: ph.neighbors,
-			BackOffset: ph.backOffset, BackNeighbors: ph.backNeighbors,
-			Lo: ch.Lo, Hi: ch.Hi, Active: ph.frontier.Clone(), DMax: r.opt.DMax,
-		}, vis)
-		hatsOps := append(vis.ops, trace.Op{Flags: trace.FlagNoMem | trace.FlagPushChain})
-		fifo := system.NewFIFO(fmt.Sprintf("hats%d", coreID), r.opt.ChainFIFO)
-		agents = append(agents, &system.Agent{
-			Name: fmt.Sprintf("hats%d", coreID), Core: coreID, Ops: hatsOps,
-			Engine: true, MLP: r.opt.Sys.EngineMLP, Out: fifo,
-		})
+	ch := ph.chunks[coreID]
+	out := &compiledCore{}
+	vis := &hatsVisitor{ph: ph, c: c}
+	sched := hats.Generate(hats.Input{
+		Offset: ph.offset, Neighbors: ph.neighbors,
+		BackOffset: ph.backOffset, BackNeighbors: ph.backNeighbors,
+		Lo: ch.Lo, Hi: ch.Hi, Active: ph.frontier.Clone(), DMax: r.opt.DMax,
+	}, vis)
+	hatsOps := append(vis.ops, trace.Op{Flags: trace.FlagNoMem | trace.FlagPushChain})
+	fifo := system.NewFIFO(fmt.Sprintf("hats%d", coreID), r.opt.ChainFIFO)
+	out.agents = append(out.agents, &system.Agent{
+		Name: fmt.Sprintf("hats%d", coreID), Core: coreID, Ops: hatsOps,
+		Engine: true, MLP: r.opt.Sys.EngineMLP, Out: fifo,
+	})
 
-		var coreOps []trace.Op
-		for _, e := range sched {
+	var coreOps []trace.Op
+	for _, e := range sched {
+		coreOps = append(coreOps,
+			trace.Op{Flags: trace.FlagNoMem | trace.FlagPopChain, Compute: c.Element},
+			trace.Op{Addr: lay.Addr(ph.offArr, uint64(e)), Arr: ph.offArr},
+			trace.Op{Addr: lay.Addr(ph.srcValArr, uint64(e)), Arr: ph.srcValArr})
+		base := ph.offset(e)
+		for i, d := range ph.neighbors(e) {
 			coreOps = append(coreOps,
-				trace.Op{Flags: trace.FlagNoMem | trace.FlagPopChain, Compute: c.Element},
-				trace.Op{Addr: lay.Addr(ph.offArr, uint64(e)), Arr: ph.offArr},
-				trace.Op{Addr: lay.Addr(ph.srcValArr, uint64(e)), Arr: ph.srcValArr})
-			base := ph.offset(e)
-			for i, d := range ph.neighbors(e) {
-				coreOps = append(coreOps,
-					trace.Op{Addr: lay.Addr(ph.incArr, uint64(base)+uint64(i)), Arr: ph.incArr},
-					trace.Op{Addr: lay.Addr(ph.dstValArr, uint64(d)), Arr: ph.dstValArr, Compute: c.Apply})
-				coreOps = r.applyEdge(coreOps, ph, apply, e, d, 0)
-			}
+				trace.Op{Addr: lay.Addr(ph.incArr, uint64(base)+uint64(i)), Arr: ph.incArr},
+				trace.Op{Addr: lay.Addr(ph.dstValArr, uint64(d)), Arr: ph.dstValArr, Compute: c.Apply})
+			out.marks = append(out.marks, edgeMark{pos: len(coreOps), src: e, dst: d})
 		}
-		coreOps = append(coreOps, trace.Op{Flags: trace.FlagNoMem | trace.FlagPopChain})
-		agents = append(agents, &system.Agent{
-			Name: fmt.Sprintf("core%d", coreID), Core: coreID, Ops: coreOps,
-			MLP: r.opt.Sys.CoreMLP, IsCore: true, In: fifo,
-		})
 	}
-	return agents
+	coreOps = append(coreOps, trace.Op{Flags: trace.FlagNoMem | trace.FlagPopChain})
+	out.agents = append(out.agents, &system.Agent{
+		Name: fmt.Sprintf("core%d", coreID), Core: coreID,
+		MLP: r.opt.Sys.CoreMLP, IsCore: true, In: fifo,
+	})
+	out.coreOps = coreOps
+	return out
 }
 
 // hatsVisitor emits the HATS engine's traversal ops: it walks the bipartite

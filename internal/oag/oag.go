@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"chgraph/internal/hypergraph"
+	"chgraph/internal/par"
 )
 
 // DefaultWMin is the paper's default overlap threshold (§IV-A): edges with
@@ -112,8 +113,7 @@ func BuildCapped(g *hypergraph.Bipartite, side Side, wMin uint32, maxDeg int, ch
 	// exact overlap counts in a scatter array.
 	count := make([]uint32, n)
 	touched := make([]uint32, 0, 256)
-	type edge struct{ b, w uint32 }
-	adjTmp := make([][]edge, n)
+	adjTmp := make([][]wedge, n)
 
 	for a := uint32(0); a < n; a++ {
 		touched = touched[:0]
@@ -143,41 +143,160 @@ func BuildCapped(g *hypergraph.Bipartite, side Side, wMin uint32, maxDeg int, ch
 			if chunkOf != nil && chunkOf[a] != chunkOf[b] {
 				continue
 			}
-			adjTmp[a] = append(adjTmp[a], edge{b, w})
-			adjTmp[b] = append(adjTmp[b], edge{a, w})
+			adjTmp[a] = append(adjTmp[a], wedge{b, w})
+			adjTmp[b] = append(adjTmp[b], wedge{a, w})
 		}
 	}
 
-	var total uint32
 	for a := uint32(0); a < n; a++ {
-		o.off[a] = total
-		es := adjTmp[a]
-		// Descending weight, ascending id on ties: the hardware chain
-		// generator reads neighbors in storage order and takes the first
-		// active unvisited one, which is then weight-maximal.
-		sort.Slice(es, func(i, j int) bool {
-			if es[i].w != es[j].w {
-				return es[i].w > es[j].w
-			}
-			return es[i].b < es[j].b
-		})
-		o.buildOps += uint64(len(es)) * uint64(log2ceil(len(es)))
-		if maxDeg > 0 && len(es) > maxDeg {
-			es = es[:maxDeg]
-			adjTmp[a] = es
-		}
-		total += uint32(len(es))
+		o.buildOps += sortAndCap(adjTmp, a, maxDeg)
 	}
-	o.off[n] = total
+	o.assemble(adjTmp)
+	return o
+}
+
+// wedge is one weighted adjacency entry during construction.
+type wedge struct{ b, w uint32 }
+
+// sortAndCap orders node a's temporary adjacency (descending weight,
+// ascending id on ties: the hardware chain generator reads neighbors in
+// storage order and takes the first active unvisited one, which is then
+// weight-maximal), truncates it to maxDeg entries, and returns the sort
+// work units for the build-cost model.
+func sortAndCap(adjTmp [][]wedge, a uint32, maxDeg int) uint64 {
+	es := adjTmp[a]
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].w != es[j].w {
+			return es[i].w > es[j].w
+		}
+		return es[i].b < es[j].b
+	})
+	ops := uint64(len(es)) * uint64(log2ceil(len(es)))
+	if maxDeg > 0 && len(es) > maxDeg {
+		adjTmp[a] = es[:maxDeg]
+	}
+	return ops
+}
+
+// assemble flattens the per-node adjacency into the CSR arrays.
+func (o *OAG) assemble(adjTmp [][]wedge) {
+	var total uint32
+	for a := uint32(0); a < o.n; a++ {
+		o.off[a] = total
+		total += uint32(len(adjTmp[a]))
+	}
+	o.off[o.n] = total
 	o.adj = make([]uint32, 0, total)
 	o.w = make([]uint32, 0, total)
-	for a := uint32(0); a < n; a++ {
+	for a := uint32(0); a < o.n; a++ {
 		for _, e := range adjTmp[a] {
 			o.adj = append(o.adj, e.b)
 			o.w = append(o.w, e.w)
 		}
 	}
+}
+
+// BuildParallel is Build with host-side parallelism: per-chunk OAG
+// construction fans out across at most workers goroutines. Because chunks
+// drop all cross-chunk edges, every chunk's subgraph is independent and the
+// result — adjacency, weights, and BuildOps accounting — is identical to the
+// serial Build on the same inputs. workers <= 1, a missing or non-tiling
+// chunk list, or a single chunk all fall back to the serial path.
+func BuildParallel(g *hypergraph.Bipartite, side Side, wMin uint32, chunks []hypergraph.Chunk, workers int) *OAG {
+	return BuildParallelCapped(g, side, wMin, DefaultMaxDegree, chunks, workers)
+}
+
+// BuildParallelCapped is BuildParallel with an explicit per-node neighbor
+// cap (0 = no cap).
+func BuildParallelCapped(g *hypergraph.Bipartite, side Side, wMin uint32, maxDeg int, chunks []hypergraph.Chunk, workers int) *OAG {
+	if wMin == 0 {
+		wMin = 1
+	}
+	var n uint32
+	neighborsOf := g.IncidentVertices
+	incidentOf := g.IncidentHyperedges
+	if side == Hyperedges {
+		n = g.NumHyperedges()
+	} else {
+		n = g.NumVertices()
+		neighborsOf = g.IncidentHyperedges
+		incidentOf = g.IncidentVertices
+	}
+	if workers <= 1 || len(chunks) <= 1 || !chunksTile(chunks, n) {
+		return BuildCapped(g, side, wMin, maxDeg, chunks)
+	}
+
+	o := &OAG{side: side, n: n, off: make([]uint32, n+1)}
+	adjTmp := make([][]wedge, n)
+	chunkOps := make([]uint64, len(chunks))
+
+	par.For(workers, len(chunks), func(ci int) {
+		ch := chunks[ci]
+		// The counting pass is the serial one restricted to this chunk's
+		// node range; within-chunk peers are b in (a, ch.Hi), so all writes
+		// to adjTmp land inside [ch.Lo, ch.Hi) and never race.
+		count := make([]uint32, n)
+		touched := make([]uint32, 0, 256)
+		var ops uint64
+		for a := ch.Lo; a < ch.Hi && a < n; a++ {
+			touched = touched[:0]
+			for _, mid := range neighborsOf(a) {
+				peers := incidentOf(mid)
+				ops++
+				if len(peers) > HubSkipThreshold {
+					continue
+				}
+				for _, b := range peers {
+					ops++
+					if b <= a {
+						continue
+					}
+					if count[b] == 0 {
+						touched = append(touched, b)
+					}
+					count[b]++
+				}
+			}
+			for _, b := range touched {
+				w := count[b]
+				count[b] = 0
+				if w < wMin {
+					continue
+				}
+				if b >= ch.Hi {
+					continue // cross-chunk edge (b > a >= ch.Lo)
+				}
+				adjTmp[a] = append(adjTmp[a], wedge{b, w})
+				adjTmp[b] = append(adjTmp[b], wedge{a, w})
+			}
+		}
+		// Both endpoints of every surviving edge live in this chunk, so once
+		// the chunk's counting pass completes its adjacency is final: sort
+		// and cap here, inside the worker.
+		for a := ch.Lo; a < ch.Hi && a < n; a++ {
+			ops += sortAndCap(adjTmp, a, maxDeg)
+		}
+		chunkOps[ci] = ops
+	})
+
+	for _, ops := range chunkOps {
+		o.buildOps += ops
+	}
+	o.assemble(adjTmp)
 	return o
+}
+
+// chunksTile reports whether chunks exactly tile [0, n) in ascending order,
+// the precondition for race-free per-chunk construction.
+func chunksTile(chunks []hypergraph.Chunk, n uint32) bool {
+	var next uint32
+	for _, ch := range chunks {
+		if ch.Lo != next || ch.Hi < ch.Lo {
+			return false
+		}
+		next = ch.Hi
+	}
+	return next >= n
 }
 
 func makeChunkIndex(n uint32, chunks []hypergraph.Chunk) []int32 {

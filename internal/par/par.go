@@ -1,0 +1,54 @@
+// Package par provides the small deterministic fan-out helper shared by the
+// host-side parallel layers (OAG construction in internal/oag, phase
+// compilation in internal/engine). It is intentionally minimal: a fixed work
+// list and a shared index counter, no dynamic scheduling state, so the
+// parallel and serial paths visit exactly the same work items — callers are
+// responsible for keeping the items independent, which is what makes the
+// simulated results identical for every worker count.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the default host-side parallelism, the number of
+// OS threads Go will schedule (GOMAXPROCS).
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// For runs fn(i) for every i in [0, n) exactly once. With workers <= 1 (or
+// fewer than two items) the calls run serially in index order on the calling
+// goroutine; otherwise up to workers goroutines pull indices from a shared
+// counter. fn must not rely on cross-index ordering or mutate state shared
+// between indices.
+func For(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,36 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		for _, n := range []int{0, 1, 2, 5, 100} {
+			hits := make([]int64, n)
+			For(workers, n, func(i int) { atomic.AddInt64(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForSerialRunsInOrder(t *testing.T) {
+	var order []int
+	For(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order broken: %v", order)
+		}
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatalf("DefaultWorkers() = %d", DefaultWorkers())
+	}
+}
