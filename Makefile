@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race bench
+.PHONY: tier1 build vet test race bench cover fuzz
 
 # tier1 is the gate every change must pass: clean build, vet, and the full
 # test suite under the race detector (the host-side parallel layers in
@@ -24,3 +24,16 @@ race:
 # Workers=1 vs all CPUs). Speedup requires a multi-core host.
 bench:
 	$(GO) test ./internal/engine/ -run xxx -bench 'Workers' -benchtime 3x
+
+# cover enforces per-package statement-coverage floors (engine, obs,
+# hypergraph); see scripts/cover.sh for the thresholds.
+cover:
+	sh scripts/cover.sh
+
+# fuzz gives each hypergraph fuzz target a short budget on top of the
+# committed seed corpus (testdata/fuzz). Raise FUZZTIME for a deeper run.
+FUZZTIME ?= 10s
+fuzz:
+	for t in FuzzBuild FuzzBuildDirected FuzzFromGraphEdges FuzzReadText FuzzReadBinary; do \
+		$(GO) test ./internal/hypergraph/ -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
+	done

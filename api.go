@@ -20,6 +20,7 @@ package chgraph
 
 import (
 	"fmt"
+	"io"
 
 	"chgraph/internal/algorithms"
 	"chgraph/internal/bitset"
@@ -29,6 +30,7 @@ import (
 	"chgraph/internal/hwcost"
 	"chgraph/internal/hypergraph"
 	"chgraph/internal/oag"
+	"chgraph/internal/obs"
 	"chgraph/internal/sim/system"
 	"chgraph/internal/trace"
 )
@@ -205,7 +207,48 @@ type RunConfig struct {
 	// compile phase op streams. Simulated results are identical for every
 	// value; 0 uses all available CPUs, 1 forces the serial path.
 	Workers int
+	// Observer, if non-nil, receives per-phase, per-iteration and run
+	// snapshots during the run (see NewTimeline / NewLogObserver).
+	// Observers are read-only: attaching one leaves the Result
+	// bit-identical.
+	Observer Observer
 }
+
+// Observability layer (internal/obs re-exported): an Observer taps the
+// engine's per-phase telemetry; a Timeline records it for JSON/CSV export;
+// a leveled log observer prints it as text.
+type (
+	// Observer receives PhaseDone/IterationDone/RunDone snapshots.
+	Observer = obs.Observer
+	// PhaseSnapshot is one computation phase's measurement delta.
+	PhaseSnapshot = obs.PhaseSnapshot
+	// IterationSnapshot summarizes one synchronous iteration.
+	IterationSnapshot = obs.IterationSnapshot
+	// RunSnapshot summarizes a completed run.
+	RunSnapshot = obs.RunSnapshot
+	// Timeline records a run's full trajectory (WriteJSON / WriteCSV).
+	Timeline = obs.Timeline
+	// LogLevel selects log observer verbosity.
+	LogLevel = obs.Level
+)
+
+// Log observer verbosity levels.
+const (
+	LogSilent    = obs.LevelSilent
+	LogRun       = obs.LevelRun
+	LogIteration = obs.LevelIteration
+	LogPhase     = obs.LevelPhase
+)
+
+// NewTimeline returns a timeline recorder to pass as RunConfig.Observer.
+func NewTimeline() *Timeline { return obs.NewTimeline() }
+
+// NewLogObserver returns an observer printing telemetry lines to w at the
+// given verbosity.
+func NewLogObserver(w io.Writer, level LogLevel) Observer { return obs.NewLogger(w, level) }
+
+// MultiObserver fans snapshots out to several observers (nils skipped).
+func MultiObserver(observers ...Observer) Observer { return obs.Multi(observers...) }
 
 // Result reports a run's outputs and architectural measurements.
 type Result struct {
@@ -276,6 +319,7 @@ func Run(g *Hypergraph, algorithm string, cfg RunConfig) (*Result, error) {
 	res, err := engine.Run(g.b, alg, engine.Options{
 		Kind: cfg.Engine, Sys: sys, DMax: cfg.DMax, WMin: cfg.WMin,
 		ChargePreprocess: cfg.IncludePreprocessing, Workers: cfg.Workers,
+		Observer: cfg.Observer,
 	})
 	if err != nil {
 		return nil, err

@@ -9,17 +9,22 @@
 //	chgraph-bench -list                   # available figure ids
 //
 // The -scale flag trades fidelity for speed (e.g. -scale 0.25 for a quick
-// pass); -datasets and -algos restrict the sweeps.
+// pass); -datasets and -algos restrict the sweeps. -metrics-out writes the
+// session's per-cell timelines (one per simulated run, cached cells appear
+// once) as a JSON document; -cpuprofile and -trace capture host profiles.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strings"
 	"time"
 
 	"chgraph/internal/bench"
+	"chgraph/internal/obs"
 )
 
 func main() {
@@ -32,6 +37,11 @@ func main() {
 		parallel = flag.Int("parallel", 0, "max concurrently simulated cells (0 = auto)")
 		workers  = flag.Int("workers", 1, "host worker threads inside each cell (prep/compile); results are identical for every value")
 		verbose  = flag.Bool("v", false, "log every simulated cell")
+		logLevel = flag.Int("loglevel", 0, "telemetry log level on stderr: 0 silent, 1 run, 2 +iterations, 3 +phases (implies -v)")
+
+		metricsOut = flag.String("metrics-out", "", "write session metrics (per-cell timelines + summary) to this JSON file")
+		cpuProfile = flag.String("cpuprofile", "", "write a host CPU profile (pprof) to this file")
+		traceOut   = flag.String("trace", "", "write a host runtime/trace to this file")
 	)
 	flag.Parse()
 
@@ -46,6 +56,31 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *cpuProfile != "" {
+		pf, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() { pprof.StopCPUProfile(); pf.Close() }()
+	}
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := rtrace.Start(tf); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() { rtrace.Stop(); tf.Close() }()
+	}
+
 	cfg := bench.Config{Scale: *scale, Parallel: *parallel, Workers: *workers}
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
@@ -53,10 +88,15 @@ func main() {
 	if *algos != "" {
 		cfg.Algos = strings.Split(*algos, ",")
 	}
-	if *verbose {
-		cfg.Logf = func(format string, args ...interface{}) {
-			fmt.Fprintf(os.Stderr, "[bench] "+format+"\n", args...)
-		}
+	level := obs.Level(*logLevel)
+	if *verbose && level < obs.LevelRun {
+		level = obs.LevelRun
+	}
+	if level > obs.LevelSilent {
+		cfg.Log = obs.NewLogger(os.Stderr, level)
+	}
+	if *metricsOut != "" {
+		cfg.Metrics = obs.NewSessionMetrics()
 	}
 	session := bench.NewSession(cfg)
 
@@ -79,5 +119,24 @@ func main() {
 		table := r.Run(session)
 		fmt.Println(table.String())
 		fmt.Printf("(%s regenerated in %v)\n\n", r.ID, time.Since(t0).Round(time.Millisecond))
+	}
+
+	if cfg.Metrics != nil {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		err = cfg.Metrics.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sum := cfg.Metrics.Summary()
+		fmt.Fprintf(os.Stderr, "session metrics written to %s (%d runs, %d phases, %d simulated cycles)\n",
+			*metricsOut, sum.Runs, sum.Phases, sum.SimulatedCycles)
 	}
 }

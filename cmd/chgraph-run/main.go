@@ -5,12 +5,20 @@
 //
 //	chgraph-run -dataset WEB -algo PR -engine chgraph
 //	chgraph-run -dataset WEB -algo PR -engine hygra
+//	chgraph-run -dataset WEB -algo PR -metrics-out run.json -loglevel 2
+//
+// Observability: -metrics-out writes the run's full per-phase timeline as
+// JSON (or CSV when the path ends in .csv); -loglevel 1..3 streams run /
+// iteration / phase telemetry to stderr; -cpuprofile and -trace capture
+// host-side pprof and runtime/trace profiles of the simulation.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strings"
 
 	chgraph "chgraph"
@@ -37,6 +45,11 @@ func main() {
 		prep    = flag.Bool("prep", false, "charge preprocessing time")
 		source  = flag.Uint("source", 0, "source vertex for BFS/BC/SSSP")
 		workers = flag.Int("workers", 0, "host worker threads for prep/compile (0 = all CPUs, 1 = serial); results are identical for every value")
+
+		metricsOut = flag.String("metrics-out", "", "write the per-phase timeline to this file (JSON, or CSV if the path ends in .csv)")
+		logLevel   = flag.Int("loglevel", 0, "telemetry log level on stderr: 0 silent, 1 run, 2 +iterations, 3 +phases")
+		cpuProfile = flag.String("cpuprofile", "", "write a host CPU profile (pprof) to this file")
+		traceOut   = flag.String("trace", "", "write a host runtime/trace to this file")
 	)
 	flag.Parse()
 
@@ -67,13 +80,64 @@ func main() {
 	fmt.Printf("%s: %d vertices, %d hyperedges, %d bipartite edges (%.1f MB)\n",
 		*dataset, st.NumVertices, st.NumHyperedges, st.NumBipartiteEdges, float64(st.SizeBytes)/(1<<20))
 
+	// Profiling hooks cover the whole run (prep + compile + simulation).
+	if *cpuProfile != "" {
+		pf, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() { pprof.StopCPUProfile(); pf.Close() }()
+	}
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := rtrace.Start(tf); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() { rtrace.Stop(); tf.Close() }()
+	}
+
+	var timeline *chgraph.Timeline
+	var observers []chgraph.Observer
+	if *metricsOut != "" {
+		timeline = chgraph.NewTimeline()
+		observers = append(observers, timeline)
+	}
+	if *logLevel > 0 {
+		observers = append(observers, chgraph.NewLogObserver(os.Stderr, chgraph.LogLevel(*logLevel)))
+	}
+	var observer chgraph.Observer
+	if len(observers) == 1 {
+		observer = observers[0]
+	} else if len(observers) > 1 {
+		observer = chgraph.MultiObserver(observers...)
+	}
+
 	res, err := chgraph.Run(g, *algo, chgraph.RunConfig{
 		Engine: kind, Cores: *cores, DMax: *dmax, WMin: uint32(*wmin),
 		IncludePreprocessing: *prep, Source: uint32(*source), Workers: *workers,
+		Observer: observer,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if timeline != nil {
+		if err := writeTimeline(timeline, *metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metricsOut)
 	}
 
 	fmt.Printf("\n%s / %s on %s\n", *eng, *algo, *dataset)
@@ -90,4 +154,22 @@ func main() {
 	if res.Chains > 0 {
 		fmt.Printf("  chains:            %d (avg length %.2f)\n", res.Chains, float64(res.ChainNodes)/float64(res.Chains))
 	}
+}
+
+// writeTimeline exports the recorded timeline, choosing CSV for .csv paths
+// and JSON otherwise.
+func writeTimeline(t *chgraph.Timeline, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(strings.ToLower(path), ".csv") {
+		err = t.WriteCSV(f)
+	} else {
+		err = t.WriteJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"chgraph/internal/bench"
+	"chgraph/internal/obs"
 )
 
 // Figure identifies one reproducible table/figure from the paper.
@@ -36,6 +37,10 @@ type ExperimentConfig struct {
 	Logf func(format string, args ...interface{})
 }
 
+// ExperimentMetrics exposes the session-level telemetry of an Experiments
+// session (one timeline per simulated cell); see SessionMetrics.WriteJSON.
+type ExperimentMetrics = obs.SessionMetrics
+
 // ReproduceFigure regenerates one table/figure and returns it as printable
 // text. Runs within one Experiments session share dataset and simulation
 // caches; for multiple figures prefer NewExperiments.
@@ -48,13 +53,21 @@ type Experiments struct {
 	s *bench.Session
 }
 
-// NewExperiments builds a session.
+// NewExperiments builds a session. Every simulated cell's timeline is
+// collected and available through Metrics.
 func NewExperiments(cfg ExperimentConfig) *Experiments {
+	var log *obs.Logger
+	if cfg.Logf != nil {
+		log = obs.NewLoggerFunc(cfg.Logf, obs.LevelRun)
+	}
 	return &Experiments{s: bench.NewSession(bench.Config{
 		Scale: cfg.Scale, Datasets: cfg.Datasets, Algos: cfg.Algos,
-		Parallel: cfg.Parallel, Logf: cfg.Logf,
+		Parallel: cfg.Parallel, Log: log, Metrics: obs.NewSessionMetrics(),
 	})}
 }
+
+// Metrics returns the session's aggregated per-cell telemetry.
+func (e *Experiments) Metrics() *ExperimentMetrics { return e.s.Metrics() }
 
 // Reproduce regenerates the identified figure.
 func (e *Experiments) Reproduce(id string) (string, error) {

@@ -16,6 +16,7 @@ import (
 	"chgraph/internal/engine"
 	"chgraph/internal/gen"
 	"chgraph/internal/hypergraph"
+	"chgraph/internal/obs"
 	"chgraph/internal/sim/system"
 )
 
@@ -38,9 +39,14 @@ type Config struct {
 	Datasets []string
 	// Algos restricts the algorithm list (nil = all six).
 	Algos []string
-	// Verbose prints progress lines.
-	Verbose bool
-	Logf    func(format string, args ...interface{})
+	// Log receives progress lines and (at higher levels) per-run
+	// telemetry; nil is silent. It replaces the old Logf callback.
+	Log *obs.Logger
+	// Metrics, if non-nil, aggregates every simulated cell's timeline
+	// under its run key for session-level export (chgraph-bench
+	// -metrics-out). Cached cells never re-run, so each key is recorded
+	// exactly once per execution.
+	Metrics *obs.SessionMetrics
 }
 
 func (c Config) withDefaults() Config {
@@ -69,9 +75,6 @@ func (c Config) withDefaults() Config {
 	if len(c.Algos) == 0 {
 		c.Algos = algorithms.HypergraphAlgos
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...interface{}) {}
-	}
 	return c
 }
 
@@ -79,24 +82,36 @@ func (c Config) withDefaults() Config {
 type Session struct {
 	cfg Config
 
-	mu    sync.Mutex
-	data  map[string]*hypergraph.Bipartite
-	preps map[string]*engine.Prep
-	runs  map[string]*engine.Result
-	sem   chan struct{}
+	mu       sync.Mutex
+	data     map[string]*hypergraph.Bipartite
+	preps    map[string]*engine.Prep
+	runs     map[string]*engine.Result
+	inflight map[string]*inflightRun
+	sem      chan struct{}
+}
+
+// inflightRun is the per-key singleflight record: the first caller of a key
+// simulates it, every concurrent duplicate waits on done and shares res.
+type inflightRun struct {
+	done chan struct{}
+	res  *engine.Result
 }
 
 // NewSession builds a session.
 func NewSession(cfg Config) *Session {
 	cfg = cfg.withDefaults()
 	return &Session{
-		cfg:   cfg,
-		data:  map[string]*hypergraph.Bipartite{},
-		preps: map[string]*engine.Prep{},
-		runs:  map[string]*engine.Result{},
-		sem:   make(chan struct{}, cfg.Parallel),
+		cfg:      cfg,
+		data:     map[string]*hypergraph.Bipartite{},
+		preps:    map[string]*engine.Prep{},
+		runs:     map[string]*engine.Result{},
+		inflight: map[string]*inflightRun{},
+		sem:      make(chan struct{}, cfg.Parallel),
 	}
 }
+
+// Metrics returns the session's aggregator (nil when not configured).
+func (s *Session) Metrics() *obs.SessionMetrics { return s.cfg.Metrics }
 
 // Cfg returns the session configuration (with defaults applied).
 func (s *Session) Cfg() Config { return s.cfg }
@@ -172,7 +187,9 @@ func (rs RunSpec) key() string {
 	return fmt.Sprintf("%s/%s/%v/d%d/w%d/ch%v/re%v%s", rs.Dataset, rs.Algo, rs.Kind, rs.DMax, rs.WMin, rs.Charge, rs.Reordered, sys)
 }
 
-// Run simulates one cell (cached).
+// Run simulates one cell (cached). Concurrent callers with the same key
+// coalesce into a single simulation: exactly one engine.Run executes per
+// key, duplicates block until it completes and share its Result.
 func (s *Session) Run(rs RunSpec) *engine.Result {
 	key := rs.key()
 	s.mu.Lock()
@@ -180,18 +197,17 @@ func (s *Session) Run(rs RunSpec) *engine.Result {
 		s.mu.Unlock()
 		return r
 	}
+	if f, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		<-f.done
+		return f.res
+	}
+	f := &inflightRun{done: make(chan struct{})}
+	s.inflight[key] = f
 	s.mu.Unlock()
 
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
-	// Re-check after acquiring the semaphore (another goroutine may have
-	// computed it while we waited).
-	s.mu.Lock()
-	if r, ok := s.runs[key]; ok {
-		s.mu.Unlock()
-		return r
-	}
-	s.mu.Unlock()
 
 	g := s.Dataset(rs.Dataset)
 	wMin := rs.WMin
@@ -213,17 +229,28 @@ func (s *Session) Run(rs RunSpec) *engine.Result {
 	if !ok {
 		panic("bench: unknown algorithm " + rs.Algo)
 	}
-	s.cfg.Logf("run %s", key)
+	s.cfg.Log.Logf("run %s", key)
+	var ob obs.Observer
+	if s.cfg.Metrics != nil {
+		ob = s.cfg.Metrics.Observe(key)
+	}
+	if s.cfg.Log.Enabled(obs.LevelIteration) {
+		ob = obs.Multi(ob, s.cfg.Log)
+	}
 	res, err := engine.Run(g, alg, engine.Options{
 		Kind: rs.Kind, Sys: sys, DMax: rs.DMax, WMin: wMin,
 		Prep: prep, ChargePreprocess: rs.Charge, Workers: s.cfg.Workers,
+		Observer: ob,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("bench: %s: %v", key, err))
 	}
 	s.mu.Lock()
 	s.runs[key] = res
+	delete(s.inflight, key)
 	s.mu.Unlock()
+	f.res = res
+	close(f.done)
 	return res
 }
 

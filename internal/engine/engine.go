@@ -27,6 +27,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"chgraph/internal/algorithms"
 	"chgraph/internal/bitset"
@@ -34,6 +35,7 @@ import (
 	"chgraph/internal/core"
 	"chgraph/internal/hypergraph"
 	"chgraph/internal/oag"
+	"chgraph/internal/obs"
 	"chgraph/internal/par"
 	"chgraph/internal/sim/system"
 	"chgraph/internal/trace"
@@ -170,6 +172,10 @@ type Options struct {
 	// core order. 0 selects runtime.GOMAXPROCS(0); 1 is the fully serial
 	// path.
 	Workers int
+	// Observer, if non-nil, receives per-phase, per-iteration and run
+	// snapshots (internal/obs). Observers are read-only taps: attaching
+	// one leaves every Result field bit-identical.
+	Observer obs.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -299,6 +305,11 @@ func Run(g *hypergraph.Bipartite, alg algorithms.Algorithm, opt Options) (*Resul
 	sys := system.New(opt.Sys)
 	res := &Result{Kind: opt.Kind}
 
+	var hostStart time.Time
+	if opt.Observer != nil {
+		hostStart = time.Now()
+	}
+
 	if opt.ChargePreprocess {
 		res.PreprocessCycles = prepCycles(g, prep, opt)
 		sys.AddCycles(res.PreprocessCycles)
@@ -309,7 +320,7 @@ func Run(g *hypergraph.Bipartite, alg algorithms.Algorithm, opt Options) (*Resul
 	frontierV := bitset.New(g.NumVertices())
 	alg.Init(s, frontierV)
 
-	r := &runner{g: g, s: s, alg: alg, opt: opt, prep: prep, sys: sys, res: res}
+	r := &runner{g: g, s: s, alg: alg, opt: opt, prep: prep, sys: sys, res: res, obs: opt.Observer}
 
 	maxIter := alg.MaxIterations()
 	for {
@@ -333,6 +344,14 @@ func Run(g *hypergraph.Bipartite, alg algorithms.Algorithm, opt Options) (*Resul
 		res.Iterations++
 		done := alg.AfterVertexPhase(s, nextV)
 		frontierV = nextV
+		if r.obs != nil {
+			r.obs.IterationDone(obs.IterationSnapshot{
+				Iteration:      res.Iterations - 1,
+				ActiveVertices: frontierV.Count(),
+				Cycles:         sys.Elapsed(),
+				EdgesProcessed: res.EdgesProcessed,
+			})
+		}
 		if done {
 			break
 		}
@@ -345,7 +364,39 @@ func Run(g *hypergraph.Bipartite, alg algorithms.Algorithm, opt Options) (*Resul
 	res.MemStallCycles = sys.MemStallCycles
 	res.FifoStallCycles = sys.FifoStallCycles
 	res.L1Hits, res.L1Misses, res.L2Hits, res.L2Misses, res.L3Hits, res.L3Misses = sys.Hier.CacheStats()
+	if r.obs != nil {
+		r.obs.RunDone(runSnapshot(res, alg.Name(), sys.Phases, time.Since(hostStart)))
+	}
 	return res, nil
+}
+
+// runSnapshot projects a final Result into the obs schema.
+func runSnapshot(res *Result, algName string, phases int, hostWall time.Duration) obs.RunSnapshot {
+	return obs.RunSnapshot{
+		Engine:           res.Kind.String(),
+		Algorithm:        algName,
+		Iterations:       res.Iterations,
+		Phases:           phases,
+		Cycles:           res.Cycles,
+		PreprocessCycles: res.PreprocessCycles,
+		MemReads:         res.MemReads,
+		MemWrites:        res.MemWrites,
+		CoreCycles:       res.CoreCycles,
+		MemStallCycles:   res.MemStallCycles,
+		FifoStallCycles:  res.FifoStallCycles,
+		L1Hits:           res.L1Hits,
+		L1Misses:         res.L1Misses,
+		L2Hits:           res.L2Hits,
+		L2Misses:         res.L2Misses,
+		L3Hits:           res.L3Hits,
+		L3Misses:         res.L3Misses,
+		EdgesProcessed:   res.EdgesProcessed,
+		ChainCount:       res.ChainCount,
+		ChainNodes:       res.ChainNodes,
+		ChainGenCount:    res.ChainGenCount,
+		ChainGenNodes:    res.ChainGenNodes,
+		HostWall:         hostWall,
+	}
 }
 
 // prepCycles models preprocessing time (Figure 21(a)/22): CSR construction

@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"chgraph/internal/algorithms"
+)
+
+// goldenUpdate regenerates testdata/golden.json from the current build:
+//
+//	go test ./internal/engine/ -run TestGoldenDeterminism -update-golden
+var goldenUpdate = flag.Bool("update-golden", false, "rewrite the golden determinism file")
+
+const goldenPath = "testdata/golden.json"
+
+// goldenEntry pins the externally observable outcome of one engine×algorithm
+// cell on the fixed golden hypergraph. Any drift — a cycle count, a single
+// DRAM access, one chain more or less, a float bit in the final state —
+// fails TestGoldenDeterminism until the change is acknowledged by
+// regenerating the file.
+type goldenEntry struct {
+	Iterations     int    `json:"iterations"`
+	Cycles         uint64 `json:"cycles"`
+	MemTotal       uint64 `json:"mem_total"`
+	EdgesProcessed uint64 `json:"edges_processed"`
+	ChainCount     uint64 `json:"chain_count"`
+	ChainGenCount  uint64 `json:"chain_gen_count"`
+	// StateChecksum is an FNV-64a digest over the exact IEEE-754 bits of
+	// the final vertex and hyperedge values.
+	StateChecksum string `json:"state_checksum"`
+}
+
+// stateChecksum digests the final algorithm state bit-exactly.
+func stateChecksum(st *algorithms.State) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(f float64) {
+		bits := math.Float64bits(f)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, v := range st.VertexVal {
+		put(v)
+	}
+	for _, v := range st.HyperedgeVal {
+		put(v)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// goldenAlgorithms returns the algorithm set pinned by the golden file.
+func goldenAlgorithms() map[string]func() algorithms.Algorithm {
+	return map[string]func() algorithms.Algorithm{
+		"BFS": func() algorithms.Algorithm { return algorithms.NewBFS(0) },
+		"PR":  func() algorithms.Algorithm { return algorithms.NewPageRank(5) },
+	}
+}
+
+func goldenResult(t *testing.T, kind Kind, mk func() algorithms.Algorithm, workers int) *Result {
+	t.Helper()
+	res, err := Run(smallHG(11), mk(), Options{Kind: kind, Sys: testSys(), Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func entryOf(res *Result) goldenEntry {
+	return goldenEntry{
+		Iterations:     res.Iterations,
+		Cycles:         res.Cycles,
+		MemTotal:       res.MemTotal(),
+		EdgesProcessed: res.EdgesProcessed,
+		ChainCount:     res.ChainCount,
+		ChainGenCount:  res.ChainGenCount,
+		StateChecksum:  stateChecksum(res.State),
+	}
+}
+
+// TestGoldenDeterminism runs every engine kind on the fixed golden input and
+// compares the complete observable outcome against the committed golden
+// file. It is the regression tripwire for simulation semantics: timing,
+// memory traffic, chain scheduling and numeric results must all reproduce
+// exactly on every platform and Go version.
+func TestGoldenDeterminism(t *testing.T) {
+	got := map[string]goldenEntry{}
+	for _, kind := range allKinds {
+		for algName, mk := range goldenAlgorithms() {
+			key := kind.String() + "/" + algName
+			got[key] = entryOf(goldenResult(t, kind, mk, 1))
+		}
+	}
+
+	if *goldenUpdate {
+		keys := make([]string, 0, len(got))
+		for k := range got {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		ordered := make(map[string]goldenEntry, len(got)) // json sorts keys
+		for _, k := range keys {
+			ordered[k] = got[k]
+		}
+		raw, err := json.MarshalIndent(ordered, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden entries to %s", len(got), goldenPath)
+		return
+	}
+
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update-golden): %v", err)
+	}
+	var want map[string]goldenEntry
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden file has %d entries, build produced %d", len(want), len(got))
+	}
+	for key, w := range want {
+		g, ok := got[key]
+		if !ok {
+			t.Errorf("%s: in golden file but not produced", key)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s drifted:\n  golden: %+v\n  got:    %+v", key, w, g)
+		}
+	}
+	for key := range got {
+		if _, ok := want[key]; !ok {
+			t.Errorf("%s: produced but missing from golden file (regenerate with -update-golden)", key)
+		}
+	}
+}
+
+// TestGoldenRerunStable re-executes one cell and demands identical Results
+// object-for-object: the simulation has no hidden global state.
+func TestGoldenRerunStable(t *testing.T) {
+	mk := goldenAlgorithms()["PR"]
+	a := goldenResult(t, ChGraph, mk, 1)
+	b := goldenResult(t, ChGraph, mk, 1)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two identical runs produced different Results")
+	}
+}
+
+// TestGoldenWorkerEquivalence pins the host-parallelism contract: for every
+// kind and algorithm, Workers=1 and Workers=4 must produce bit-identical
+// Results (the golden entries are therefore worker-count independent).
+func TestGoldenWorkerEquivalence(t *testing.T) {
+	for _, kind := range allKinds {
+		for algName, mk := range goldenAlgorithms() {
+			serial := goldenResult(t, kind, mk, 1)
+			parallel := goldenResult(t, kind, mk, 4)
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Errorf("%v/%s: Workers=4 diverged from Workers=1", kind, algName)
+			}
+			if entryOf(serial) != entryOf(parallel) {
+				t.Errorf("%v/%s: golden projection differs across worker counts", kind, algName)
+			}
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package engine
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"chgraph/internal/algorithms"
+	"chgraph/internal/obs"
+	"chgraph/internal/trace"
+)
+
+// TestTimelineSumsMatchResult is the observability acceptance test: the
+// per-phase timeline must account for the run's aggregates exactly — summed
+// phase cycles (plus charged preprocessing) equal Result.Cycles, and every
+// per-array / stall / cache / chain counter sums to its Result total.
+func TestTimelineSumsMatchResult(t *testing.T) {
+	g := smallHG(3)
+	for _, kind := range allKinds {
+		for _, charge := range []bool{false, true} {
+			for _, mk := range []func() algorithms.Algorithm{
+				func() algorithms.Algorithm { return algorithms.NewBFS(0) },
+				func() algorithms.Algorithm { return algorithms.NewPageRank(4) },
+			} {
+				alg := mk()
+				tl := obs.NewTimeline()
+				res, err := Run(g, alg, Options{Kind: kind, Sys: testSys(), Workers: 1, ChargePreprocess: charge, Observer: tl})
+				if err != nil {
+					t.Fatalf("%v/%s: %v", kind, alg.Name(), err)
+				}
+				sum := tl.Sum()
+				name := kind.String() + "/" + alg.Name()
+
+				if got := sum.Cycles + res.PreprocessCycles; got != res.Cycles {
+					t.Errorf("%s: phase cycles %d + preprocess %d != total %d", name, sum.Cycles, res.PreprocessCycles, res.Cycles)
+				}
+				if sum.MemReads != res.MemReads {
+					t.Errorf("%s: per-phase reads %v != result %v", name, sum.MemReads, res.MemReads)
+				}
+				if sum.MemWrites != res.MemWrites {
+					t.Errorf("%s: per-phase writes %v != result %v", name, sum.MemWrites, res.MemWrites)
+				}
+				if sum.CoreCycles != res.CoreCycles || sum.MemStallCycles != res.MemStallCycles || sum.FifoStallCycles != res.FifoStallCycles {
+					t.Errorf("%s: stall sums (%d,%d,%d) != result (%d,%d,%d)", name,
+						sum.CoreCycles, sum.MemStallCycles, sum.FifoStallCycles,
+						res.CoreCycles, res.MemStallCycles, res.FifoStallCycles)
+				}
+				if sum.L1Hits != res.L1Hits || sum.L1Misses != res.L1Misses ||
+					sum.L2Hits != res.L2Hits || sum.L2Misses != res.L2Misses ||
+					sum.L3Hits != res.L3Hits || sum.L3Misses != res.L3Misses {
+					t.Errorf("%s: cache sums mismatch result", name)
+				}
+				if sum.EdgesProcessed != res.EdgesProcessed {
+					t.Errorf("%s: edges %d != %d", name, sum.EdgesProcessed, res.EdgesProcessed)
+				}
+				if sum.ChainCount != res.ChainCount || sum.ChainNodes != res.ChainNodes ||
+					sum.ChainGenCount != res.ChainGenCount || sum.ChainGenNodes != res.ChainGenNodes {
+					t.Errorf("%s: chain sums mismatch result", name)
+				}
+
+				run, done := tl.Run()
+				if !done {
+					t.Fatalf("%s: RunDone never fired", name)
+				}
+				if run.Cycles != res.Cycles || run.MemReads != res.MemReads || run.MemWrites != res.MemWrites ||
+					run.EdgesProcessed != res.EdgesProcessed || run.Iterations != res.Iterations ||
+					run.PreprocessCycles != res.PreprocessCycles {
+					t.Errorf("%s: run snapshot disagrees with Result", name)
+				}
+				if run.Engine != kind.String() || run.Algorithm != alg.Name() {
+					t.Errorf("%s: run snapshot labelled %s/%s", name, run.Engine, run.Algorithm)
+				}
+				if run.Phases != len(tl.Phases()) {
+					t.Errorf("%s: run says %d phases, timeline recorded %d", name, run.Phases, len(tl.Phases()))
+				}
+			}
+		}
+	}
+}
+
+// TestPhaseSnapshotShape checks the per-phase metadata: sequence numbers,
+// iteration/phase indices, frontier counts and the chain memoization flag.
+func TestPhaseSnapshotShape(t *testing.T) {
+	g := smallHG(5)
+	tl := obs.NewTimeline()
+	res, err := Run(g, algorithms.NewPageRank(4), Options{Kind: ChGraph, Sys: testSys(), Workers: 1, Observer: tl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := tl.Phases()
+	if len(phases) == 0 {
+		t.Fatal("no phases recorded")
+	}
+	sawReplay := false
+	for i, p := range phases {
+		if p.Seq != i {
+			t.Errorf("phase %d has seq %d", i, p.Seq)
+		}
+		if p.Phase != i%2 {
+			t.Errorf("phase %d has side %d, want alternating", i, p.Phase)
+		}
+		if p.Iteration != i/2 {
+			t.Errorf("phase %d has iteration %d", i, p.Iteration)
+		}
+		if p.Engine != "ChGraph" {
+			t.Errorf("phase %d engine %q", i, p.Engine)
+		}
+		if p.Frontier == 0 {
+			t.Errorf("phase %d observed with empty frontier", i)
+		}
+		if p.Cycles == 0 {
+			t.Errorf("phase %d has zero cycles", i)
+		}
+		if p.Replayed {
+			sawReplay = true
+			if p.ChainGenCount != 0 {
+				t.Errorf("replayed phase %d reports %d generated chains", i, p.ChainGenCount)
+			}
+		}
+	}
+	// PageRank stays all-active: iterations beyond the first replay the
+	// memoized schedule (§VI-B).
+	if res.Iterations > 1 && !sawReplay {
+		t.Error("multi-iteration PageRank never replayed a memoized schedule")
+	}
+	its := tl.Iterations()
+	if len(its) != res.Iterations {
+		t.Fatalf("%d iteration snapshots, want %d", len(its), res.Iterations)
+	}
+	last := its[len(its)-1]
+	if last.Cycles != res.Cycles || last.EdgesProcessed != res.EdgesProcessed {
+		t.Errorf("final iteration snapshot (%d cycles, %d edges) disagrees with result (%d, %d)",
+			last.Cycles, last.EdgesProcessed, res.Cycles, res.EdgesProcessed)
+	}
+}
+
+// TestObserverResultBitIdentical asserts the null-observer guarantee: a run
+// with no observer, a Null observer, and a recording Timeline produce
+// Results that are deeply identical, field for field, state included.
+func TestObserverResultBitIdentical(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		g := smallHG(seed)
+		for _, kind := range allKinds {
+			for _, mk := range []func() algorithms.Algorithm{
+				func() algorithms.Algorithm { return algorithms.NewBFS(0) },
+				func() algorithms.Algorithm { return algorithms.NewPageRank(3) },
+			} {
+				base, err := Run(g, mk(), Options{Kind: kind, Sys: testSys(), Workers: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				withNull, err := Run(g, mk(), Options{Kind: kind, Sys: testSys(), Workers: 1, Observer: obs.Null{}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				withTimeline, err := Run(g, mk(), Options{Kind: kind, Sys: testSys(), Workers: 1, Observer: obs.NewTimeline()})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(base, withNull) {
+					t.Fatalf("seed %d %v: Null observer perturbed the Result", seed, kind)
+				}
+				if !reflect.DeepEqual(base, withTimeline) {
+					t.Fatalf("seed %d %v: Timeline observer perturbed the Result", seed, kind)
+				}
+			}
+		}
+	}
+}
+
+// TestTimelineExportRoundTrip exercises the structured export paths on a
+// real run: JSON round-trips losslessly and CSV has one row per phase with
+// the full column set.
+func TestTimelineExportRoundTrip(t *testing.T) {
+	g := smallHG(7)
+	tl := obs.NewTimeline()
+	if _, err := Run(g, algorithms.NewBFS(0), Options{Kind: GLA, Sys: testSys(), Workers: 1, Observer: tl}); err != nil {
+		t.Fatal(err)
+	}
+
+	var js bytes.Buffer
+	if err := tl.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	back, err := obs.ReadTimelineJSON(bytes.NewReader(js.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tl.Phases(), back.Phases()) {
+		t.Error("JSON round trip changed phase snapshots")
+	}
+	if !reflect.DeepEqual(tl.Iterations(), back.Iterations()) {
+		t.Error("JSON round trip changed iteration snapshots")
+	}
+	r1, _ := tl.Run()
+	r2, _ := back.Run()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Error("JSON round trip changed the run snapshot")
+	}
+
+	var csvBuf bytes.Buffer
+	if err := tl.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != len(tl.Phases())+1 {
+		t.Fatalf("CSV has %d lines, want header + %d phases", len(lines), len(tl.Phases()))
+	}
+	wantCols := 11 + 2*int(trace.NumArrays) + 6 + 5 + 4
+	if got := len(strings.Split(lines[0], ",")); got != wantCols {
+		t.Fatalf("CSV header has %d columns, want %d", got, wantCols)
+	}
+}
+
+// BenchmarkRunObserver measures observation overhead. The "none" case is
+// the default nil-observer path, whose only added work is one nil check
+// per phase (TestObserverResultBitIdentical proves it changes nothing);
+// "null" and "timeline" price the snapshot computation itself. Compare:
+//
+//	go test ./internal/engine/ -run xxx -bench RunObserver -benchtime 5x
+func BenchmarkRunObserver(b *testing.B) {
+	g := smallHG(2)
+	for _, bench := range []struct {
+		name string
+		ob   obs.Observer
+	}{
+		{"none", nil},
+		{"null", obs.Null{}},
+		{"timeline", obs.NewTimeline()},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(g, algorithms.NewPageRank(8), Options{Kind: ChGraph, Sys: testSys(), Workers: 1, Observer: bench.ob}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

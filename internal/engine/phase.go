@@ -2,12 +2,14 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"chgraph/internal/algorithms"
 	"chgraph/internal/bitset"
 	"chgraph/internal/core"
 	"chgraph/internal/hats"
 	"chgraph/internal/hypergraph"
+	"chgraph/internal/obs"
 	"chgraph/internal/par"
 	"chgraph/internal/sim/system"
 	"chgraph/internal/trace"
@@ -41,6 +43,16 @@ type runner struct {
 	// first (rather than every) iteration". The replayed schedule is
 	// streamed from a chain-queue array in memory.
 	chainCache [2]*chainCacheEntry
+
+	// Observability (nil obs = zero-overhead fast path). seq numbers
+	// observed phases; lastReplayed and the host pass times are scratch
+	// written by compilePhase for the phase snapshot.
+	obs          obs.Observer
+	seq          int
+	lastReplayed bool
+	hostCompile  time.Duration
+	hostApply    time.Duration
+	hostStitch   time.Duration
 }
 
 type chainCacheEntry struct {
@@ -57,6 +69,7 @@ type chainCacheEntry struct {
 // replayed, keeping the stats consistent with EdgesProcessed);
 // ChainGenCount/ChainGenNodes accumulate only on fresh generation.
 func (r *runner) chains(ph *phaseSpec, phaseIdx int, mkVis func(chunk int) core.Visitor) (css []core.ChainSet, replayed bool) {
+	defer func() { r.lastReplayed = replayed }()
 	if cc := r.chainCache[phaseIdx]; cc != nil && bitmapsEqual(cc.frontier, ph.frontier) {
 		css, replayed = cc.css, true
 	} else {
@@ -103,22 +116,97 @@ func chainQueueAddr(side int, idx uint64) uint64 {
 
 // runPhase compiles one computation phase into per-agent op streams under
 // the selected execution model and replays them on the simulated system.
+// With an observer attached it additionally captures the phase's counter
+// deltas into a PhaseSnapshot; every captured value is read from counters
+// the simulation maintains anyway, so the Result is unaffected.
 func (r *runner) runPhase(ph *phaseSpec, apply edgeFunc) {
-	if ph.frontier.Count() == 0 {
+	frontier := ph.frontier.Count()
+	if frontier == 0 {
 		return
 	}
 	phaseIdx := 0
 	if ph.srcBm == bmHyperedge {
 		phaseIdx = 1
 	}
+
+	var snap obs.PhaseSnapshot
+	var simStart time.Time
+	if r.obs != nil {
+		snap = r.beginSnapshot(phaseIdx, frontier)
+	}
+
 	before := r.sys.Hier.Mem().AccessesByArray()
-	defer func() {
-		after := r.sys.Hier.Mem().AccessesByArray()
-		for a := range after {
-			r.res.MemByPhase[phaseIdx][a] += after[a] - before[a]
-		}
-	}()
-	r.sys.RunPhase(r.compilePhase(ph, apply))
+	agents := r.compilePhase(ph, apply)
+	if r.obs != nil {
+		simStart = time.Now()
+	}
+	dur := r.sys.RunPhase(agents)
+	after := r.sys.Hier.Mem().AccessesByArray()
+	for a := range after {
+		r.res.MemByPhase[phaseIdx][a] += after[a] - before[a]
+	}
+
+	if r.obs != nil {
+		r.endSnapshot(&snap, ph, dur, time.Since(simStart))
+		r.obs.PhaseDone(snap)
+	}
+}
+
+// beginSnapshot captures the cumulative counters a phase snapshot is
+// computed against (endSnapshot turns them into deltas).
+func (r *runner) beginSnapshot(phaseIdx int, frontier uint64) obs.PhaseSnapshot {
+	snap := obs.PhaseSnapshot{
+		Seq:             r.seq,
+		Iteration:       r.s.Iter,
+		Phase:           phaseIdx,
+		Engine:          r.opt.Kind.String(),
+		Frontier:        frontier,
+		CoreCycles:      r.sys.CoreCycles,
+		MemStallCycles:  r.sys.MemStallCycles,
+		FifoStallCycles: r.sys.FifoStallCycles,
+		MemReads:        r.sys.Hier.Mem().Reads,
+		MemWrites:       r.sys.Hier.Mem().Writes,
+		EdgesProcessed:  r.res.EdgesProcessed,
+		ChainCount:      r.res.ChainCount,
+		ChainNodes:      r.res.ChainNodes,
+		ChainGenCount:   r.res.ChainGenCount,
+		ChainGenNodes:   r.res.ChainGenNodes,
+	}
+	snap.L1Hits, snap.L1Misses, snap.L2Hits, snap.L2Misses, snap.L3Hits, snap.L3Misses = r.sys.Hier.CacheStats()
+	r.seq++
+	return snap
+}
+
+// endSnapshot converts the begin-state counters held in snap into phase
+// deltas and fills in the phase's own measurements.
+func (r *runner) endSnapshot(snap *obs.PhaseSnapshot, ph *phaseSpec, dur uint64, simWall time.Duration) {
+	snap.Dense = ph.dense
+	snap.Replayed = r.lastReplayed
+	snap.Cycles = dur
+	snap.CoreCycles = r.sys.CoreCycles - snap.CoreCycles
+	snap.MemStallCycles = r.sys.MemStallCycles - snap.MemStallCycles
+	snap.FifoStallCycles = r.sys.FifoStallCycles - snap.FifoStallCycles
+	mem := r.sys.Hier.Mem()
+	for a := range snap.MemReads {
+		snap.MemReads[a] = mem.Reads[a] - snap.MemReads[a]
+		snap.MemWrites[a] = mem.Writes[a] - snap.MemWrites[a]
+	}
+	l1h, l1m, l2h, l2m, l3h, l3m := r.sys.Hier.CacheStats()
+	snap.L1Hits = l1h - snap.L1Hits
+	snap.L1Misses = l1m - snap.L1Misses
+	snap.L2Hits = l2h - snap.L2Hits
+	snap.L2Misses = l2m - snap.L2Misses
+	snap.L3Hits = l3h - snap.L3Hits
+	snap.L3Misses = l3m - snap.L3Misses
+	snap.EdgesProcessed = r.res.EdgesProcessed - snap.EdgesProcessed
+	snap.ChainCount = r.res.ChainCount - snap.ChainCount
+	snap.ChainNodes = r.res.ChainNodes - snap.ChainNodes
+	snap.ChainGenCount = r.res.ChainGenCount - snap.ChainGenCount
+	snap.ChainGenNodes = r.res.ChainGenNodes - snap.ChainGenNodes
+	snap.HostCompile = r.hostCompile
+	snap.HostApply = r.hostApply
+	snap.HostStitch = r.hostStitch
+	snap.HostSim = simWall
 }
 
 // edgeMark defers one HF/VF application discovered during compilation: the
@@ -171,6 +259,14 @@ func (r *runner) compilePhase(ph *phaseSpec, apply edgeFunc) []*system.Agent {
 	// there is no need to access the bitmap".
 	ph.dense = ph.frontier.Count() == uint64(ph.srcN)
 
+	// Host pass timing (observer-only): pass 1 includes chain generation.
+	timed := r.obs != nil
+	var t0 time.Time
+	if timed {
+		r.lastReplayed = false
+		t0 = time.Now()
+	}
+
 	n := len(ph.chunks)
 	cc := make([]*compiledCore, n)
 	w := r.opt.Workers
@@ -200,6 +296,11 @@ func (r *runner) compilePhase(ph *phaseSpec, apply edgeFunc) []*system.Agent {
 		panic(fmt.Sprintf("engine: unknown kind %v", r.opt.Kind))
 	}
 
+	if timed {
+		r.hostCompile = time.Since(t0)
+		t0 = time.Now()
+	}
+
 	// Pass 2: the algorithm's functional work, sequential in core order.
 	outs := make([][]edgeOutcome, n)
 	for i := 0; i < n; i++ {
@@ -214,6 +315,11 @@ func (r *runner) compilePhase(ph *phaseSpec, apply edgeFunc) []*system.Agent {
 			}
 		}
 		outs[i] = o
+	}
+
+	if timed {
+		r.hostApply = time.Since(t0)
+		t0 = time.Now()
 	}
 
 	// The destination frontier needs bitmap maintenance unless it ends the
@@ -234,6 +340,9 @@ func (r *runner) compilePhase(ph *phaseSpec, apply edgeFunc) []*system.Agent {
 	var agents []*system.Agent
 	for _, c := range cc {
 		agents = append(agents, c.agents...)
+	}
+	if timed {
+		r.hostStitch = time.Since(t0)
 	}
 	return agents
 }

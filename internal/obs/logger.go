@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Level selects how much a Logger prints.
+type Level int
+
+const (
+	// LevelSilent prints nothing.
+	LevelSilent Level = iota
+	// LevelRun prints run completions and generic progress lines.
+	LevelRun
+	// LevelIteration additionally prints per-iteration lines.
+	LevelIteration
+	// LevelPhase additionally prints one line per computation phase.
+	LevelPhase
+)
+
+// Logger is a leveled text Observer writing human-readable telemetry lines.
+// A nil *Logger is valid and silent, so call sites need no guards.
+type Logger struct {
+	mu    sync.Mutex
+	level Level
+	emit  func(format string, args ...interface{})
+}
+
+// NewLogger builds a Logger writing one line per event to w.
+func NewLogger(w io.Writer, level Level) *Logger {
+	return &Logger{level: level, emit: func(format string, args ...interface{}) {
+		fmt.Fprintf(w, format+"\n", args...)
+	}}
+}
+
+// NewLoggerFunc builds a Logger that forwards each formatted line (without
+// trailing newline) to fn — the adapter for legacy Logf-style sinks.
+func NewLoggerFunc(fn func(format string, args ...interface{}), level Level) *Logger {
+	return &Logger{level: level, emit: fn}
+}
+
+// Enabled reports whether the logger prints at the given level.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && l.emit != nil && l.level >= level
+}
+
+// Logf prints a generic progress line at LevelRun.
+func (l *Logger) Logf(format string, args ...interface{}) {
+	if !l.Enabled(LevelRun) {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.emit(format, args...)
+}
+
+// PhaseDone implements Observer.
+func (l *Logger) PhaseDone(s PhaseSnapshot) {
+	if !l.Enabled(LevelPhase) {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var reads, writes uint64
+	for a := range s.MemReads {
+		reads += s.MemReads[a]
+		writes += s.MemWrites[a]
+	}
+	mode := "sparse"
+	if s.Dense {
+		mode = "dense"
+	}
+	gen := "gen"
+	if s.Replayed {
+		gen = "replay"
+	}
+	l.emit("[phase %3d] %s it=%d side=%d %s frontier=%d cycles=%d stall(mem=%d fifo=%d) dram(r=%d w=%d) edges=%d chains=%d(%s) host(compile=%v apply=%v stitch=%v sim=%v)",
+		s.Seq, s.Engine, s.Iteration, s.Phase, mode, s.Frontier, s.Cycles,
+		s.MemStallCycles, s.FifoStallCycles, reads, writes, s.EdgesProcessed,
+		s.ChainCount, gen, s.HostCompile, s.HostApply, s.HostStitch, s.HostSim)
+}
+
+// IterationDone implements Observer.
+func (l *Logger) IterationDone(s IterationSnapshot) {
+	if !l.Enabled(LevelIteration) {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.emit("[iter %4d] active=%d cycles=%d edges=%d",
+		s.Iteration, s.ActiveVertices, s.Cycles, s.EdgesProcessed)
+}
+
+// RunDone implements Observer.
+func (l *Logger) RunDone(s RunSnapshot) {
+	if !l.Enabled(LevelRun) {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.emit("[run] %s/%s: %d iterations, %d phases, %d cycles (%d preprocess), %d DRAM accesses, %d edges, %d chains (%d generated), host %v",
+		s.Engine, s.Algorithm, s.Iterations, s.Phases, s.Cycles, s.PreprocessCycles,
+		s.MemTotal(), s.EdgesProcessed, s.ChainCount, s.ChainGenCount, s.HostWall)
+}

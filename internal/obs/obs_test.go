@@ -1,0 +1,329 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"chgraph/internal/trace"
+)
+
+// samplePhase builds a distinguishable snapshot for seq i.
+func samplePhase(i int) PhaseSnapshot {
+	p := PhaseSnapshot{
+		Seq: i, Iteration: i / 2, Phase: i % 2, Engine: "ChGraph",
+		Frontier: uint64(10 + i), Dense: i%2 == 0, Replayed: i > 1,
+		Cycles: uint64(1000 * (i + 1)), CoreCycles: uint64(600 * (i + 1)),
+		MemStallCycles: uint64(300 * (i + 1)), FifoStallCycles: uint64(100 * (i + 1)),
+		L1Hits: uint64(50 * (i + 1)), L1Misses: uint64(5 * (i + 1)),
+		L2Hits: uint64(4 * (i + 1)), L2Misses: uint64(i + 1),
+		L3Hits: uint64(i), L3Misses: 1,
+		EdgesProcessed: uint64(20 * (i + 1)),
+		ChainCount:     uint64(3 + i), ChainNodes: uint64(9 + i),
+		HostCompile: time.Duration(i+1) * time.Microsecond,
+		HostApply:   time.Duration(i+1) * 2 * time.Microsecond,
+		HostStitch:  time.Duration(i+1) * 3 * time.Microsecond,
+		HostSim:     time.Duration(i+1) * 4 * time.Microsecond,
+	}
+	if !p.Replayed {
+		p.ChainGenCount, p.ChainGenNodes = p.ChainCount, p.ChainNodes
+	}
+	for a := 0; a < int(trace.NumArrays); a++ {
+		p.MemReads[a] = uint64(a * (i + 1))
+		p.MemWrites[a] = uint64(a * (i + 2))
+	}
+	return p
+}
+
+func sampleTimeline(nPhases int) *Timeline {
+	t := NewTimeline()
+	for i := 0; i < nPhases; i++ {
+		t.PhaseDone(samplePhase(i))
+		if i%2 == 1 {
+			t.IterationDone(IterationSnapshot{Iteration: i / 2, ActiveVertices: uint64(40 - i), Cycles: uint64(1000 * (i + 1)), EdgesProcessed: uint64(20 * (i + 1))})
+		}
+	}
+	sum := t.Sum()
+	sum.Engine, sum.Algorithm = "ChGraph", "PR"
+	sum.Iterations = nPhases / 2
+	sum.HostWall = time.Millisecond
+	t.RunDone(sum)
+	return t
+}
+
+func TestTimelineRecords(t *testing.T) {
+	tl := sampleTimeline(4)
+	if got := tl.Phases(); len(got) != 4 {
+		t.Fatalf("recorded %d phases, want 4", len(got))
+	}
+	if got := tl.Iterations(); len(got) != 2 {
+		t.Fatalf("recorded %d iterations, want 2", len(got))
+	}
+	run, done := tl.Run()
+	if !done {
+		t.Fatal("RunDone not recorded")
+	}
+	if run.Phases != 4 || run.Engine != "ChGraph" {
+		t.Fatalf("run snapshot %+v", run)
+	}
+	// Sum must fold every counter.
+	sum := tl.Sum()
+	var wantCycles, wantEdges uint64
+	for i := 0; i < 4; i++ {
+		p := samplePhase(i)
+		wantCycles += p.Cycles
+		wantEdges += p.EdgesProcessed
+	}
+	if sum.Cycles != wantCycles || sum.EdgesProcessed != wantEdges {
+		t.Fatalf("Sum cycles=%d edges=%d, want %d/%d", sum.Cycles, sum.EdgesProcessed, wantCycles, wantEdges)
+	}
+	if sum.MemTotal() == 0 {
+		t.Fatal("Sum lost the per-array mem counters")
+	}
+}
+
+func TestTimelineJSONRoundTrip(t *testing.T) {
+	tl := sampleTimeline(5)
+	var buf bytes.Buffer
+	if err := tl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTimelineJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tl.Phases(), back.Phases()) {
+		t.Error("phases changed in round trip")
+	}
+	if !reflect.DeepEqual(tl.Iterations(), back.Iterations()) {
+		t.Error("iterations changed in round trip")
+	}
+	r1, _ := tl.Run()
+	r2, ok := back.Run()
+	if !ok || !reflect.DeepEqual(r1, r2) {
+		t.Error("run snapshot changed in round trip")
+	}
+}
+
+func TestReadTimelineJSONRejectsBadLegend(t *testing.T) {
+	doc := map[string]interface{}{"arrays": []string{"bogus"}}
+	raw, _ := json.Marshal(doc)
+	if _, err := ReadTimelineJSON(bytes.NewReader(raw)); err == nil {
+		t.Fatal("accepted a timeline with a wrong array legend")
+	}
+	names := ArrayNames()
+	names[0] = "not-" + names[0]
+	doc["arrays"] = names
+	raw, _ = json.Marshal(doc)
+	if _, err := ReadTimelineJSON(bytes.NewReader(raw)); err == nil {
+		t.Fatal("accepted a timeline with a renamed array")
+	}
+	if _, err := ReadTimelineJSON(strings.NewReader("{garbage")); err == nil {
+		t.Fatal("accepted malformed JSON")
+	}
+}
+
+func TestTimelineCSV(t *testing.T) {
+	tl := sampleTimeline(3)
+	var buf bytes.Buffer
+	if err := tl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d CSV lines, want header + 3 rows", len(lines))
+	}
+	header := strings.Split(lines[0], ",")
+	for _, p := range []string{"seq", "cycles", "reads_" + trace.Array(0).String(), "l1_hits", "chain_gen_count", "host_sim_ns"} {
+		found := false
+		for _, h := range header {
+			if h == p {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("CSV header missing column %q", p)
+		}
+	}
+	for i, line := range lines[1:] {
+		if cols := strings.Split(line, ","); len(cols) != len(header) {
+			t.Errorf("row %d has %d columns, header has %d", i, len(cols), len(header))
+		}
+	}
+}
+
+func TestLoggerLevels(t *testing.T) {
+	for _, tc := range []struct {
+		level Level
+		want  []string // substrings that must appear, in order of event kind
+		skip  []string
+	}{
+		{LevelSilent, nil, []string{"[run]", "[iter", "[phase"}},
+		{LevelRun, []string{"[run]"}, []string{"[iter", "[phase"}},
+		{LevelIteration, []string{"[run]", "[iter"}, []string{"[phase"}},
+		{LevelPhase, []string{"[run]", "[iter", "[phase"}, nil},
+	} {
+		var buf bytes.Buffer
+		l := NewLogger(&buf, tc.level)
+		l.PhaseDone(samplePhase(0))
+		l.IterationDone(IterationSnapshot{Iteration: 0, ActiveVertices: 3})
+		run := RunSnapshot{Engine: "GLA", Algorithm: "BFS", Phases: 1}
+		l.RunDone(run)
+		out := buf.String()
+		for _, w := range tc.want {
+			if !strings.Contains(out, w) {
+				t.Errorf("level %d: output missing %q:\n%s", tc.level, w, out)
+			}
+		}
+		for _, s := range tc.skip {
+			if strings.Contains(out, s) {
+				t.Errorf("level %d: output unexpectedly contains %q:\n%s", tc.level, s, out)
+			}
+		}
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	if l.Enabled(LevelRun) {
+		t.Fatal("nil logger claims to be enabled")
+	}
+	// None of these may panic.
+	l.Logf("ignored %d", 1)
+	var ob Observer = l
+	_ = ob
+}
+
+func TestLoggerFunc(t *testing.T) {
+	var lines []string
+	l := NewLoggerFunc(func(format string, args ...interface{}) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}, LevelRun)
+	l.Logf("progress %s", "line")
+	l.IterationDone(IterationSnapshot{}) // below level: dropped
+	l.RunDone(RunSnapshot{Engine: "Hygra", Algorithm: "CC"})
+	if len(lines) != 2 {
+		t.Fatalf("captured %d lines, want 2: %q", len(lines), lines)
+	}
+	if lines[0] != "progress line" {
+		t.Errorf("Logf line %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "Hygra/CC") {
+		t.Errorf("run line %q", lines[1])
+	}
+}
+
+func TestMultiFansOutAndSkipsNil(t *testing.T) {
+	a, b := NewTimeline(), NewTimeline()
+	m := Multi(nil, a, nil, b, Null{})
+	m.PhaseDone(samplePhase(0))
+	m.IterationDone(IterationSnapshot{Iteration: 0})
+	m.RunDone(RunSnapshot{Phases: 1})
+	for i, tl := range []*Timeline{a, b} {
+		if len(tl.Phases()) != 1 || len(tl.Iterations()) != 1 {
+			t.Errorf("observer %d missed events", i)
+		}
+		if _, done := tl.Run(); !done {
+			t.Errorf("observer %d missed RunDone", i)
+		}
+	}
+	// All-nil input must still be a usable no-op observer.
+	empty := Multi(nil, nil)
+	empty.PhaseDone(samplePhase(0))
+	empty.RunDone(RunSnapshot{})
+}
+
+func TestSessionMetrics(t *testing.T) {
+	m := NewSessionMetrics()
+	for i, key := range []string{"FS/BFS/0", "FS/BFS/1", "FS/BFS/0"} {
+		ob := m.Observe(key)
+		ob.PhaseDone(samplePhase(i))
+		ob.RunDone(RunSnapshot{Phases: 1, Cycles: uint64(100 * (i + 1)), EdgesProcessed: 7, HostWall: time.Millisecond})
+	}
+	if got := m.Runs("FS/BFS/0"); got != 2 {
+		t.Errorf("Runs(FS/BFS/0)=%d, want 2", got)
+	}
+	if got := m.Runs("missing"); got != 0 {
+		t.Errorf("Runs(missing)=%d, want 0", got)
+	}
+	if got := m.Keys(); !reflect.DeepEqual(got, []string{"FS/BFS/0", "FS/BFS/1"}) {
+		t.Errorf("Keys()=%v", got)
+	}
+	if m.Timeline("FS/BFS/1") == nil || m.Timeline("missing") != nil {
+		t.Error("Timeline lookup wrong")
+	}
+
+	sum := m.Summary()
+	if sum.Runs != 3 || sum.Phases != 3 {
+		t.Errorf("summary %+v", sum)
+	}
+	if sum.SimulatedCycles != 100+200+300 {
+		t.Errorf("summary cycles %d", sum.SimulatedCycles)
+	}
+	if sum.EdgesProcessed != 21 || sum.HostWall != 3*time.Millisecond {
+		t.Errorf("summary %+v", sum)
+	}
+
+	// An unfinished run (no RunDone) must not count.
+	m.Observe("FS/PR/0")
+	if got := m.Summary().Runs; got != 3 {
+		t.Errorf("unfinished run counted: %d", got)
+	}
+
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Arrays  []string       `json:"arrays"`
+		Summary SessionSummary `json:"summary"`
+		Runs    []struct {
+			Key string `json:"key"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(doc.Arrays, ArrayNames()) {
+		t.Error("session JSON legend mismatch")
+	}
+	if len(doc.Runs) != 4 {
+		t.Errorf("session JSON has %d run entries, want 4", len(doc.Runs))
+	}
+	if doc.Runs[0].Key > doc.Runs[len(doc.Runs)-1].Key {
+		t.Error("session JSON runs not sorted by key")
+	}
+}
+
+func TestMemTotal(t *testing.T) {
+	p := samplePhase(1)
+	var want uint64
+	for a := 0; a < int(trace.NumArrays); a++ {
+		want += p.MemReads[a] + p.MemWrites[a]
+	}
+	if got := p.MemTotal(); got != want {
+		t.Fatalf("PhaseSnapshot.MemTotal=%d, want %d", got, want)
+	}
+	r := RunSnapshot{MemReads: p.MemReads, MemWrites: p.MemWrites}
+	if got := r.MemTotal(); got != want {
+		t.Fatalf("RunSnapshot.MemTotal=%d, want %d", got, want)
+	}
+}
+
+func TestArrayNames(t *testing.T) {
+	names := ArrayNames()
+	if len(names) != int(trace.NumArrays) {
+		t.Fatalf("%d names, want %d", len(names), trace.NumArrays)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if n == "" || seen[n] {
+			t.Fatalf("bad or duplicate array name %q", n)
+		}
+		seen[n] = true
+	}
+}

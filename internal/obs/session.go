@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SessionMetrics aggregates the timelines of many runs under string keys —
+// one Timeline per executed run. A bench session attaches one observer per
+// simulated cell; cached cells never re-run, so each key appears exactly
+// once per execution (the singleflight test relies on this).
+type SessionMetrics struct {
+	mu   sync.Mutex
+	runs map[string][]*Timeline
+}
+
+// NewSessionMetrics builds an empty aggregator.
+func NewSessionMetrics() *SessionMetrics {
+	return &SessionMetrics{runs: map[string][]*Timeline{}}
+}
+
+// Observe registers and returns a fresh Timeline for one run under key.
+// Every call records a new run — callers should invoke it once per actual
+// engine execution, not per cache hit.
+func (m *SessionMetrics) Observe(key string) Observer {
+	t := NewTimeline()
+	m.mu.Lock()
+	m.runs[key] = append(m.runs[key], t)
+	m.mu.Unlock()
+	return t
+}
+
+// Runs returns the number of recorded runs for key.
+func (m *SessionMetrics) Runs(key string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.runs[key])
+}
+
+// Keys returns the recorded run keys, sorted.
+func (m *SessionMetrics) Keys() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys := make([]string, 0, len(m.runs))
+	for k := range m.runs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Timeline returns the first recorded timeline for key, or nil.
+func (m *SessionMetrics) Timeline(key string) *Timeline {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts := m.runs[key]
+	if len(ts) == 0 {
+		return nil
+	}
+	return ts[0]
+}
+
+// SessionSummary is the session-level rollup across all recorded runs.
+type SessionSummary struct {
+	Runs            int           `json:"runs"`
+	Phases          int           `json:"phases"`
+	SimulatedCycles uint64        `json:"simulated_cycles"`
+	MemAccesses     uint64        `json:"mem_accesses"`
+	EdgesProcessed  uint64        `json:"edges_processed"`
+	HostWall        time.Duration `json:"host_wall_ns"`
+}
+
+// Summary aggregates across every completed run.
+func (m *SessionMetrics) Summary() SessionSummary {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var s SessionSummary
+	for _, ts := range m.runs {
+		for _, t := range ts {
+			run, done := t.Run()
+			if !done {
+				continue
+			}
+			s.Runs++
+			s.Phases += run.Phases
+			s.SimulatedCycles += run.Cycles
+			s.MemAccesses += run.MemTotal()
+			s.EdgesProcessed += run.EdgesProcessed
+			s.HostWall += run.HostWall
+		}
+	}
+	return s
+}
+
+// sessionJSON is the session export schema: the rollup plus one entry per
+// run key (sorted) with its run summary and per-phase trajectory.
+type sessionJSON struct {
+	Arrays  []string         `json:"arrays"`
+	Summary SessionSummary   `json:"summary"`
+	Runs    []sessionRunJSON `json:"runs"`
+}
+
+type sessionRunJSON struct {
+	Key        string              `json:"key"`
+	Run        RunSnapshot         `json:"run"`
+	Iterations []IterationSnapshot `json:"iterations"`
+	Phases     []PhaseSnapshot     `json:"phases"`
+}
+
+// WriteJSON writes the whole session (summary + every run's timeline) as
+// one indented JSON document, runs sorted by key.
+func (m *SessionMetrics) WriteJSON(w io.Writer) error {
+	doc := sessionJSON{Arrays: ArrayNames(), Summary: m.Summary()}
+	for _, key := range m.Keys() {
+		m.mu.Lock()
+		ts := append([]*Timeline(nil), m.runs[key]...)
+		m.mu.Unlock()
+		for _, t := range ts {
+			run, _ := t.Run()
+			doc.Runs = append(doc.Runs, sessionRunJSON{
+				Key: key, Run: run,
+				Iterations: t.Iterations(),
+				Phases:     t.Phases(),
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

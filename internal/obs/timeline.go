@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+
+	"chgraph/internal/trace"
+)
+
+// Timeline is an Observer recording the full per-phase trajectory of a run
+// for structured export. It is safe for concurrent use, though a run's
+// snapshots always arrive sequentially from its own goroutine.
+type Timeline struct {
+	mu         sync.Mutex
+	phases     []PhaseSnapshot
+	iterations []IterationSnapshot
+	run        RunSnapshot
+	done       bool
+}
+
+// NewTimeline builds an empty Timeline.
+func NewTimeline() *Timeline { return &Timeline{} }
+
+// PhaseDone implements Observer.
+func (t *Timeline) PhaseDone(s PhaseSnapshot) {
+	t.mu.Lock()
+	t.phases = append(t.phases, s)
+	t.mu.Unlock()
+}
+
+// IterationDone implements Observer.
+func (t *Timeline) IterationDone(s IterationSnapshot) {
+	t.mu.Lock()
+	t.iterations = append(t.iterations, s)
+	t.mu.Unlock()
+}
+
+// RunDone implements Observer.
+func (t *Timeline) RunDone(s RunSnapshot) {
+	t.mu.Lock()
+	t.run = s
+	t.done = true
+	t.mu.Unlock()
+}
+
+// Phases returns a copy of the recorded phase snapshots in order.
+func (t *Timeline) Phases() []PhaseSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]PhaseSnapshot(nil), t.phases...)
+}
+
+// Iterations returns a copy of the recorded iteration snapshots in order.
+func (t *Timeline) Iterations() []IterationSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]IterationSnapshot(nil), t.iterations...)
+}
+
+// Run returns the final run snapshot and whether RunDone has fired.
+func (t *Timeline) Run() (RunSnapshot, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.run, t.done
+}
+
+// timelineJSON is the stable on-disk schema (DESIGN.md §10).
+type timelineJSON struct {
+	// Arrays is the legend for the per-array mem_reads/mem_writes vectors.
+	Arrays     []string            `json:"arrays"`
+	Run        RunSnapshot         `json:"run"`
+	Iterations []IterationSnapshot `json:"iterations"`
+	Phases     []PhaseSnapshot     `json:"phases"`
+}
+
+// WriteJSON writes the timeline as one indented JSON document.
+func (t *Timeline) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	doc := timelineJSON{
+		Arrays:     ArrayNames(),
+		Run:        t.run,
+		Iterations: append([]IterationSnapshot(nil), t.iterations...),
+		Phases:     append([]PhaseSnapshot(nil), t.phases...),
+	}
+	t.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// csvHeader returns the per-phase CSV column names.
+func csvHeader() []string {
+	cols := []string{
+		"seq", "iteration", "phase", "engine", "frontier", "dense", "replayed",
+		"cycles", "core_cycles", "mem_stall_cycles", "fifo_stall_cycles",
+	}
+	for a := trace.Array(0); a < trace.NumArrays; a++ {
+		cols = append(cols, "reads_"+a.String())
+	}
+	for a := trace.Array(0); a < trace.NumArrays; a++ {
+		cols = append(cols, "writes_"+a.String())
+	}
+	cols = append(cols,
+		"l1_hits", "l1_misses", "l2_hits", "l2_misses", "l3_hits", "l3_misses",
+		"edges_processed", "chain_count", "chain_nodes", "chain_gen_count", "chain_gen_nodes",
+		"host_compile_ns", "host_apply_ns", "host_stitch_ns", "host_sim_ns")
+	return cols
+}
+
+// WriteCSV writes the per-phase trajectory as CSV, one row per phase.
+func (t *Timeline) WriteCSV(w io.Writer) error {
+	t.mu.Lock()
+	phases := append([]PhaseSnapshot(nil), t.phases...)
+	t.mu.Unlock()
+
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader()); err != nil {
+		return err
+	}
+	u := func(x uint64) string { return strconv.FormatUint(x, 10) }
+	for _, p := range phases {
+		row := []string{
+			strconv.Itoa(p.Seq), strconv.Itoa(p.Iteration), strconv.Itoa(p.Phase),
+			p.Engine, u(p.Frontier),
+			strconv.FormatBool(p.Dense), strconv.FormatBool(p.Replayed),
+			u(p.Cycles), u(p.CoreCycles), u(p.MemStallCycles), u(p.FifoStallCycles),
+		}
+		for a := 0; a < int(trace.NumArrays); a++ {
+			row = append(row, u(p.MemReads[a]))
+		}
+		for a := 0; a < int(trace.NumArrays); a++ {
+			row = append(row, u(p.MemWrites[a]))
+		}
+		row = append(row,
+			u(p.L1Hits), u(p.L1Misses), u(p.L2Hits), u(p.L2Misses), u(p.L3Hits), u(p.L3Misses),
+			u(p.EdgesProcessed), u(p.ChainCount), u(p.ChainNodes), u(p.ChainGenCount), u(p.ChainGenNodes),
+			strconv.FormatInt(p.HostCompile.Nanoseconds(), 10),
+			strconv.FormatInt(p.HostApply.Nanoseconds(), 10),
+			strconv.FormatInt(p.HostStitch.Nanoseconds(), 10),
+			strconv.FormatInt(p.HostSim.Nanoseconds(), 10))
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Sum folds every recorded phase snapshot into one aggregate with the same
+// counter semantics as a RunSnapshot (used by tests to assert that the
+// timeline exactly accounts for the run's totals).
+func (t *Timeline) Sum() RunSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out RunSnapshot
+	for i := range t.phases {
+		p := &t.phases[i]
+		out.Cycles += p.Cycles
+		out.CoreCycles += p.CoreCycles
+		out.MemStallCycles += p.MemStallCycles
+		out.FifoStallCycles += p.FifoStallCycles
+		for a := 0; a < int(trace.NumArrays); a++ {
+			out.MemReads[a] += p.MemReads[a]
+			out.MemWrites[a] += p.MemWrites[a]
+		}
+		out.L1Hits += p.L1Hits
+		out.L1Misses += p.L1Misses
+		out.L2Hits += p.L2Hits
+		out.L2Misses += p.L2Misses
+		out.L3Hits += p.L3Hits
+		out.L3Misses += p.L3Misses
+		out.EdgesProcessed += p.EdgesProcessed
+		out.ChainCount += p.ChainCount
+		out.ChainNodes += p.ChainNodes
+		out.ChainGenCount += p.ChainGenCount
+		out.ChainGenNodes += p.ChainGenNodes
+		out.Phases++
+	}
+	return out
+}
+
+// ReadTimelineJSON parses a document written by WriteJSON, validating the
+// array legend against this build's trace taxonomy.
+func ReadTimelineJSON(r io.Reader) (*Timeline, error) {
+	var doc timelineJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, err
+	}
+	want := ArrayNames()
+	if len(doc.Arrays) != len(want) {
+		return nil, fmt.Errorf("obs: timeline has %d arrays, build has %d", len(doc.Arrays), len(want))
+	}
+	for i := range want {
+		if doc.Arrays[i] != want[i] {
+			return nil, fmt.Errorf("obs: array %d is %q, build has %q", i, doc.Arrays[i], want[i])
+		}
+	}
+	return &Timeline{phases: doc.Phases, iterations: doc.Iterations, run: doc.Run, done: true}, nil
+}

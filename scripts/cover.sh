@@ -1,0 +1,35 @@
+#!/bin/sh
+# cover.sh enforces per-package statement-coverage floors on the packages
+# whose correctness the repo's tests are meant to pin down. Run via
+# `make cover`. Floors are deliberately below current coverage so the gate
+# catches regressions, not normal churn.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fail=0
+check() {
+    pkg=$1
+    floor=$2
+    out=$(go test -count=1 -cover "./$pkg/" 2>&1) || { echo "$out"; exit 1; }
+    pct=$(echo "$out" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p' | head -1)
+    if [ -z "$pct" ]; then
+        echo "FAIL  $pkg: no coverage figure in output:"
+        echo "$out"
+        fail=1
+        return
+    fi
+    ok=$(awk -v p="$pct" -v f="$floor" 'BEGIN { print (p >= f) ? 1 : 0 }')
+    if [ "$ok" = 1 ]; then
+        echo "ok    $pkg: ${pct}% >= ${floor}%"
+    else
+        echo "FAIL  $pkg: coverage ${pct}% below floor ${floor}%"
+        fail=1
+    fi
+}
+
+check internal/engine     70
+check internal/obs        70
+check internal/hypergraph 70
+
+exit $fail
