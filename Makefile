@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race bench cover fuzz
+.PHONY: tier1 build vet test race bench bench-smoke cover fuzz
 
 # tier1 is the gate every change must pass: clean build, vet, and the full
 # test suite under the race detector (the host-side parallel layers in
@@ -21,19 +21,29 @@ race:
 	$(GO) test -race ./...
 
 # bench runs the host-parallelism benchmarks (Prepare and engine.Run with
-# Workers=1 vs all CPUs). Speedup requires a multi-core host.
+# Workers=1 vs all CPUs). Speedup requires a multi-core host. BENCHTIME=1x
+# gives the quick smoke pass CI uses.
+BENCHTIME ?= 3x
 bench:
-	$(GO) test ./internal/engine/ -run xxx -bench 'Workers' -benchtime 3x
+	$(GO) test ./internal/engine/ -run xxx -bench 'Workers' -benchtime $(BENCHTIME)
+
+# bench-smoke is the CI perf trace: one quick benchmark pass plus a scaled-
+# down bench session whose per-run timelines land in bench-metrics.json
+# (uploaded as a workflow artifact so every PR has a perf trace to diff).
+bench-smoke:
+	$(MAKE) bench BENCHTIME=1x
+	$(GO) run ./cmd/chgraph-bench -fig fig2,shards -scale 0.05 -metrics-out bench-metrics.json
 
 # cover enforces per-package statement-coverage floors (engine, obs,
 # hypergraph); see scripts/cover.sh for the thresholds.
 cover:
 	sh scripts/cover.sh
 
-# fuzz gives each hypergraph fuzz target a short budget on top of the
-# committed seed corpus (testdata/fuzz). Raise FUZZTIME for a deeper run.
+# fuzz gives each fuzz target a short budget on top of the committed seed
+# corpus (testdata/fuzz). Raise FUZZTIME for a deeper run.
 FUZZTIME ?= 10s
 fuzz:
 	for t in FuzzBuild FuzzBuildDirected FuzzFromGraphEdges FuzzReadText FuzzReadBinary; do \
 		$(GO) test ./internal/hypergraph/ -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
 	done
+	$(GO) test ./internal/shard/ -run '^$$' -fuzz '^FuzzPartition$$' -fuzztime $(FUZZTIME)

@@ -31,6 +31,7 @@ import (
 	"chgraph/internal/hypergraph"
 	"chgraph/internal/oag"
 	"chgraph/internal/obs"
+	"chgraph/internal/shard"
 	"chgraph/internal/sim/system"
 	"chgraph/internal/trace"
 )
@@ -212,6 +213,19 @@ type RunConfig struct {
 	// Observers are read-only: attaching one leaves the Result
 	// bit-identical.
 	Observer Observer
+	// Shards, when above 1, splits the hypergraph into that many shards and
+	// runs one engine per shard with a merge barrier between iterations
+	// (internal/shard). Results are deterministic for any shard count;
+	// Shards <= 1 runs the single unsharded engine, which sharded runs at
+	// K=1 reproduce bit for bit.
+	Shards int
+	// ShardPolicy selects the partitioner: "range" (contiguous hyperedge
+	// ranges, the default) or "greedy" (streaming replication-minimizing
+	// assignment).
+	ShardPolicy string
+	// ShardCapFactor tunes the greedy policy's per-shard size cap
+	// (<=0 uses the default headroom).
+	ShardCapFactor float64
 }
 
 // Observability layer (internal/obs re-exported): an Observer taps the
@@ -276,6 +290,13 @@ type Result struct {
 	PreprocessCycles uint64
 	// Chains and ChainNodes summarize generated chain schedules.
 	Chains, ChainNodes uint64
+	// Shards echoes the shard count for sharded runs (0 when unsharded);
+	// ReplicatedVertices and ReplicationFactor then measure the partition
+	// cut (vertices present on more than one shard, and mean shard copies
+	// per vertex).
+	Shards             int
+	ReplicatedVertices uint64
+	ReplicationFactor  float64
 }
 
 // Run executes the named algorithm (see Algorithms, plus "SSSP" and
@@ -316,11 +337,33 @@ func Run(g *Hypergraph, algorithm string, cfg RunConfig) (*Result, error) {
 	if cfg.LLCBytes > 0 {
 		sys = sys.WithLLCBytes(cfg.LLCBytes)
 	}
-	res, err := engine.Run(g.b, alg, engine.Options{
+	eopt := engine.Options{
 		Kind: cfg.Engine, Sys: sys, DMax: cfg.DMax, WMin: cfg.WMin,
 		ChargePreprocess: cfg.IncludePreprocessing, Workers: cfg.Workers,
 		Observer: cfg.Observer,
-	})
+	}
+	var (
+		res  *engine.Result
+		sres *shard.Result
+		err  error
+	)
+	if cfg.Shards > 1 {
+		pol := shard.PolicyRange
+		if cfg.ShardPolicy != "" {
+			if pol, err = shard.ParsePolicy(cfg.ShardPolicy); err != nil {
+				return nil, err
+			}
+		}
+		sres, err = shard.Run(g.b, alg, shard.Options{
+			Shards: cfg.Shards, Policy: pol, CapFactor: cfg.ShardCapFactor,
+			Engine: eopt,
+		})
+		if sres != nil {
+			res = sres.Result
+		}
+	} else {
+		res, err = engine.Run(g.b, alg, eopt)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -338,6 +381,11 @@ func Run(g *Hypergraph, algorithm string, cfg RunConfig) (*Result, error) {
 	}
 	for gname, v := range res.MemByGroup() {
 		out.MemByGroup[trace.Group(gname).String()] = v
+	}
+	if sres != nil {
+		out.Shards = sres.Shards
+		out.ReplicatedVertices = sres.ReplicatedVertices
+		out.ReplicationFactor = sres.ReplicationFactor
 	}
 	if kc, ok := alg.(*algorithms.KCore); ok {
 		out.Coreness = kc.Coreness

@@ -116,8 +116,8 @@ func TestEstimateEngineCostMatchesPaper(t *testing.T) {
 
 func TestFiguresRegistry(t *testing.T) {
 	figs := Figures()
-	if len(figs) != 20 {
-		t.Fatalf("expected 20 reproducible results, have %d", len(figs))
+	if len(figs) != 21 {
+		t.Fatalf("expected 21 reproducible results, have %d", len(figs))
 	}
 	if _, err := ReproduceFigure("nope", ExperimentConfig{}); err == nil {
 		t.Fatal("unknown figure accepted")

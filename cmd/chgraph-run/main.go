@@ -35,16 +35,18 @@ var engines = map[string]chgraph.Engine{
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "WEB", "dataset name (FS OK LJ WEB OG, or AZ PK for graphs)")
-		algo    = flag.String("algo", "PR", "algorithm (BFS PR MIS BC CC k-core; SSSP Adsorption for graphs)")
-		eng     = flag.String("engine", "chgraph", "execution model: hygra gla chgraph chgraph-hcg hats-v hygra-pf")
-		scale   = flag.Float64("scale", 1, "dataset scale multiplier")
-		cores   = flag.Int("cores", 16, "simulated cores")
-		dmax    = flag.Int("dmax", 16, "maximum chain exploration depth (D_max)")
-		wmin    = flag.Uint("wmin", 3, "OAG overlap threshold (W_min)")
-		prep    = flag.Bool("prep", false, "charge preprocessing time")
-		source  = flag.Uint("source", 0, "source vertex for BFS/BC/SSSP")
-		workers = flag.Int("workers", 0, "host worker threads for prep/compile (0 = all CPUs, 1 = serial); results are identical for every value")
+		dataset  = flag.String("dataset", "WEB", "dataset name (FS OK LJ WEB OG, or AZ PK for graphs)")
+		algo     = flag.String("algo", "PR", "algorithm (BFS PR MIS BC CC k-core; SSSP Adsorption for graphs)")
+		eng      = flag.String("engine", "chgraph", "execution model: hygra gla chgraph chgraph-hcg hats-v hygra-pf")
+		scale    = flag.Float64("scale", 1, "dataset scale multiplier")
+		cores    = flag.Int("cores", 16, "simulated cores")
+		dmax     = flag.Int("dmax", 16, "maximum chain exploration depth (D_max)")
+		wmin     = flag.Uint("wmin", 3, "OAG overlap threshold (W_min)")
+		prep     = flag.Bool("prep", false, "charge preprocessing time")
+		source   = flag.Uint("source", 0, "source vertex for BFS/BC/SSSP")
+		workers  = flag.Int("workers", 0, "host worker threads for prep/compile (0 = all CPUs, 1 = serial); results are identical for every value")
+		shards   = flag.Int("shards", 1, "shard count: >1 partitions the hypergraph and runs one engine per shard with a merge barrier between iterations")
+		shardPol = flag.String("shard-policy", "range", "partition policy: range (contiguous hyperedge ranges) or greedy (streaming replication-minimizing)")
 
 		metricsOut = flag.String("metrics-out", "", "write the per-phase timeline to this file (JSON, or CSV if the path ends in .csv)")
 		logLevel   = flag.Int("loglevel", 0, "telemetry log level on stderr: 0 silent, 1 run, 2 +iterations, 3 +phases")
@@ -125,7 +127,7 @@ func main() {
 	res, err := chgraph.Run(g, *algo, chgraph.RunConfig{
 		Engine: kind, Cores: *cores, DMax: *dmax, WMin: uint32(*wmin),
 		IncludePreprocessing: *prep, Source: uint32(*source), Workers: *workers,
-		Observer: observer,
+		Observer: observer, Shards: *shards, ShardPolicy: *shardPol,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -141,6 +143,10 @@ func main() {
 	}
 
 	fmt.Printf("\n%s / %s on %s\n", *eng, *algo, *dataset)
+	if res.Shards > 1 {
+		fmt.Printf("  shards:            %d (%s policy, %d replicated vertices, %.3fx replication)\n",
+			res.Shards, *shardPol, res.ReplicatedVertices, res.ReplicationFactor)
+	}
 	fmt.Printf("  iterations:        %d\n", res.Iterations)
 	fmt.Printf("  simulated cycles:  %d\n", res.Cycles)
 	if res.PreprocessCycles > 0 {

@@ -17,6 +17,7 @@ import (
 	"chgraph/internal/gen"
 	"chgraph/internal/hypergraph"
 	"chgraph/internal/obs"
+	"chgraph/internal/shard"
 	"chgraph/internal/sim/system"
 )
 
@@ -82,12 +83,13 @@ func (c Config) withDefaults() Config {
 type Session struct {
 	cfg Config
 
-	mu       sync.Mutex
-	data     map[string]*hypergraph.Bipartite
-	preps    map[string]*engine.Prep
-	runs     map[string]*engine.Result
-	inflight map[string]*inflightRun
-	sem      chan struct{}
+	mu        sync.Mutex
+	data      map[string]*hypergraph.Bipartite
+	preps     map[string]*engine.Prep
+	runs      map[string]*engine.Result
+	shardRuns map[string]*shard.Result
+	inflight  map[string]*inflightRun
+	sem       chan struct{}
 }
 
 // inflightRun is the per-key singleflight record: the first caller of a key
@@ -101,12 +103,13 @@ type inflightRun struct {
 func NewSession(cfg Config) *Session {
 	cfg = cfg.withDefaults()
 	return &Session{
-		cfg:      cfg,
-		data:     map[string]*hypergraph.Bipartite{},
-		preps:    map[string]*engine.Prep{},
-		runs:     map[string]*engine.Result{},
-		inflight: map[string]*inflightRun{},
-		sem:      make(chan struct{}, cfg.Parallel),
+		cfg:       cfg,
+		data:      map[string]*hypergraph.Bipartite{},
+		preps:     map[string]*engine.Prep{},
+		runs:      map[string]*engine.Result{},
+		shardRuns: map[string]*shard.Result{},
+		inflight:  map[string]*inflightRun{},
+		sem:       make(chan struct{}, cfg.Parallel),
 	}
 }
 
@@ -177,6 +180,11 @@ type RunSpec struct {
 	Charge     bool // include preprocessing time
 	NoPrepOAGs bool // skip OAG prep (non-chain engines)
 	Reordered  bool // run on the reordered dataset (Figure 24)
+	// Shards > 1 runs the cell sharded (internal/shard) under ShardPolicy
+	// (empty = range); each shard preps its own sub-hypergraph, so the
+	// session prep cache is bypassed.
+	Shards      int
+	ShardPolicy shard.Policy
 }
 
 func (rs RunSpec) key() string {
@@ -184,13 +192,24 @@ func (rs RunSpec) key() string {
 	if rs.Sys != nil {
 		sys = fmt.Sprintf("/llc%d/cores%d/l1-%d/l2-%d", rs.Sys.TotalLLCBytes(), rs.Sys.Cores, rs.Sys.L1.SizeBytes, rs.Sys.L2.SizeBytes)
 	}
-	return fmt.Sprintf("%s/%s/%v/d%d/w%d/ch%v/re%v%s", rs.Dataset, rs.Algo, rs.Kind, rs.DMax, rs.WMin, rs.Charge, rs.Reordered, sys)
+	shards := ""
+	if rs.Shards > 1 {
+		pol := rs.ShardPolicy
+		if pol == "" {
+			pol = shard.PolicyRange
+		}
+		shards = fmt.Sprintf("/k%d/%s", rs.Shards, pol)
+	}
+	return fmt.Sprintf("%s/%s/%v/d%d/w%d/ch%v/re%v%s%s", rs.Dataset, rs.Algo, rs.Kind, rs.DMax, rs.WMin, rs.Charge, rs.Reordered, sys, shards)
 }
 
 // Run simulates one cell (cached). Concurrent callers with the same key
 // coalesce into a single simulation: exactly one engine.Run executes per
 // key, duplicates block until it completes and share its Result.
 func (s *Session) Run(rs RunSpec) *engine.Result {
+	if rs.Shards > 1 {
+		return s.RunSharded(rs).Result
+	}
 	key := rs.key()
 	s.mu.Lock()
 	if r, ok := s.runs[key]; ok {
@@ -251,6 +270,62 @@ func (s *Session) Run(rs RunSpec) *engine.Result {
 	s.mu.Unlock()
 	f.res = res
 	close(f.done)
+	return res
+}
+
+// RunSharded simulates one cell through the shard coordinator (cached under
+// the same key space as Run; each shard preps its own sub-hypergraph).
+func (s *Session) RunSharded(rs RunSpec) *shard.Result {
+	key := rs.key()
+	s.mu.Lock()
+	if r, ok := s.shardRuns[key]; ok {
+		s.mu.Unlock()
+		return r
+	}
+	s.mu.Unlock()
+
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	g := s.Dataset(rs.Dataset)
+	wMin := rs.WMin
+	if wMin == 0 {
+		wMin = 3
+	}
+	sys := s.cfg.Sys
+	if rs.Sys != nil {
+		sys = *rs.Sys
+	}
+	alg, ok := algorithms.ByName(rs.Algo)
+	if !ok {
+		panic("bench: unknown algorithm " + rs.Algo)
+	}
+	s.cfg.Log.Logf("run %s", key)
+	var ob obs.Observer
+	if s.cfg.Metrics != nil {
+		ob = s.cfg.Metrics.Observe(key)
+	}
+	if s.cfg.Log.Enabled(obs.LevelIteration) {
+		ob = obs.Multi(ob, s.cfg.Log)
+	}
+	res, err := shard.Run(g, alg, shard.Options{
+		Shards: rs.Shards, Policy: rs.ShardPolicy,
+		Engine: engine.Options{
+			Kind: rs.Kind, Sys: sys, DMax: rs.DMax, WMin: wMin,
+			ChargePreprocess: rs.Charge, Workers: s.cfg.Workers,
+			Observer: ob,
+		},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: %s: %v", key, err))
+	}
+	s.mu.Lock()
+	if r, ok := s.shardRuns[key]; ok {
+		res = r // a concurrent caller won the race; keep one canonical Result
+	} else {
+		s.shardRuns[key] = res
+	}
+	s.mu.Unlock()
 	return res
 }
 
@@ -380,6 +455,7 @@ func Runners() []Runner {
 		{"fig23", "ChGraph vs event-triggered hardware prefetcher (Figure 23)", Fig23},
 		{"fig24", "Interaction with reordering preprocessing (Figure 24)", Fig24},
 		{"fig25", "Ordinary-graph generality vs Ligra/HATS (Figure 25)", Fig25},
+		{"shards", "Sharded scale-out: cycles and replication vs shard count (beyond the paper)", FigShards},
 	}
 }
 

@@ -15,8 +15,8 @@ func tinySession() *Session {
 
 func TestRunnersRegistered(t *testing.T) {
 	rs := Runners()
-	if len(rs) != 20 {
-		t.Fatalf("runners = %d, want 20", len(rs))
+	if len(rs) != 21 {
+		t.Fatalf("runners = %d, want 21", len(rs))
 	}
 	ids := map[string]bool{}
 	for _, r := range rs {

@@ -8,6 +8,7 @@ import (
 	"chgraph/internal/hwcost"
 	"chgraph/internal/hypergraph"
 	"chgraph/internal/reorder"
+	"chgraph/internal/shard"
 	"chgraph/internal/sim/system"
 	"chgraph/internal/trace"
 )
@@ -562,6 +563,35 @@ func Fig25(s *Session) *Table {
 		}
 	}
 	t.Notes = append(t.Notes, "paper: ChGraph offers 2.13x over Ligra on average and performs similarly to HATS on graphs")
+	return t
+}
+
+// FigShards is a beyond-paper extension: scale-out of one engine through the
+// shard coordinator (internal/shard) — barrier-merged cycles and partition
+// cut versus shard count, under both partition policies.
+func FigShards(s *Session) *Table {
+	ds := s.Cfg().Datasets[0]
+	counts := []int{1, 2, 4, 8}
+	t := &Table{
+		ID: "Shards", Title: fmt.Sprintf("PR on %s under ChGraph: sharded scale-out", ds),
+		Headers: []string{"policy", "shards", "cycles", "speedup", "replicated", "replication"},
+	}
+	for _, pol := range []shard.Policy{shard.PolicyRange, shard.PolicyGreedy} {
+		var base uint64
+		for _, k := range counts {
+			res := s.RunSharded(RunSpec{Dataset: ds, Algo: "PR", Kind: engine.ChGraph, Shards: k, ShardPolicy: pol})
+			if base == 0 {
+				base = res.Cycles
+			}
+			t.Rows = append(t.Rows, []string{
+				string(pol), fmt.Sprintf("%d", k), u64(res.Cycles), fx(ratio(base, res.Cycles)),
+				u64(res.ReplicatedVertices), f2(res.ReplicationFactor),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"beyond the paper: shards simulate concurrently with a frontier merge barrier per phase; cycles are max-over-shards per phase",
+		"replication counts vertices present on more than one shard (the partition cut)")
 	return t
 }
 

@@ -273,54 +273,29 @@ func (r *Result) StallFraction() float64 {
 	return float64(r.MemStallCycles) / float64(r.CoreCycles)
 }
 
-// Run executes alg on g under the given options.
+// Run executes alg on g under the given options: open an Instance, loop the
+// two computation phases per iteration — compiling each phase, draining its
+// HF/VF applications sequentially in stream order, committing it to the
+// simulator — until the frontier empties or the algorithm converges.
 func Run(g *hypergraph.Bipartite, alg algorithms.Algorithm, opt Options) (*Result, error) {
-	opt = opt.withDefaults()
-	needChains := opt.Kind == GLA || opt.Kind == ChGraph || opt.Kind == ChGraphHCG
-	prep := opt.Prep
-	if prep == nil {
-		if needChains {
-			prep = PrepareParallel(g, opt.Sys.Cores, opt.WMin, opt.Workers)
-		} else {
-			prep = &Prep{
-				Cores:   opt.Sys.Cores,
-				VChunks: hypergraph.Chunks(g.NumVertices(), opt.Sys.Cores),
-				HChunks: hypergraph.Chunks(g.NumHyperedges(), opt.Sys.Cores),
-			}
-		}
+	in, err := NewInstance(g, opt)
+	if err != nil {
+		return nil, err
 	}
-	if needChains && (prep.VOAG == nil || prep.HOAG == nil) {
-		return nil, fmt.Errorf("engine: %v requires OAGs in Prep", opt.Kind)
-	}
-	// Both sides' chunkings must match the simulated core count; a mismatch
-	// on either side would otherwise surface as an index panic deep inside
-	// phase compilation.
-	if len(prep.VChunks) != opt.Sys.Cores {
-		return nil, fmt.Errorf("engine: prep vertex chunks built for %d cores, system has %d", len(prep.VChunks), opt.Sys.Cores)
-	}
-	if len(prep.HChunks) != opt.Sys.Cores {
-		return nil, fmt.Errorf("engine: prep hyperedge chunks built for %d cores, system has %d", len(prep.HChunks), opt.Sys.Cores)
-	}
-
-	sys := system.New(opt.Sys)
-	res := &Result{Kind: opt.Kind}
+	r := in.r
 
 	var hostStart time.Time
-	if opt.Observer != nil {
+	if r.obs != nil {
 		hostStart = time.Now()
 	}
 
-	if opt.ChargePreprocess {
-		res.PreprocessCycles = prepCycles(g, prep, opt)
-		sys.AddCycles(res.PreprocessCycles)
+	if r.opt.ChargePreprocess {
+		in.ChargePreprocess()
 	}
 
 	s := algorithms.NewState(g)
-	res.State = s
 	frontierV := bitset.New(g.NumVertices())
 	alg.Init(s, frontierV)
-
-	r := &runner{g: g, s: s, alg: alg, opt: opt, prep: prep, sys: sys, res: res, obs: opt.Observer}
 
 	maxIter := alg.MaxIterations()
 	for {
@@ -333,23 +308,27 @@ func Run(g *hypergraph.Bipartite, alg algorithms.Algorithm, opt Options) (*Resul
 		// Hyperedge computation: active vertices scatter via HF.
 		alg.BeforeHyperedgePhase(s)
 		frontierE := bitset.New(g.NumHyperedges())
-		r.runPhase(vertexPhase(g, prep, frontierV, frontierE), alg.HF)
+		st := in.BeginHyperedgeComputation(frontierV, frontierE)
+		drainStep(st, s, alg.HF, frontierE)
+		st.Commit()
 
 		// Vertex computation: active hyperedges scatter via VF.
 		alg.BeforeVertexPhase(s)
 		nextV := bitset.New(g.NumVertices())
-		r.runPhase(hyperedgePhase(g, prep, frontierE, nextV), alg.VF)
+		st = in.BeginVertexComputation(frontierE, nextV)
+		drainStep(st, s, alg.VF, nextV)
+		st.Commit()
 
 		s.Iter++
-		res.Iterations++
+		in.AdvanceIteration()
 		done := alg.AfterVertexPhase(s, nextV)
 		frontierV = nextV
 		if r.obs != nil {
 			r.obs.IterationDone(obs.IterationSnapshot{
-				Iteration:      res.Iterations - 1,
+				Iteration:      r.res.Iterations - 1,
 				ActiveVertices: frontierV.Count(),
-				Cycles:         sys.Elapsed(),
-				EdgesProcessed: res.EdgesProcessed,
+				Cycles:         in.Elapsed(),
+				EdgesProcessed: r.res.EdgesProcessed,
 			})
 		}
 		if done {
@@ -357,15 +336,10 @@ func Run(g *hypergraph.Bipartite, alg algorithms.Algorithm, opt Options) (*Resul
 		}
 	}
 
-	res.Cycles = sys.Elapsed()
-	res.MemReads = sys.Hier.Mem().Reads
-	res.MemWrites = sys.Hier.Mem().Writes
-	res.CoreCycles = sys.CoreCycles
-	res.MemStallCycles = sys.MemStallCycles
-	res.FifoStallCycles = sys.FifoStallCycles
-	res.L1Hits, res.L1Misses, res.L2Hits, res.L2Misses, res.L3Hits, res.L3Misses = sys.Hier.CacheStats()
+	res := in.Finish()
+	res.State = s
 	if r.obs != nil {
-		r.obs.RunDone(runSnapshot(res, alg.Name(), sys.Phases, time.Since(hostStart)))
+		r.obs.RunDone(runSnapshot(res, alg.Name(), in.SimPhases(), time.Since(hostStart)))
 	}
 	return res, nil
 }

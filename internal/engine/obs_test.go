@@ -207,7 +207,7 @@ func TestTimelineExportRoundTrip(t *testing.T) {
 	if len(lines) != len(tl.Phases())+1 {
 		t.Fatalf("CSV has %d lines, want header + %d phases", len(lines), len(tl.Phases()))
 	}
-	wantCols := 11 + 2*int(trace.NumArrays) + 6 + 5 + 4
+	wantCols := 12 + 2*int(trace.NumArrays) + 6 + 5 + 4
 	if got := len(strings.Split(lines[0], ",")); got != wantCols {
 		t.Fatalf("CSV header has %d columns, want %d", got, wantCols)
 	}

@@ -29,12 +29,16 @@ func oagAddr(arr trace.Array, side int, idx uint32) uint64 {
 
 type runner struct {
 	g    *hypergraph.Bipartite
-	s    *algorithms.State
-	alg  algorithms.Algorithm
 	opt  Options
 	prep *Prep
 	sys  *system.System
 	res  *Result
+
+	// iter is the synchronous iteration the engine is in, advanced by
+	// Instance.AdvanceIteration. The engine holds no algorithm state: HF/VF
+	// are applied by whoever drives the Instance (engine.Run against its own
+	// State, the shard coordinator against the global one).
+	iter int
 
 	// chainCache memoizes per-side chain schedules: when a phase's
 	// frontier is identical to the previous iteration's (e.g. PageRank,
@@ -46,7 +50,7 @@ type runner struct {
 
 	// Observability (nil obs = zero-overhead fast path). seq numbers
 	// observed phases; lastReplayed and the host pass times are scratch
-	// written by compilePhase for the phase snapshot.
+	// written by the compile/apply/stitch passes for the phase snapshot.
 	obs          obs.Observer
 	seq          int
 	lastReplayed bool
@@ -114,50 +118,12 @@ func chainQueueAddr(side int, idx uint64) uint64 {
 	return lay.Addr(trace.Other, uint64(side)*sideStride+idx)
 }
 
-// runPhase compiles one computation phase into per-agent op streams under
-// the selected execution model and replays them on the simulated system.
-// With an observer attached it additionally captures the phase's counter
-// deltas into a PhaseSnapshot; every captured value is read from counters
-// the simulation maintains anyway, so the Result is unaffected.
-func (r *runner) runPhase(ph *phaseSpec, apply edgeFunc) {
-	frontier := ph.frontier.Count()
-	if frontier == 0 {
-		return
-	}
-	phaseIdx := 0
-	if ph.srcBm == bmHyperedge {
-		phaseIdx = 1
-	}
-
-	var snap obs.PhaseSnapshot
-	var simStart time.Time
-	if r.obs != nil {
-		snap = r.beginSnapshot(phaseIdx, frontier)
-	}
-
-	before := r.sys.Hier.Mem().AccessesByArray()
-	agents := r.compilePhase(ph, apply)
-	if r.obs != nil {
-		simStart = time.Now()
-	}
-	dur := r.sys.RunPhase(agents)
-	after := r.sys.Hier.Mem().AccessesByArray()
-	for a := range after {
-		r.res.MemByPhase[phaseIdx][a] += after[a] - before[a]
-	}
-
-	if r.obs != nil {
-		r.endSnapshot(&snap, ph, dur, time.Since(simStart))
-		r.obs.PhaseDone(snap)
-	}
-}
-
 // beginSnapshot captures the cumulative counters a phase snapshot is
 // computed against (endSnapshot turns them into deltas).
 func (r *runner) beginSnapshot(phaseIdx int, frontier uint64) obs.PhaseSnapshot {
 	snap := obs.PhaseSnapshot{
 		Seq:             r.seq,
-		Iteration:       r.s.Iter,
+		Iteration:       r.iter,
 		Phase:           phaseIdx,
 		Engine:          r.opt.Kind.String(),
 		Frontier:        frontier,
@@ -233,23 +199,18 @@ type compiledCore struct {
 	marks   []edgeMark
 }
 
-// compilePhase compiles the phase with the two-pass scheme:
-//
-//   - pass 1 compiles every core's chain generation and memory-op stream
-//     concurrently (bounded by Options.Workers). Each chunk works only on
-//     per-core buffers — its own op slices, edge-mark list, and a scratch
-//     clone of the frontier bitmap for chain generation — so there is no
-//     shared mutable state and the pass is race-free.
-//   - pass 2 runs the algorithm's HF/VF work strictly sequentially in core
-//     order over the per-core edge lists, mutating the shared State and the
-//     next-frontier bitmap exactly as the historical serial compiler did.
-//   - pass 3 stitches each core's applyEdge ops into its stream at the
-//     recorded positions (again fanned out per core).
-//
-// Because pass 2 preserves the serial application order and passes 1 and 3
-// touch only per-core data, the functional result and the compiled op
-// streams are byte-for-byte identical for every Workers setting.
-func (r *runner) compilePhase(ph *phaseSpec, apply edgeFunc) []*system.Agent {
+// compileStreams is pass 1 of the phase compiler: every core's chain
+// generation and memory-op stream compiles concurrently (bounded by
+// Options.Workers). Each chunk works only on per-core buffers — its own op
+// slices, edge-mark list, and a scratch clone of the frontier bitmap for
+// chain generation — so there is no shared mutable state and the pass is
+// race-free. The algorithm's HF/VF work (historical pass 2) is applied by
+// the Step's driver against the recorded edge marks, strictly sequentially;
+// Step.Commit then stitches the outcome-dependent ops into the streams
+// (pass 3). Because the driver preserves the serial application order and
+// passes 1 and 3 touch only per-core data, the functional result and the
+// compiled op streams are byte-for-byte identical for every Workers setting.
+func (r *runner) compileStreams(ph *phaseSpec) []*compiledCore {
 	ph.idx = 0
 	if ph.srcBm == bmHyperedge {
 		ph.idx = 1
@@ -298,53 +259,19 @@ func (r *runner) compilePhase(ph *phaseSpec, apply edgeFunc) []*system.Agent {
 
 	if timed {
 		r.hostCompile = time.Since(t0)
-		t0 = time.Now()
 	}
+	return cc
+}
 
-	// Pass 2: the algorithm's functional work, sequential in core order.
-	outs := make([][]edgeOutcome, n)
-	for i := 0; i < n; i++ {
-		marks := cc[i].marks
-		o := make([]edgeOutcome, len(marks))
-		for j, m := range marks {
-			res := apply(r.s, m.src, m.dst)
-			r.res.EdgesProcessed++
-			o[j] = edgeOutcome{
-				res:   res,
-				first: res&algorithms.Activate != 0 && ph.next.TestAndSet(m.dst),
-			}
-		}
-		outs[i] = o
-	}
-
-	if timed {
-		r.hostApply = time.Since(t0)
-		t0 = time.Now()
-	}
-
-	// The destination frontier needs bitmap maintenance unless it ends the
-	// phase all-active: an all-active frontier is consumed by a dense phase
-	// that never reads the bitmap (§VI-C), so only then is its update
-	// traffic elided. Keying this on the destination side — not on the
-	// source frontier's density — means a dense-source phase producing a
-	// sparse next frontier still pays for the bitmap writes its successor
-	// phase will scan.
-	maintainNext := ph.next.Count() != uint64(ph.dstN)
-
-	// Pass 3: stitch the outcome-dependent ops into each core's stream.
-	par.For(w, n, func(i int) {
-		coreAgent := cc[i].agents[len(cc[i].agents)-1]
-		coreAgent.Ops = stitchOps(ph, cc[i].coreOps, cc[i].marks, outs[i], maintainNext)
-	})
-
-	var agents []*system.Agent
-	for _, c := range cc {
-		agents = append(agents, c.agents...)
-	}
-	if timed {
-		r.hostStitch = time.Since(t0)
-	}
-	return agents
+// compilePhase compiles the phase end to end — compile streams, apply HF/VF
+// serially against s, stitch — and returns the finished agents without
+// simulating them. It is the historical single-call compiler, retained for
+// op-stream tests; Run and the shard coordinator drive the same passes
+// through the Instance/Step API.
+func (r *runner) compilePhase(ph *phaseSpec, s *algorithms.State, apply edgeFunc) []*system.Agent {
+	st := r.beginStep(ph)
+	drainStep(st, s, apply, ph.next)
+	return st.stitch()
 }
 
 // stitchOps inserts each deferred application's ops (value write when the

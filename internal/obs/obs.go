@@ -40,6 +40,11 @@ type PhaseSnapshot struct {
 	Phase int `json:"phase"`
 	// Engine is the execution model name (engine.Kind.String()).
 	Engine string `json:"engine"`
+	// Shard is the shard the phase executed on (0 for unsharded runs; the
+	// shard coordinator tags each shard's snapshots with its index). Seq
+	// numbers phases within the shard's own engine, so sharded runs carry
+	// one Seq sequence per shard.
+	Shard int `json:"shard"`
 	// Frontier is the number of active source elements entering the phase.
 	Frontier uint64 `json:"frontier"`
 	// Dense marks an all-active frontier (no bitmap scanning, §VI-C).
@@ -121,6 +126,15 @@ type RunSnapshot struct {
 	Phases           int    `json:"phases"`
 	Cycles           uint64 `json:"cycles"`
 	PreprocessCycles uint64 `json:"preprocess_cycles"`
+
+	// Shards is the number of shards the run executed on (0 or 1 for
+	// unsharded runs). ReplicatedVertices counts vertices materialized on
+	// more than one shard and ReplicationFactor is the mean number of shard
+	// copies per vertex (1.0 when nothing is replicated); both are 0 for
+	// unsharded runs.
+	Shards             int     `json:"shards,omitempty"`
+	ReplicatedVertices uint64  `json:"replicated_vertices,omitempty"`
+	ReplicationFactor  float64 `json:"replication_factor,omitempty"`
 
 	MemReads  [trace.NumArrays]uint64 `json:"mem_reads"`
 	MemWrites [trace.NumArrays]uint64 `json:"mem_writes"`

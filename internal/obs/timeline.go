@@ -95,7 +95,7 @@ func (t *Timeline) WriteJSON(w io.Writer) error {
 // csvHeader returns the per-phase CSV column names.
 func csvHeader() []string {
 	cols := []string{
-		"seq", "iteration", "phase", "engine", "frontier", "dense", "replayed",
+		"seq", "iteration", "phase", "engine", "shard", "frontier", "dense", "replayed",
 		"cycles", "core_cycles", "mem_stall_cycles", "fifo_stall_cycles",
 	}
 	for a := trace.Array(0); a < trace.NumArrays; a++ {
@@ -125,7 +125,7 @@ func (t *Timeline) WriteCSV(w io.Writer) error {
 	for _, p := range phases {
 		row := []string{
 			strconv.Itoa(p.Seq), strconv.Itoa(p.Iteration), strconv.Itoa(p.Phase),
-			p.Engine, u(p.Frontier),
+			p.Engine, strconv.Itoa(p.Shard), u(p.Frontier),
 			strconv.FormatBool(p.Dense), strconv.FormatBool(p.Replayed),
 			u(p.Cycles), u(p.CoreCycles), u(p.MemStallCycles), u(p.FifoStallCycles),
 		}

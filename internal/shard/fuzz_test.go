@@ -1,0 +1,83 @@
+package shard
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"chgraph/internal/hypergraph"
+)
+
+// maxFuzzVertices bounds fuzz-constructed id spaces (same convention as the
+// hypergraph fuzz wall).
+const maxFuzzVertices = 1 << 14
+
+// decodeHyperedges interprets data as little-endian uint16 vertex ids with
+// 0xFFFF acting as a hyperedge separator, the same encoding the hypergraph
+// fuzz targets use.
+func decodeHyperedges(data []byte) (uint32, [][]uint32) {
+	var (
+		hs   [][]uint32
+		cur  []uint32
+		maxV uint32
+	)
+	for i := 0; i+1 < len(data); i += 2 {
+		v := binary.LittleEndian.Uint16(data[i:])
+		if v == 0xFFFF {
+			hs = append(hs, cur)
+			cur = nil
+			continue
+		}
+		id := uint32(v) % maxFuzzVertices
+		if id >= maxV {
+			maxV = id + 1
+		}
+		cur = append(cur, id)
+	}
+	if len(cur) > 0 {
+		hs = append(hs, cur)
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	return maxV, hs
+}
+
+// FuzzPartition drives arbitrary hypergraphs through both partition policies
+// and full materialization, then checks the complete shard contract: unique
+// hyperedge ownership, bijective id maps, total vertex coverage, pin-list
+// fidelity and metric agreement.
+func FuzzPartition(f *testing.F) {
+	f.Add([]byte{1, 0, 2, 0, 0xFF, 0xFF, 2, 0, 3, 0}, uint8(1), false)
+	f.Add([]byte{0, 0, 1, 0, 0xFF, 0xFF, 1, 0, 2, 0, 0xFF, 0xFF, 0, 0, 2, 0}, uint8(2), true)
+	f.Add([]byte{5, 0, 6, 0, 7, 0, 0xFF, 0xFF, 0xFF, 0xFF, 5, 0}, uint8(7), false)
+	f.Fuzz(func(t *testing.T, data []byte, k uint8, greedy bool) {
+		if len(data) > 4096 {
+			t.Skip("oversized input")
+		}
+		numV, hs := decodeHyperedges(data)
+		g, err := hypergraph.Build(numV, hs)
+		if err != nil {
+			t.Skip("unbuildable input")
+		}
+		kk := int(k)%MaxShards + 1
+		if uint32(kk) > g.NumHyperedges() {
+			kk = int(g.NumHyperedges())
+		}
+		if kk < 1 {
+			kk = 1
+		}
+		pol := PolicyRange
+		if greedy {
+			pol = PolicyGreedy
+		}
+		a, err := Partition(g, kk, pol, 0)
+		if err != nil {
+			t.Fatalf("Partition(K=%d, %s): %v", kk, pol, err)
+		}
+		p, err := Materialize(g, a, 2)
+		if err != nil {
+			t.Fatalf("Materialize(K=%d, %s): %v", kk, pol, err)
+		}
+		checkInvariants(t, g, p)
+	})
+}

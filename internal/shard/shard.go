@@ -1,0 +1,364 @@
+// Package shard is the partitioning + scale-out layer: it splits a
+// hypergraph into K shards by hyperedge ownership (contiguous ranges or a
+// single-pass streaming greedy assigner), materializes per-shard
+// sub-hypergraphs with local↔global id maps, and runs one engine instance
+// per shard with a frontier merge barrier between phases.
+//
+// Execution model. Each iteration runs the same two computation phases as
+// engine.Run, but split across shards:
+//
+//  1. every shard compiles its phase concurrently (engine.Instance /
+//     engine.Step expose the compiler without the apply pass);
+//  2. the coordinator drains all shards' HF/VF applications strictly
+//     sequentially, shard-major, against ONE global algorithm state in the
+//     global id space — the apply order is a deterministic function of the
+//     partition alone, never of host scheduling;
+//  3. every shard stitches and replays its op streams on its own simulated
+//     system concurrently; the phase's merged simulated time is the maximum
+//     over shards (a barrier, as in any bulk-synchronous scale-out);
+//  4. after the vertex-computation phase the shard-local activations are
+//     OR-merged into the global next frontier, so a vertex activated on one
+//     shard is active on every shard that replicates it.
+//
+// Because the drain applies HF/VF against the single global state in global
+// ids, replicated vertices cannot diverge (there is exactly one value per
+// vertex), algorithms observe global degrees, and K=1 reproduces the
+// unsharded engine bit for bit — op streams, timing and all. DESIGN.md §11
+// gives the full determinism contract, including which configurations are
+// exactly K-invariant.
+package shard
+
+import (
+	"time"
+
+	"chgraph/internal/algorithms"
+	"chgraph/internal/bitset"
+	"chgraph/internal/engine"
+	"chgraph/internal/hypergraph"
+	"chgraph/internal/obs"
+	"chgraph/internal/par"
+	"chgraph/internal/trace"
+)
+
+// Options configures a sharded run.
+type Options struct {
+	// Shards is the shard count K (1..MaxShards; 0 and 1 both mean one
+	// shard, which is the unsharded computation executed through the shard
+	// machinery).
+	Shards int
+	// Policy selects the partitioner (default PolicyRange).
+	Policy Policy
+	// CapFactor tunes the greedy per-shard size cap (<=0 uses
+	// DefaultCapFactor).
+	CapFactor float64
+	// Engine configures each shard's engine. Prep must be nil (each shard
+	// preps its own sub-hypergraph); Observer receives every shard's
+	// per-phase snapshots tagged with the shard index, plus merged
+	// iteration and run snapshots from the coordinator.
+	Engine engine.Options
+}
+
+// Result is a sharded run's merged outcome: the embedded engine.Result
+// carries the global final State and the measurement counters summed over
+// shards — except Cycles, which is the barrier-aware merged time (per phase
+// the maximum over shards, summed over phases), and PreprocessCycles, the
+// maximum over shards (shards preprocess concurrently).
+type Result struct {
+	*engine.Result
+	// Shards and Policy echo the partition configuration.
+	Shards int
+	Policy Policy
+	// ReplicatedVertices / ReplicationFactor measure the partition cut (see
+	// Assignment).
+	ReplicatedVertices uint64
+	ReplicationFactor  float64
+	// ShardPins and ShardHyperedges give the per-shard load balance.
+	ShardPins       []uint64
+	ShardHyperedges []uint64
+	// PerShard holds each shard's own engine measurements (State is nil;
+	// the algorithm state is global).
+	PerShard []*engine.Result
+}
+
+// shardTap forwards a shard engine's phase snapshots to the user observer
+// tagged with the shard index. Iteration and run snapshots are suppressed:
+// the coordinator emits merged ones.
+type shardTap struct {
+	shard int
+	inner obs.Observer
+}
+
+func (t *shardTap) PhaseDone(s obs.PhaseSnapshot) {
+	s.Shard = t.shard
+	t.inner.PhaseDone(s)
+}
+func (t *shardTap) IterationDone(obs.IterationSnapshot) {}
+func (t *shardTap) RunDone(obs.RunSnapshot)             {}
+
+// Run executes alg on g split across opt.Shards shards.
+func Run(g *hypergraph.Bipartite, alg algorithms.Algorithm, opt Options) (*Result, error) {
+	k := opt.Shards
+	if k <= 0 {
+		k = 1
+	}
+	pol := opt.Policy
+	if pol == "" {
+		pol = PolicyRange
+	}
+	a, err := Partition(g, k, pol, opt.CapFactor)
+	if err != nil {
+		return nil, err
+	}
+	workers := opt.Engine.Workers
+	if workers <= 0 {
+		workers = par.DefaultWorkers()
+	}
+	p, err := Materialize(g, a, workers)
+	if err != nil {
+		return nil, err
+	}
+
+	userObs := opt.Engine.Observer
+	var hostStart time.Time
+	if userObs != nil {
+		hostStart = time.Now()
+	}
+
+	// One engine instance per shard, prepped concurrently (per-chunk OAG
+	// builds inside each instance already fan out; shards are independent).
+	ins := make([]*engine.Instance, k)
+	errs := make([]error, k)
+	par.For(workers, k, func(i int) {
+		o := opt.Engine
+		o.Prep = nil
+		o.Observer = nil
+		if userObs != nil {
+			o.Observer = &shardTap{shard: i, inner: userObs}
+		}
+		ins[i], errs[i] = engine.NewInstance(p.Shards[i].G, o)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var mergedCycles, mergedPre uint64
+	if opt.Engine.ChargePreprocess {
+		for _, in := range ins {
+			in.ChargePreprocess()
+			if c := in.PreprocessCycles(); c > mergedPre {
+				mergedPre = c
+			}
+		}
+		mergedCycles = mergedPre
+	}
+
+	s := algorithms.NewState(g)
+	frontierV := bitset.New(g.NumVertices())
+	alg.Init(s, frontierV)
+
+	steps := make([]*engine.Step, k)
+	durs := make([]uint64, k)
+	maxIter := alg.MaxIterations()
+	iterations := 0
+	for {
+		if frontierV.Count() == 0 {
+			break
+		}
+		if maxIter > 0 && s.Iter >= maxIter {
+			break
+		}
+
+		// Hyperedge computation: active vertices scatter via HF. Each
+		// shard's local frontier is the global one restricted to its
+		// vertices, so a replicated active vertex scatters on every shard —
+		// each of its incident hyperedges is owned by exactly one shard,
+		// and the union covers each bipartite edge exactly once.
+		alg.BeforeHyperedgePhase(s)
+		localNextE := make([]bitset.Bitmap, k)
+		par.For(workers, k, func(i int) {
+			sh := p.Shards[i]
+			lf := bitset.New(sh.G.NumVertices())
+			for lv, gv := range sh.Vertices {
+				if frontierV.Get(gv) {
+					lf.Set(uint32(lv))
+				}
+			}
+			localNextE[i] = bitset.New(sh.G.NumHyperedges())
+			steps[i] = ins[i].BeginHyperedgeComputation(lf, localNextE[i])
+		})
+		drain(p, steps, localNextE, func(gsrc, gdst uint32) algorithms.EdgeResult {
+			return alg.HF(s, gsrc, gdst)
+		}, func(sh *Shard, lsrc, ldst uint32) (uint32, uint32) {
+			return sh.Vertices[lsrc], sh.Hyperedges[ldst]
+		})
+		par.For(workers, k, func(i int) { durs[i] = steps[i].Commit() })
+		mergedCycles += maxOf(durs)
+
+		// Vertex computation: active hyperedges scatter via VF. Hyperedge
+		// frontiers are shard-local by construction (single ownership).
+		alg.BeforeVertexPhase(s)
+		localNextV := make([]bitset.Bitmap, k)
+		par.For(workers, k, func(i int) {
+			localNextV[i] = bitset.New(p.Shards[i].G.NumVertices())
+			steps[i] = ins[i].BeginVertexComputation(localNextE[i], localNextV[i])
+		})
+		drain(p, steps, localNextV, func(gsrc, gdst uint32) algorithms.EdgeResult {
+			return alg.VF(s, gsrc, gdst)
+		}, func(sh *Shard, lsrc, ldst uint32) (uint32, uint32) {
+			return sh.Hyperedges[lsrc], sh.Vertices[ldst]
+		})
+		par.For(workers, k, func(i int) { durs[i] = steps[i].Commit() })
+		mergedCycles += maxOf(durs)
+
+		// Frontier merge barrier: OR the shard-local vertex activations
+		// into the global next frontier.
+		nextV := bitset.New(g.NumVertices())
+		for i := 0; i < k; i++ {
+			sh := p.Shards[i]
+			localNextV[i].ForEachSet(0, sh.G.NumVertices(), func(lv uint32) {
+				nextV.Set(sh.Vertices[lv])
+			})
+		}
+
+		s.Iter++
+		iterations++
+		for _, in := range ins {
+			in.AdvanceIteration()
+		}
+		done := alg.AfterVertexPhase(s, nextV)
+		frontierV = nextV
+		if userObs != nil {
+			var edges uint64
+			for _, in := range ins {
+				edges += in.EdgesProcessed()
+			}
+			userObs.IterationDone(obs.IterationSnapshot{
+				Iteration:      iterations - 1,
+				ActiveVertices: frontierV.Count(),
+				Cycles:         mergedCycles,
+				EdgesProcessed: edges,
+			})
+		}
+		if done {
+			break
+		}
+	}
+
+	per := make([]*engine.Result, k)
+	for i, in := range ins {
+		per[i] = in.Finish()
+	}
+	merged := mergeResults(per)
+	merged.State = s
+	merged.Iterations = iterations
+	merged.Cycles = mergedCycles
+	merged.PreprocessCycles = mergedPre
+	out := &Result{
+		Result: merged,
+		Shards: k, Policy: pol,
+		ReplicatedVertices: a.ReplicatedVertices,
+		ReplicationFactor:  a.ReplicationFactor(),
+		ShardPins:          a.ShardPins,
+		ShardHyperedges:    a.ShardHyperedges,
+		PerShard:           per,
+	}
+	if userObs != nil {
+		phases := 0
+		for _, in := range ins {
+			if in.SimPhases() > phases {
+				phases = in.SimPhases()
+			}
+		}
+		userObs.RunDone(obs.RunSnapshot{
+			Engine:             merged.Kind.String(),
+			Algorithm:          alg.Name(),
+			Iterations:         merged.Iterations,
+			Phases:             phases,
+			Cycles:             merged.Cycles,
+			PreprocessCycles:   merged.PreprocessCycles,
+			Shards:             k,
+			ReplicatedVertices: out.ReplicatedVertices,
+			ReplicationFactor:  out.ReplicationFactor,
+			MemReads:           merged.MemReads,
+			MemWrites:          merged.MemWrites,
+			CoreCycles:         merged.CoreCycles,
+			MemStallCycles:     merged.MemStallCycles,
+			FifoStallCycles:    merged.FifoStallCycles,
+			L1Hits:             merged.L1Hits,
+			L1Misses:           merged.L1Misses,
+			L2Hits:             merged.L2Hits,
+			L2Misses:           merged.L2Misses,
+			L3Hits:             merged.L3Hits,
+			L3Misses:           merged.L3Misses,
+			EdgesProcessed:     merged.EdgesProcessed,
+			ChainCount:         merged.ChainCount,
+			ChainNodes:         merged.ChainNodes,
+			ChainGenCount:      merged.ChainGenCount,
+			ChainGenNodes:      merged.ChainGenNodes,
+			HostWall:           time.Since(hostStart),
+		})
+	}
+	return out, nil
+}
+
+// drain is the merge barrier's apply pass: all shards' pending HF/VF
+// applications run strictly sequentially, shard-major in mark order, against
+// the global state. Shard-local next frontiers keep their own test-and-set
+// discipline (they drive each shard's op-stream stitching); replicated
+// activations meet again in the global OR-merge.
+func drain(p *Partitioned, steps []*engine.Step, next []bitset.Bitmap,
+	apply func(gsrc, gdst uint32) algorithms.EdgeResult,
+	toGlobal func(sh *Shard, lsrc, ldst uint32) (uint32, uint32)) {
+	for i, st := range steps {
+		sh := p.Shards[i]
+		n := st.NumMarks()
+		for j := 0; j < n; j++ {
+			lsrc, ldst := st.Mark(j)
+			gsrc, gdst := toGlobal(sh, lsrc, ldst)
+			res := apply(gsrc, gdst)
+			st.Resolve(j, res, res&algorithms.Activate != 0 && next[i].TestAndSet(ldst))
+		}
+	}
+}
+
+func maxOf(xs []uint64) uint64 {
+	var m uint64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// mergeResults sums the per-shard measurement counters into one Result.
+// Cycles, PreprocessCycles, Iterations and State are set by the caller with
+// barrier-aware semantics.
+func mergeResults(per []*engine.Result) *engine.Result {
+	m := &engine.Result{Kind: per[0].Kind}
+	for _, r := range per {
+		for a := trace.Array(0); a < trace.NumArrays; a++ {
+			m.MemReads[a] += r.MemReads[a]
+			m.MemWrites[a] += r.MemWrites[a]
+			m.MemByPhase[0][a] += r.MemByPhase[0][a]
+			m.MemByPhase[1][a] += r.MemByPhase[1][a]
+		}
+		m.CoreCycles += r.CoreCycles
+		m.MemStallCycles += r.MemStallCycles
+		m.FifoStallCycles += r.FifoStallCycles
+		m.L1Hits += r.L1Hits
+		m.L1Misses += r.L1Misses
+		m.L2Hits += r.L2Hits
+		m.L2Misses += r.L2Misses
+		m.L3Hits += r.L3Hits
+		m.L3Misses += r.L3Misses
+		m.EdgesProcessed += r.EdgesProcessed
+		m.ChainCount += r.ChainCount
+		m.ChainNodes += r.ChainNodes
+		m.ChainGenCount += r.ChainGenCount
+		m.ChainGenNodes += r.ChainGenNodes
+	}
+	return m
+}

@@ -1,0 +1,509 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"os"
+	"reflect"
+	"testing"
+
+	"chgraph/internal/algorithms"
+	"chgraph/internal/engine"
+	"chgraph/internal/hypergraph"
+	"chgraph/internal/obs"
+	"chgraph/internal/sim/system"
+)
+
+func testSys() system.Config {
+	c := system.ScaledConfig()
+	c.Cores = 4
+	return c
+}
+
+// smallHG mirrors the engine test generator so the shard layer can pin K=1
+// runs against the engine's golden file (same seed → same hypergraph).
+func smallHG(seed int64) *hypergraph.Bipartite {
+	rng := rand.New(rand.NewSource(seed))
+	numV := uint32(rng.Intn(80) + 8)
+	hs := make([][]uint32, rng.Intn(100)+4)
+	for i := range hs {
+		sz := rng.Intn(7)
+		for k := 0; k < sz; k++ {
+			hs[i] = append(hs[i], uint32(rng.Intn(int(numV))))
+		}
+	}
+	return hypergraph.MustBuild(numV, hs)
+}
+
+// stateChecksum digests the final algorithm state bit-exactly (same digest
+// as the engine golden tests).
+func stateChecksum(st *algorithms.State) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(f float64) {
+		bits := math.Float64bits(f)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, v := range st.VertexVal {
+		put(v)
+	}
+	for _, v := range st.HyperedgeVal {
+		put(v)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+var allKinds = []engine.Kind{engine.Hygra, engine.GLA, engine.ChGraph, engine.ChGraphHCG, engine.HATSV, engine.HygraPF}
+var allPolicies = []Policy{PolicyRange, PolicyGreedy}
+
+// checkInvariants asserts the partition/materialization contract: every
+// hyperedge on exactly one shard, both id maps bijective on their domains,
+// every global vertex materialized somewhere, local pin lists order- and
+// content-identical to the global ones, and the Assignment metrics in exact
+// agreement with what was materialized.
+func checkInvariants(t *testing.T, g *hypergraph.Bipartite, p *Partitioned) {
+	t.Helper()
+	a := p.Assign
+	k := a.K
+
+	perShard := make([]uint64, k)
+	for h := uint32(0); h < g.NumHyperedges(); h++ {
+		s := a.Owner[h]
+		if int(s) >= k {
+			t.Fatalf("hyperedge %d owned by shard %d >= K=%d", h, s, k)
+		}
+		sh := p.Shards[s]
+		lh := p.hLocal[h]
+		if lh >= uint32(len(sh.Hyperedges)) || sh.Hyperedges[lh] != h {
+			t.Fatalf("hyperedge %d: local map (shard %d, local %d) does not round-trip", h, s, lh)
+		}
+		perShard[s]++
+	}
+	var total uint64
+	for s := 0; s < k; s++ {
+		if perShard[s] != a.ShardHyperedges[s] {
+			t.Fatalf("shard %d: ShardHyperedges=%d, owner scan says %d", s, a.ShardHyperedges[s], perShard[s])
+		}
+		if uint64(len(p.Shards[s].Hyperedges)) != perShard[s] {
+			t.Fatalf("shard %d materialized %d hyperedges, owns %d", s, len(p.Shards[s].Hyperedges), perShard[s])
+		}
+		total += perShard[s]
+	}
+	if total != uint64(g.NumHyperedges()) {
+		t.Fatalf("shards own %d hyperedges, hypergraph has %d", total, g.NumHyperedges())
+	}
+
+	cover := make([]int, g.NumVertices())
+	var pinSum uint64
+	for _, sh := range p.Shards {
+		if uint32(len(sh.Vertices)) != sh.G.NumVertices() || uint32(len(sh.Hyperedges)) != sh.G.NumHyperedges() {
+			t.Fatalf("shard %d: id maps sized %d/%d, local graph %d/%d",
+				sh.ID, len(sh.Vertices), len(sh.Hyperedges), sh.G.NumVertices(), sh.G.NumHyperedges())
+		}
+		for lv, gv := range sh.Vertices {
+			if lv > 0 && sh.Vertices[lv-1] >= gv {
+				t.Fatalf("shard %d: vertex list not strictly ascending at %d", sh.ID, lv)
+			}
+			got, ok := sh.LocalVertex(gv)
+			if !ok || got != uint32(lv) {
+				t.Fatalf("shard %d: vertex %d local map does not round-trip", sh.ID, gv)
+			}
+			cover[gv]++
+		}
+		for lh, gh := range sh.Hyperedges {
+			lp := sh.G.IncidentVertices(uint32(lh))
+			gp := g.IncidentVertices(gh)
+			if len(lp) != len(gp) {
+				t.Fatalf("shard %d: hyperedge %d has %d local pins, %d global", sh.ID, gh, len(lp), len(gp))
+			}
+			for i := range lp {
+				if sh.Vertices[lp[i]] != gp[i] {
+					t.Fatalf("shard %d: hyperedge %d pin %d maps to %d, want %d", sh.ID, gh, i, sh.Vertices[lp[i]], gp[i])
+				}
+			}
+			pinSum += uint64(len(lp))
+		}
+	}
+	if pinSum != g.NumBipartiteEdges() {
+		t.Fatalf("shards hold %d pins, hypergraph has %d", pinSum, g.NumBipartiteEdges())
+	}
+	var repl, plac uint64
+	for v, c := range cover {
+		if c < 1 {
+			t.Fatalf("vertex %d materialized on no shard", v)
+		}
+		plac += uint64(c)
+		if c > 1 {
+			repl++
+		}
+	}
+	if repl != a.ReplicatedVertices || plac != a.VertexPlacements {
+		t.Fatalf("metrics say %d replicated / %d placements, materialization has %d / %d",
+			a.ReplicatedVertices, a.VertexPlacements, repl, plac)
+	}
+}
+
+func TestPartitionInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		g := smallHG(seed)
+		for _, pol := range allPolicies {
+			for _, k := range []int{1, 2, 3, 8} {
+				if uint32(k) > g.NumHyperedges() {
+					continue
+				}
+				a, err := Partition(g, k, pol, 0)
+				if err != nil {
+					t.Fatalf("seed %d %s K=%d: %v", seed, pol, k, err)
+				}
+				p, err := Materialize(g, a, 4)
+				if err != nil {
+					t.Fatalf("seed %d %s K=%d: %v", seed, pol, k, err)
+				}
+				checkInvariants(t, g, p)
+			}
+		}
+	}
+}
+
+func TestPartitionRejectsBadK(t *testing.T) {
+	g := smallHG(1)
+	for _, k := range []int{0, -1, MaxShards + 1, int(g.NumHyperedges()) + 1} {
+		if _, err := Partition(g, k, PolicyRange, 0); err == nil {
+			t.Errorf("K=%d: expected error", k)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("ParsePolicy(bogus): expected error")
+	}
+}
+
+// TestK1IdentityMaterialization: the single K=1 shard must reproduce the
+// original CSR byte for byte — that is what makes K=1 runs bit-identical.
+func TestK1IdentityMaterialization(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		g := smallHG(seed)
+		for _, pol := range allPolicies {
+			a, err := Partition(g, 1, pol, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := Materialize(g, a, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sh := p.Shards[0].G
+			if sh.NumVertices() != g.NumVertices() || sh.NumHyperedges() != g.NumHyperedges() ||
+				sh.NumBipartiteEdges() != g.NumBipartiteEdges() {
+				t.Fatalf("seed %d: K=1 shard shape %d/%d/%d, original %d/%d/%d", seed,
+					sh.NumVertices(), sh.NumHyperedges(), sh.NumBipartiteEdges(),
+					g.NumVertices(), g.NumHyperedges(), g.NumBipartiteEdges())
+			}
+			for h := uint32(0); h < g.NumHyperedges(); h++ {
+				if !reflect.DeepEqual(sh.IncidentVertices(h), g.IncidentVertices(h)) {
+					t.Fatalf("seed %d: hyperedge %d adjacency differs", seed, h)
+				}
+			}
+			for v := uint32(0); v < g.NumVertices(); v++ {
+				if !reflect.DeepEqual(sh.IncidentHyperedges(v), g.IncidentHyperedges(v)) {
+					t.Fatalf("seed %d: vertex %d adjacency differs", seed, v)
+				}
+			}
+		}
+	}
+}
+
+// goldenEntry mirrors the engine golden schema (internal/engine/golden_test.go).
+type goldenEntry struct {
+	Iterations     int    `json:"iterations"`
+	Cycles         uint64 `json:"cycles"`
+	MemTotal       uint64 `json:"mem_total"`
+	EdgesProcessed uint64 `json:"edges_processed"`
+	ChainCount     uint64 `json:"chain_count"`
+	ChainGenCount  uint64 `json:"chain_gen_count"`
+	StateChecksum  string `json:"state_checksum"`
+}
+
+func entryOf(res *engine.Result) goldenEntry {
+	return goldenEntry{
+		Iterations:     res.Iterations,
+		Cycles:         res.Cycles,
+		MemTotal:       res.MemTotal(),
+		EdgesProcessed: res.EdgesProcessed,
+		ChainCount:     res.ChainCount,
+		ChainGenCount:  res.ChainGenCount,
+		StateChecksum:  stateChecksum(res.State),
+	}
+}
+
+func goldenAlgorithms() map[string]func() algorithms.Algorithm {
+	return map[string]func() algorithms.Algorithm{
+		"BFS": func() algorithms.Algorithm { return algorithms.NewBFS(0) },
+		"PR":  func() algorithms.Algorithm { return algorithms.NewPageRank(5) },
+	}
+}
+
+// TestShardK1MatchesGolden pins K=1 sharded runs to the engine's committed
+// unsharded golden file: same graph, same system, every engine kind — the
+// shard layer must reproduce cycles, memory traffic, chains and state bits
+// exactly.
+func TestShardK1MatchesGolden(t *testing.T) {
+	raw, err := os.ReadFile("../engine/testdata/golden.json")
+	if err != nil {
+		t.Fatalf("reading engine golden file: %v", err)
+	}
+	var want map[string]goldenEntry
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	g := smallHG(11)
+	for _, kind := range allKinds {
+		for algName, mk := range goldenAlgorithms() {
+			key := kind.String() + "/" + algName
+			w, ok := want[key]
+			if !ok {
+				t.Fatalf("%s missing from engine golden file", key)
+			}
+			res, err := Run(g, mk(), Options{
+				Shards: 1,
+				Engine: engine.Options{Kind: kind, Sys: testSys(), Workers: 1},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := entryOf(res.Result); got != w {
+				t.Errorf("%s: K=1 sharded drifted from unsharded golden:\n  golden: %+v\n  got:    %+v", key, w, got)
+			}
+		}
+	}
+}
+
+// TestShardK1MatchesUnsharded demands full Result equality — every counter,
+// both phases' memory splits, the state — between a K=1 sharded run and the
+// plain engine, for every kind and policy.
+func TestShardK1MatchesUnsharded(t *testing.T) {
+	for _, seed := range []int64{1, 11} {
+		g := smallHG(seed)
+		for _, kind := range allKinds {
+			for _, pol := range allPolicies {
+				for algName, mk := range goldenAlgorithms() {
+					opt := engine.Options{Kind: kind, Sys: testSys(), Workers: 2}
+					er, err := engine.Run(g, mk(), opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sr, err := Run(g, mk(), Options{Shards: 1, Policy: pol, Engine: opt})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(sr.Result, er) {
+						t.Errorf("seed %d %v/%s/%s: K=1 sharded Result differs from engine.Run", seed, kind, pol, algName)
+					}
+				}
+			}
+		}
+	}
+}
+
+func runSharded(t *testing.T, g *hypergraph.Bipartite, mk func() algorithms.Algorithm,
+	kind engine.Kind, pol Policy, k, workers int) *Result {
+	t.Helper()
+	res, err := Run(g, mk(), Options{
+		Shards: k, Policy: pol,
+		Engine: engine.Options{Kind: kind, Sys: testSys(), Workers: workers},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestShardKInvarianceMinPropagation: BFS and CC are min-propagation
+// algorithms, whose per-phase outcome is order-independent — sharded results
+// must equal the K=1 run exactly for EVERY engine kind and policy.
+func TestShardKInvarianceMinPropagation(t *testing.T) {
+	algos := map[string]func() algorithms.Algorithm{
+		"BFS": func() algorithms.Algorithm { return algorithms.NewBFS(0) },
+		"CC":  func() algorithms.Algorithm { return algorithms.NewCC() },
+	}
+	for _, seed := range []int64{7, 11} {
+		g := smallHG(seed)
+		for _, kind := range allKinds {
+			for _, pol := range allPolicies {
+				for algName, mk := range algos {
+					base := runSharded(t, g, mk, kind, pol, 1, 2)
+					for _, k := range []int{2, 3, 8} {
+						if uint32(k) > g.NumHyperedges() {
+							continue
+						}
+						res := runSharded(t, g, mk, kind, pol, k, 2)
+						if stateChecksum(res.State) != stateChecksum(base.State) ||
+							res.Iterations != base.Iterations ||
+							res.EdgesProcessed != base.EdgesProcessed {
+							t.Errorf("seed %d %v/%s/%s: K=%d diverged from K=1", seed, kind, pol, algName, k)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardKInvariancePR: PageRank's floating-point accumulation is
+// order-sensitive, so exact K-invariance holds where the shard-major drain
+// preserves the global application order: the index-ordered engines under
+// the range policy (DESIGN.md §11 gives the argument).
+func TestShardKInvariancePR(t *testing.T) {
+	mk := func() algorithms.Algorithm { return algorithms.NewPageRank(5) }
+	for _, seed := range []int64{7, 11, 13} {
+		g := smallHG(seed)
+		for _, kind := range []engine.Kind{engine.Hygra, engine.HygraPF} {
+			base := runSharded(t, g, mk, kind, PolicyRange, 1, 2)
+			for _, k := range []int{2, 3, 8} {
+				if uint32(k) > g.NumHyperedges() {
+					continue
+				}
+				res := runSharded(t, g, mk, kind, PolicyRange, k, 2)
+				if stateChecksum(res.State) != stateChecksum(base.State) ||
+					res.Iterations != base.Iterations ||
+					res.EdgesProcessed != base.EdgesProcessed {
+					t.Errorf("seed %d %v PR: K=%d diverged from K=1", seed, kind, k)
+				}
+			}
+		}
+	}
+}
+
+// TestShardWorkerInvariance: host parallelism must never leak into results —
+// merged Result and shard metrics are bit-identical for any Workers value.
+func TestShardWorkerInvariance(t *testing.T) {
+	g := smallHG(11)
+	for _, kind := range []engine.Kind{engine.Hygra, engine.ChGraph} {
+		for _, pol := range allPolicies {
+			mk := func() algorithms.Algorithm { return algorithms.NewPageRank(5) }
+			serial := runSharded(t, g, mk, kind, pol, 3, 1)
+			parallel := runSharded(t, g, mk, kind, pol, 3, 4)
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Errorf("%v/%s: Workers=4 sharded run diverged from Workers=1", kind, pol)
+			}
+		}
+	}
+}
+
+// TestShardDeterministicRerun: same inputs, same everything.
+func TestShardDeterministicRerun(t *testing.T) {
+	g := smallHG(11)
+	mk := func() algorithms.Algorithm { return algorithms.NewBFS(0) }
+	a := runSharded(t, g, mk, engine.ChGraph, PolicyGreedy, 3, 4)
+	b := runSharded(t, g, mk, engine.ChGraph, PolicyGreedy, 3, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two identical sharded runs produced different Results")
+	}
+}
+
+// TestShardObserver: observers are read-only taps on sharded runs too, phase
+// snapshots arrive tagged with their shard, and the merged run snapshot
+// carries the partition metrics.
+func TestShardObserver(t *testing.T) {
+	g := smallHG(11)
+	mk := func() algorithms.Algorithm { return algorithms.NewPageRank(3) }
+	opts := func(o obs.Observer) Options {
+		return Options{
+			Shards: 3, Policy: PolicyGreedy,
+			Engine: engine.Options{Kind: engine.Hygra, Sys: testSys(), Workers: 2, Observer: o},
+		}
+	}
+	bare, err := Run(g, mk(), opts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := obs.NewTimeline()
+	observed, err := Run(g, mk(), opts(tl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bare.Result, observed.Result) {
+		t.Fatal("attaching an observer changed the sharded Result")
+	}
+
+	run, done := tl.Run()
+	if !done {
+		t.Fatal("RunDone never fired")
+	}
+	if run.Shards != 3 || run.EdgesProcessed != observed.EdgesProcessed ||
+		run.Cycles != observed.Cycles || run.Iterations != observed.Iterations {
+		t.Errorf("merged run snapshot inconsistent with Result: %+v", run)
+	}
+	if run.ReplicatedVertices != observed.ReplicatedVertices || run.ReplicationFactor != observed.ReplicationFactor {
+		t.Errorf("run snapshot partition metrics differ from Result")
+	}
+
+	var phaseEdges uint64
+	lastSeq := map[int]int{}
+	for _, p := range tl.Phases() {
+		if p.Shard < 0 || p.Shard >= 3 {
+			t.Fatalf("phase snapshot with shard %d outside [0,3)", p.Shard)
+		}
+		if last, ok := lastSeq[p.Shard]; ok && p.Seq <= last {
+			t.Fatalf("shard %d: phase Seq not increasing", p.Shard)
+		}
+		lastSeq[p.Shard] = p.Seq
+		phaseEdges += p.EdgesProcessed
+	}
+	if phaseEdges != run.EdgesProcessed {
+		t.Errorf("phase snapshots account for %d edges, run has %d", phaseEdges, run.EdgesProcessed)
+	}
+	iters := tl.Iterations()
+	if len(iters) != observed.Iterations {
+		t.Fatalf("%d iteration snapshots for %d iterations", len(iters), observed.Iterations)
+	}
+	if last := iters[len(iters)-1]; last.Cycles != observed.Cycles {
+		t.Errorf("last iteration snapshot at %d cycles, run finished at %d", last.Cycles, observed.Cycles)
+	}
+}
+
+// TestShardDirected: the directed reconstruction path preserves shape and
+// K-invariance for min-propagation.
+func TestShardDirected(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	numV := uint32(40)
+	srcs := make([][]uint32, 20)
+	dsts := make([][]uint32, 20)
+	for i := range srcs {
+		for j := 0; j < rng.Intn(4)+1; j++ {
+			srcs[i] = append(srcs[i], uint32(rng.Intn(int(numV))))
+			dsts[i] = append(dsts[i], uint32(rng.Intn(int(numV))))
+		}
+	}
+	g, err := hypergraph.BuildDirected(numV, srcs, dsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range allPolicies {
+		a, err := Partition(g, 3, pol, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Materialize(g, a, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkInvariants(t, g, p)
+		for _, sh := range p.Shards {
+			if !sh.G.Directed() {
+				t.Fatalf("shard %d lost directedness", sh.ID)
+			}
+		}
+		mk := func() algorithms.Algorithm { return algorithms.NewBFS(0) }
+		base := runSharded(t, g, mk, engine.Hygra, pol, 1, 2)
+		res := runSharded(t, g, mk, engine.Hygra, pol, 3, 2)
+		if stateChecksum(res.State) != stateChecksum(base.State) {
+			t.Errorf("%s: directed K=3 BFS diverged from K=1", pol)
+		}
+	}
+}

@@ -1,16 +1,19 @@
 #!/bin/sh
 # cover.sh enforces per-package statement-coverage floors on the packages
 # whose correctness the repo's tests are meant to pin down. Run via
-# `make cover`. Floors are deliberately below current coverage so the gate
-# catches regressions, not normal churn.
+# `make cover`. Floors sit just under current coverage so the gate catches
+# regressions, not normal churn; FLOOR_SLACK (points subtracted from every
+# floor, default 0) lets CI tolerate small uncovered branches that a local
+# strict run would flag.
 set -eu
 
 cd "$(dirname "$0")/.."
 
+slack=${FLOOR_SLACK:-0}
 fail=0
 check() {
     pkg=$1
-    floor=$2
+    floor=$(awk -v f="$2" -v s="$slack" 'BEGIN { print f - s }')
     out=$(go test -count=1 -cover "./$pkg/" 2>&1) || { echo "$out"; exit 1; }
     pct=$(echo "$out" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p' | head -1)
     if [ -z "$pct" ]; then
@@ -28,8 +31,9 @@ check() {
     fi
 }
 
-check internal/engine     70
-check internal/obs        70
-check internal/hypergraph 70
+check internal/engine     96
+check internal/obs        97
+check internal/hypergraph 87
+check internal/shard      90
 
 exit $fail
