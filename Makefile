@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race bench bench-smoke cover fuzz
+.PHONY: tier1 build vet test race bench bench-smoke bench-baseline benchgate cover fuzz
 
 # tier1 is the gate every change must pass: clean build, vet, and the full
-# test suite under the race detector (the host-side parallel layers in
-# internal/par, internal/oag and internal/engine are exercised concurrently
-# by the equivalence tests).
-tier1: build vet race
+# test suite. The race detector runs as its own CI job (`make race`) so a
+# race failure is attributable at a glance instead of being buried in the
+# main gate's log.
+tier1: build vet test
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,17 @@ bench:
 bench-smoke:
 	$(MAKE) bench BENCHTIME=1x
 	$(GO) run ./cmd/chgraph-bench -fig fig2,shards -scale 0.05 -metrics-out bench-metrics.json
+
+# benchgate compares the fresh bench-metrics.json against the committed
+# BENCH_baseline.json and fails on regression (>5% simulated cycles, >10%
+# host wall time; see scripts/benchgate.sh for overrides). bench-baseline
+# refreshes the committed baseline after an intentional perf change.
+benchgate:
+	sh scripts/benchgate.sh
+
+bench-baseline:
+	$(MAKE) bench-smoke
+	cp bench-metrics.json BENCH_baseline.json
 
 # cover enforces per-package statement-coverage floors (engine, obs,
 # hypergraph); see scripts/cover.sh for the thresholds.

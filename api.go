@@ -19,6 +19,7 @@
 package chgraph
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -186,6 +187,13 @@ const (
 // Algorithms lists the supported hypergraph algorithm names.
 func Algorithms() []string { return append([]string{}, algorithms.HypergraphAlgos...) }
 
+// ParseEngine maps a CLI/API spelling ("hygra", "gla", "chgraph",
+// "chgraph-hcg", "hats-v", "hygra-pf"; case-insensitive) to its Engine.
+func ParseEngine(s string) (Engine, error) { return engine.ParseKind(s) }
+
+// EngineNames lists the spellings ParseEngine accepts.
+func EngineNames() []string { return engine.KindNames() }
+
 // RunConfig tunes a Run; the zero value reproduces the paper's defaults
 // (16 cores, scaled Table I system, W_min=3, D_max=16).
 type RunConfig struct {
@@ -226,6 +234,87 @@ type RunConfig struct {
 	// ShardCapFactor tunes the greedy policy's per-shard size cap
 	// (<=0 uses the default headroom).
 	ShardCapFactor float64
+	// Prepared supplies prebuilt preprocessing artifacts from Prepare so
+	// repeat runs of the same spec skip dataset chunking, OAG construction
+	// and (for sharded runs) partitioning entirely. It must have been built
+	// from the same hypergraph with a configuration matching this one
+	// (cores, W_min, shard count/policy); a mismatch is an error. Prepared
+	// artifacts are read-only and safe to share across concurrent runs —
+	// the serving layer's cache hands one Prepared to many requests.
+	Prepared *Prepared
+}
+
+// Prepared is an opaque bundle of reusable preprocessing artifacts: the
+// per-core chunking and overlap-aware abstraction graphs for unsharded runs,
+// plus the materialized partition and per-shard OAGs for sharded ones.
+// Preprocessing is the dominant amortizable cost of a run (§IV-A); building
+// it once via Prepare and reusing it through RunConfig.Prepared is what a
+// steady-state serving cache amortizes.
+type Prepared struct {
+	b      *hypergraph.Bipartite
+	cores  int
+	wMin   uint32
+	prep   *engine.Prep    // unsharded artifacts (nil for sharded specs)
+	shards int             // >1 when prepared for a sharded spec
+	policy shard.Policy    // sharded only
+	sh     *shard.Prepared // sharded artifacts
+}
+
+// Shards returns the shard count the artifacts were built for (<=1 when
+// prepared for an unsharded run).
+func (p *Prepared) Shards() int { return p.shards }
+
+// Prepare builds the reusable preprocessing artifacts for running cfg-shaped
+// requests on g: chunks and both OAGs at cfg's core count and W_min, and —
+// when cfg.Shards > 1 — the materialized partition with per-shard OAGs. The
+// artifacts serve every engine kind. Cancelling ctx aborts between stages
+// and inside the parallel build workers.
+func Prepare(ctx context.Context, g *Hypergraph, cfg RunConfig) (*Prepared, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	eopt := prepOptions(cfg)
+	p := &Prepared{b: g.b, cores: eopt.Sys.Cores, wMin: eopt.WMin}
+	if cfg.Shards > 1 {
+		pol := shard.PolicyRange
+		if cfg.ShardPolicy != "" {
+			var err error
+			if pol, err = shard.ParsePolicy(cfg.ShardPolicy); err != nil {
+				return nil, err
+			}
+		}
+		sh, err := shard.Prepare(ctx, g.b, shard.Options{
+			Shards: cfg.Shards, Policy: pol, CapFactor: cfg.ShardCapFactor,
+			Engine: eopt,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.shards, p.policy, p.sh = cfg.Shards, pol, sh
+		return p, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	p.prep = engine.PrepareParallel(g.b, eopt.Sys.Cores, eopt.WMin, eopt.Workers)
+	return p, nil
+}
+
+// prepOptions resolves the engine options a cfg-shaped run executes under
+// (shared by Run and Prepare so prepared artifacts always match).
+func prepOptions(cfg RunConfig) engine.Options {
+	sys := system.ScaledConfig()
+	if cfg.Cores > 0 {
+		sys.Cores = cfg.Cores
+	}
+	if cfg.LLCBytes > 0 {
+		sys = sys.WithLLCBytes(cfg.LLCBytes)
+	}
+	return engine.Options{
+		Kind: cfg.Engine, Sys: sys, DMax: cfg.DMax, WMin: cfg.WMin,
+		ChargePreprocess: cfg.IncludePreprocessing, Workers: cfg.Workers,
+		Observer: cfg.Observer,
+	}.WithDefaults()
 }
 
 // Observability layer (internal/obs re-exported): an Observer taps the
@@ -302,6 +391,16 @@ type Result struct {
 // Run executes the named algorithm (see Algorithms, plus "SSSP" and
 // "Adsorption" for graphs) on g under cfg.
 func Run(g *Hypergraph, algorithm string, cfg RunConfig) (*Result, error) {
+	return RunContext(context.Background(), g, algorithm, cfg)
+}
+
+// RunContext is Run with cooperative cancellation: once ctx is done the
+// engine abandons the run at the next phase boundary (partially compiled
+// phases are discarded, never simulated or applied to algorithm state) and
+// returns ctx.Err(). Cancellation propagates into the parallel compile
+// workers and, for sharded runs, every shard's engine. A nil error
+// guarantees a Result bit-identical to an uncancelled Run.
+func RunContext(ctx context.Context, g *Hypergraph, algorithm string, cfg RunConfig) (*Result, error) {
 	var alg algorithms.Algorithm
 	switch algorithm {
 	case "BFS":
@@ -330,17 +429,18 @@ func Run(g *Hypergraph, algorithm string, cfg RunConfig) (*Result, error) {
 		}
 	}
 
-	sys := system.ScaledConfig()
-	if cfg.Cores > 0 {
-		sys.Cores = cfg.Cores
-	}
-	if cfg.LLCBytes > 0 {
-		sys = sys.WithLLCBytes(cfg.LLCBytes)
-	}
-	eopt := engine.Options{
-		Kind: cfg.Engine, Sys: sys, DMax: cfg.DMax, WMin: cfg.WMin,
-		ChargePreprocess: cfg.IncludePreprocessing, Workers: cfg.Workers,
-		Observer: cfg.Observer,
+	eopt := prepOptions(cfg)
+	if p := cfg.Prepared; p != nil {
+		if p.b != g.b {
+			return nil, fmt.Errorf("chgraph: Prepared was built for a different hypergraph")
+		}
+		if p.cores != eopt.Sys.Cores || p.wMin != eopt.WMin {
+			return nil, fmt.Errorf("chgraph: Prepared built for cores=%d/wMin=%d, run wants cores=%d/wMin=%d",
+				p.cores, p.wMin, eopt.Sys.Cores, eopt.WMin)
+		}
+		if (cfg.Shards > 1) != (p.shards > 1) {
+			return nil, fmt.Errorf("chgraph: Prepared built for %d shards, run wants %d", p.shards, cfg.Shards)
+		}
 	}
 	var (
 		res  *engine.Result
@@ -354,15 +454,22 @@ func Run(g *Hypergraph, algorithm string, cfg RunConfig) (*Result, error) {
 				return nil, err
 			}
 		}
-		sres, err = shard.Run(g.b, alg, shard.Options{
+		sopt := shard.Options{
 			Shards: cfg.Shards, Policy: pol, CapFactor: cfg.ShardCapFactor,
 			Engine: eopt,
-		})
+		}
+		if cfg.Prepared != nil {
+			sopt.Pre = cfg.Prepared.sh
+		}
+		sres, err = shard.RunCtx(ctx, g.b, alg, sopt)
 		if sres != nil {
 			res = sres.Result
 		}
 	} else {
-		res, err = engine.Run(g.b, alg, eopt)
+		if cfg.Prepared != nil {
+			eopt.Prep = cfg.Prepared.prep
+		}
+		res, err = engine.RunCtx(ctx, g.b, alg, eopt)
 	}
 	if err != nil {
 		return nil, err

@@ -1,0 +1,113 @@
+package chgraph
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func prepareTestHG(t *testing.T) *Hypergraph {
+	t.Helper()
+	g, err := LoadDataset("OK", 0.02)
+	if err != nil {
+		t.Fatalf("LoadDataset: %v", err)
+	}
+	return g
+}
+
+// TestPrepareReuseBitIdentical is the public artifact-reuse contract: a run
+// fed a Prepared must return exactly what a from-scratch run returns, for
+// unsharded and sharded configurations and across repeat uses.
+func TestPrepareReuseBitIdentical(t *testing.T) {
+	g := prepareTestHG(t)
+	for _, cfg := range []RunConfig{
+		{Engine: ChGraph, Cores: 4, Iterations: 3},
+		{Engine: GLA, Cores: 4, Iterations: 3, Shards: 2},
+		{Engine: ChGraph, Cores: 4, Iterations: 3, Shards: 2, ShardPolicy: "greedy"},
+	} {
+		pre, err := Prepare(context.Background(), g, cfg)
+		if err != nil {
+			t.Fatalf("shards=%d: Prepare: %v", cfg.Shards, err)
+		}
+		if pre.Shards() != cfg.Shards && !(cfg.Shards <= 1 && pre.Shards() <= 1) {
+			t.Fatalf("Prepared.Shards() = %d, cfg has %d", pre.Shards(), cfg.Shards)
+		}
+		direct, err := Run(g, "PR", cfg)
+		if err != nil {
+			t.Fatalf("shards=%d: direct Run: %v", cfg.Shards, err)
+		}
+		for rep := 0; rep < 2; rep++ {
+			c := cfg
+			c.Prepared = pre
+			reused, err := Run(g, "PR", c)
+			if err != nil {
+				t.Fatalf("shards=%d rep %d: prepared Run: %v", cfg.Shards, rep, err)
+			}
+			if reused.Cycles != direct.Cycles || reused.Iterations != direct.Iterations {
+				t.Fatalf("shards=%d rep %d: cycles %d vs %d, iters %d vs %d",
+					cfg.Shards, rep, reused.Cycles, direct.Cycles, reused.Iterations, direct.Iterations)
+			}
+			for i := range direct.VertexValues {
+				if direct.VertexValues[i] != reused.VertexValues[i] {
+					t.Fatalf("shards=%d rep %d: vertex %d diverged", cfg.Shards, rep, i)
+				}
+			}
+		}
+	}
+}
+
+func TestPrepareMismatchesRejected(t *testing.T) {
+	g := prepareTestHG(t)
+	pre, err := Prepare(context.Background(), g, RunConfig{Engine: ChGraph, Cores: 4})
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+
+	if _, err := Run(g, "PR", RunConfig{Engine: ChGraph, Cores: 8, Prepared: pre}); err == nil {
+		t.Fatalf("core-count mismatch accepted")
+	}
+	if _, err := Run(g, "PR", RunConfig{Engine: ChGraph, Cores: 4, WMin: 9, Prepared: pre}); err == nil {
+		t.Fatalf("wMin mismatch accepted")
+	}
+	if _, err := Run(g, "PR", RunConfig{Engine: ChGraph, Cores: 4, Shards: 2, Prepared: pre}); err == nil {
+		t.Fatalf("unsharded Prepared accepted by a sharded run")
+	}
+	other := prepareTestHG(t)
+	if _, err := Run(other, "PR", RunConfig{Engine: ChGraph, Cores: 4, Prepared: pre}); err == nil {
+		t.Fatalf("Prepared accepted for a different hypergraph")
+	}
+	// A kind change is fine — the artifacts serve every execution model.
+	if _, err := Run(g, "PR", RunConfig{Engine: Hygra, Cores: 4, Iterations: 2, Prepared: pre}); err != nil {
+		t.Fatalf("engine-kind change rejected: %v", err)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	g := prepareTestHG(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, g, "PR", RunConfig{Engine: ChGraph, Cores: 4}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("unsharded err = %v, want context.Canceled", err)
+	}
+	if _, err := RunContext(ctx, g, "PR", RunConfig{Engine: ChGraph, Cores: 4, Shards: 2}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sharded err = %v, want context.Canceled", err)
+	}
+	if _, err := Prepare(ctx, g, RunConfig{Engine: ChGraph, Cores: 4}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Prepare err = %v, want context.Canceled", err)
+	}
+}
+
+func TestParseEngineNames(t *testing.T) {
+	names := EngineNames()
+	if len(names) != 6 {
+		t.Fatalf("EngineNames() = %v, want 6 models", names)
+	}
+	for _, n := range names {
+		if _, err := ParseEngine(n); err != nil {
+			t.Fatalf("ParseEngine(%q): %v", n, err)
+		}
+	}
+	if _, err := ParseEngine("bogus"); err == nil {
+		t.Fatalf("bogus engine accepted")
+	}
+}

@@ -14,24 +14,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime/pprof"
 	rtrace "runtime/trace"
 	"strings"
+	"syscall"
 
 	chgraph "chgraph"
 )
-
-var engines = map[string]chgraph.Engine{
-	"hygra":       chgraph.Hygra,
-	"gla":         chgraph.GLA,
-	"chgraph":     chgraph.ChGraph,
-	"chgraph-hcg": chgraph.ChGraphHCG,
-	"hats-v":      chgraph.HATSV,
-	"hygra-pf":    chgraph.HygraPF,
-}
 
 func main() {
 	var (
@@ -55,14 +49,18 @@ func main() {
 	)
 	flag.Parse()
 
-	kind, ok := engines[strings.ToLower(*eng)]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *eng)
+	kind, err := chgraph.ParseEngine(*eng)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
+	// Ctrl-C / SIGTERM abandons the run at the next engine phase boundary
+	// instead of killing the process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var g *chgraph.Hypergraph
-	var err error
 	isGraph := false
 	for _, n := range chgraph.GraphDatasets() {
 		if strings.EqualFold(n, *dataset) {
@@ -124,7 +122,7 @@ func main() {
 		observer = chgraph.MultiObserver(observers...)
 	}
 
-	res, err := chgraph.Run(g, *algo, chgraph.RunConfig{
+	res, err := chgraph.RunContext(ctx, g, *algo, chgraph.RunConfig{
 		Engine: kind, Cores: *cores, DMax: *dmax, WMin: uint32(*wmin),
 		IncludePreprocessing: *prep, Source: uint32(*source), Workers: *workers,
 		Observer: observer, Shards: *shards, ShardPolicy: *shardPol,

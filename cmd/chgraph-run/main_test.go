@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildOnce compiles the chgraph-run binary once per test process.
+var buildOnce = sync.Once{}
+var binPath string
+var buildErr error
+
+func binary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "chgraph-run-e2e")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binPath = filepath.Join(dir, "chgraph-run")
+		out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput()
+		if err != nil {
+			buildErr = err
+			binPath = string(out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building chgraph-run: %v\n%s", buildErr, binPath)
+	}
+	return binPath
+}
+
+func run(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	cmd := exec.Command(binary(t), args...)
+	var stdout, stderr strings.Builder
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	return stdout.String(), stderr.String(), err
+}
+
+func TestCLIBasicRun(t *testing.T) {
+	stdout, _, err := run(t, "-dataset", "OK", "-scale", "0.02", "-algo", "PR", "-engine", "chgraph", "-cores", "4")
+	if err != nil {
+		t.Fatalf("run failed: %v\n%s", err, stdout)
+	}
+	for _, want := range []string{"simulated cycles:", "DRAM accesses:", "iterations:", "chains:"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestCLIShardedRun(t *testing.T) {
+	stdout, _, err := run(t, "-dataset", "OK", "-scale", "0.02", "-algo", "PR", "-engine", "gla",
+		"-cores", "4", "-shards", "3", "-shard-policy", "greedy")
+	if err != nil {
+		t.Fatalf("sharded run failed: %v\n%s", err, stdout)
+	}
+	if !strings.Contains(stdout, "shards:            3 (greedy policy") {
+		t.Fatalf("output missing shard summary:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "replication)") {
+		t.Fatalf("output missing replication factor:\n%s", stdout)
+	}
+}
+
+func TestCLIMetricsOutJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	_, stderr, err := run(t, "-dataset", "OK", "-scale", "0.02", "-algo", "BFS", "-engine", "chgraph",
+		"-cores", "4", "-metrics-out", path, "-loglevel", "2")
+	if err != nil {
+		t.Fatalf("run failed: %v\n%s", err, stderr)
+	}
+	if !strings.Contains(stderr, "metrics written to "+path) {
+		t.Fatalf("stderr missing metrics confirmation:\n%s", stderr)
+	}
+	// -loglevel 2 streams run and iteration telemetry to stderr.
+	if !strings.Contains(stderr, "iter") {
+		t.Fatalf("stderr missing iteration telemetry at loglevel 2:\n%s", stderr)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading metrics: %v", err)
+	}
+	var doc struct {
+		Run struct {
+			Engine string `json:"engine"`
+			Cycles uint64 `json:"cycles"`
+		} `json:"run"`
+		Phases []json.RawMessage `json:"phases"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("metrics JSON invalid: %v\n%s", err, raw)
+	}
+	if doc.Run.Cycles == 0 || len(doc.Phases) == 0 {
+		t.Fatalf("metrics JSON empty: run=%+v phases=%d", doc.Run, len(doc.Phases))
+	}
+}
+
+func TestCLIMetricsOutCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.csv")
+	_, stderr, err := run(t, "-dataset", "OK", "-scale", "0.02", "-algo", "BFS", "-engine", "hygra",
+		"-cores", "4", "-metrics-out", path)
+	if err != nil {
+		t.Fatalf("run failed: %v\n%s", err, stderr)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading metrics: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 2 || !strings.Contains(lines[0], ",") {
+		t.Fatalf("CSV export malformed:\n%s", raw)
+	}
+}
+
+func TestCLIErrorExits(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown engine", []string{"-engine", "warp"}},
+		{"unknown dataset", []string{"-dataset", "nope", "-scale", "0.02"}},
+		{"unknown algorithm", []string{"-dataset", "OK", "-scale", "0.02", "-algo", "Dijkstra"}},
+		{"bad shard policy", []string{"-dataset", "OK", "-scale", "0.02", "-shards", "2", "-shard-policy", "hashish"}},
+	}
+	for _, tc := range cases {
+		if _, stderr, err := run(t, tc.args...); err == nil {
+			t.Fatalf("%s: exited 0\nstderr: %s", tc.name, stderr)
+		} else if stderr == "" {
+			t.Fatalf("%s: no diagnostic on stderr", tc.name)
+		}
+	}
+}
+
+func TestCLIGraphDataset(t *testing.T) {
+	stdout, _, err := run(t, "-dataset", "AZ", "-scale", "0.02", "-algo", "SSSP", "-engine", "chgraph", "-cores", "4")
+	if err != nil {
+		t.Fatalf("graph run failed: %v\n%s", err, stdout)
+	}
+	if !strings.Contains(stdout, "simulated cycles:") {
+		t.Fatalf("output missing cycle count:\n%s", stdout)
+	}
+}

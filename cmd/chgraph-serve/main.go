@@ -1,0 +1,79 @@
+// Command chgraph-serve runs the chgraph simulation service: an HTTP server
+// accepting run requests, coalescing identical in-flight requests and
+// caching prepared artifacts so repeated specs skip preprocessing (see
+// internal/serve and DESIGN.md §12).
+//
+// Example:
+//
+//	chgraph-serve -addr :8080 -workers 4 -cache 32
+//	curl -s localhost:8080/run -d '{"dataset":"WEB","scale":0.1,"algorithm":"PR","engine":"chgraph"}'
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM starts a graceful drain: /healthz flips to draining, new
+// runs are refused with 503, and in-flight runs get -drain to finish.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"chgraph/internal/obs"
+	"chgraph/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		queue   = flag.Int("queue", 64, "admission queue depth (excess requests get 429)")
+		workers = flag.Int("workers", 0, "concurrently executing runs (0 = all CPUs)")
+		cache   = flag.Int("cache", 16, "prepared-artifact LRU capacity (specs)")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+	)
+	flag.Parse()
+
+	srv := serve.NewServer(serve.Options{
+		QueueDepth:   *queue,
+		Workers:      *workers,
+		CacheEntries: *cache,
+		DrainTimeout: *drain,
+		Session:      obs.NewSessionMetrics(),
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "chgraph-serve listening on %s (queue %d, cache %d)\n", *addr, *queue, *cache)
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "draining...")
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Drain the serve layer first (in-flight runs finish), then close the
+	// HTTP listener and connections.
+	code := 0
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "drain: %v\n", err)
+		code = 1
+	}
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+		code = 1
+	}
+	os.Exit(code)
+}

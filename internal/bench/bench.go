@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -14,6 +15,7 @@ import (
 
 	"chgraph/internal/algorithms"
 	"chgraph/internal/engine"
+	"chgraph/internal/flight"
 	"chgraph/internal/gen"
 	"chgraph/internal/hypergraph"
 	"chgraph/internal/obs"
@@ -88,28 +90,26 @@ type Session struct {
 	preps     map[string]*engine.Prep
 	runs      map[string]*engine.Result
 	shardRuns map[string]*shard.Result
-	inflight  map[string]*inflightRun
-	sem       chan struct{}
-}
-
-// inflightRun is the per-key singleflight record: the first caller of a key
-// simulates it, every concurrent duplicate waits on done and shares res.
-type inflightRun struct {
-	done chan struct{}
-	res  *engine.Result
+	// inflight and shardInflight coalesce concurrent duplicate cells: the
+	// first caller of a key simulates it, duplicates wait and share the
+	// result (internal/flight grew out of this cache's original coalescer).
+	inflight      *flight.Group[*engine.Result]
+	shardInflight *flight.Group[*shard.Result]
+	sem           chan struct{}
 }
 
 // NewSession builds a session.
 func NewSession(cfg Config) *Session {
 	cfg = cfg.withDefaults()
 	return &Session{
-		cfg:       cfg,
-		data:      map[string]*hypergraph.Bipartite{},
-		preps:     map[string]*engine.Prep{},
-		runs:      map[string]*engine.Result{},
-		shardRuns: map[string]*shard.Result{},
-		inflight:  map[string]*inflightRun{},
-		sem:       make(chan struct{}, cfg.Parallel),
+		cfg:           cfg,
+		data:          map[string]*hypergraph.Bipartite{},
+		preps:         map[string]*engine.Prep{},
+		runs:          map[string]*engine.Result{},
+		shardRuns:     map[string]*shard.Result{},
+		inflight:      flight.NewGroup[*engine.Result](),
+		shardInflight: flight.NewGroup[*shard.Result](),
+		sem:           make(chan struct{}, cfg.Parallel),
 	}
 }
 
@@ -216,60 +216,58 @@ func (s *Session) Run(rs RunSpec) *engine.Result {
 		s.mu.Unlock()
 		return r
 	}
-	if f, ok := s.inflight[key]; ok {
-		s.mu.Unlock()
-		<-f.done
-		return f.res
-	}
-	f := &inflightRun{done: make(chan struct{})}
-	s.inflight[key] = f
 	s.mu.Unlock()
 
-	s.sem <- struct{}{}
-	defer func() { <-s.sem }()
+	res, err, _ := s.inflight.Do(context.Background(), key, func(ctx context.Context) (*engine.Result, error) {
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
 
-	g := s.Dataset(rs.Dataset)
-	wMin := rs.WMin
-	if wMin == 0 {
-		wMin = 3
-	}
-	sys := s.cfg.Sys
-	if rs.Sys != nil {
-		sys = *rs.Sys
-	}
-	var prep *engine.Prep
-	if rs.Reordered {
-		g = s.reordered(rs.Dataset)
-		prep = s.prepFor("reordered/"+rs.Dataset, g, wMin, sys.Cores)
-	} else if needsChains(rs.Kind) {
-		prep = s.prepCores(rs.Dataset, wMin, sys.Cores)
-	}
-	alg, ok := algorithms.ByName(rs.Algo)
-	if !ok {
-		panic("bench: unknown algorithm " + rs.Algo)
-	}
-	s.cfg.Log.Logf("run %s", key)
-	var ob obs.Observer
-	if s.cfg.Metrics != nil {
-		ob = s.cfg.Metrics.Observe(key)
-	}
-	if s.cfg.Log.Enabled(obs.LevelIteration) {
-		ob = obs.Multi(ob, s.cfg.Log)
-	}
-	res, err := engine.Run(g, alg, engine.Options{
-		Kind: rs.Kind, Sys: sys, DMax: rs.DMax, WMin: wMin,
-		Prep: prep, ChargePreprocess: rs.Charge, Workers: s.cfg.Workers,
-		Observer: ob,
+		g := s.Dataset(rs.Dataset)
+		wMin := rs.WMin
+		if wMin == 0 {
+			wMin = 3
+		}
+		sys := s.cfg.Sys
+		if rs.Sys != nil {
+			sys = *rs.Sys
+		}
+		var prep *engine.Prep
+		if rs.Reordered {
+			g = s.reordered(rs.Dataset)
+			prep = s.prepFor("reordered/"+rs.Dataset, g, wMin, sys.Cores)
+		} else if needsChains(rs.Kind) {
+			prep = s.prepCores(rs.Dataset, wMin, sys.Cores)
+		}
+		alg, ok := algorithms.ByName(rs.Algo)
+		if !ok {
+			return nil, fmt.Errorf("unknown algorithm %s", rs.Algo)
+		}
+		s.cfg.Log.Logf("run %s", key)
+		var ob obs.Observer
+		if s.cfg.Metrics != nil {
+			ob = s.cfg.Metrics.Observe(key)
+		}
+		if s.cfg.Log.Enabled(obs.LevelIteration) {
+			ob = obs.Multi(ob, s.cfg.Log)
+		}
+		res, err := engine.RunCtx(ctx, g, alg, engine.Options{
+			Kind: rs.Kind, Sys: sys, DMax: rs.DMax, WMin: wMin,
+			Prep: prep, ChargePreprocess: rs.Charge, Workers: s.cfg.Workers,
+			Observer: ob,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Publish before the flight key is forgotten so a caller arriving
+		// after the in-flight window always finds the cache populated.
+		s.mu.Lock()
+		s.runs[key] = res
+		s.mu.Unlock()
+		return res, nil
 	})
 	if err != nil {
 		panic(fmt.Sprintf("bench: %s: %v", key, err))
 	}
-	s.mu.Lock()
-	s.runs[key] = res
-	delete(s.inflight, key)
-	s.mu.Unlock()
-	f.res = res
-	close(f.done)
 	return res
 }
 
@@ -284,48 +282,50 @@ func (s *Session) RunSharded(rs RunSpec) *shard.Result {
 	}
 	s.mu.Unlock()
 
-	s.sem <- struct{}{}
-	defer func() { <-s.sem }()
+	res, err, _ := s.shardInflight.Do(context.Background(), key, func(ctx context.Context) (*shard.Result, error) {
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
 
-	g := s.Dataset(rs.Dataset)
-	wMin := rs.WMin
-	if wMin == 0 {
-		wMin = 3
-	}
-	sys := s.cfg.Sys
-	if rs.Sys != nil {
-		sys = *rs.Sys
-	}
-	alg, ok := algorithms.ByName(rs.Algo)
-	if !ok {
-		panic("bench: unknown algorithm " + rs.Algo)
-	}
-	s.cfg.Log.Logf("run %s", key)
-	var ob obs.Observer
-	if s.cfg.Metrics != nil {
-		ob = s.cfg.Metrics.Observe(key)
-	}
-	if s.cfg.Log.Enabled(obs.LevelIteration) {
-		ob = obs.Multi(ob, s.cfg.Log)
-	}
-	res, err := shard.Run(g, alg, shard.Options{
-		Shards: rs.Shards, Policy: rs.ShardPolicy,
-		Engine: engine.Options{
-			Kind: rs.Kind, Sys: sys, DMax: rs.DMax, WMin: wMin,
-			ChargePreprocess: rs.Charge, Workers: s.cfg.Workers,
-			Observer: ob,
-		},
+		g := s.Dataset(rs.Dataset)
+		wMin := rs.WMin
+		if wMin == 0 {
+			wMin = 3
+		}
+		sys := s.cfg.Sys
+		if rs.Sys != nil {
+			sys = *rs.Sys
+		}
+		alg, ok := algorithms.ByName(rs.Algo)
+		if !ok {
+			return nil, fmt.Errorf("unknown algorithm %s", rs.Algo)
+		}
+		s.cfg.Log.Logf("run %s", key)
+		var ob obs.Observer
+		if s.cfg.Metrics != nil {
+			ob = s.cfg.Metrics.Observe(key)
+		}
+		if s.cfg.Log.Enabled(obs.LevelIteration) {
+			ob = obs.Multi(ob, s.cfg.Log)
+		}
+		res, err := shard.RunCtx(ctx, g, alg, shard.Options{
+			Shards: rs.Shards, Policy: rs.ShardPolicy,
+			Engine: engine.Options{
+				Kind: rs.Kind, Sys: sys, DMax: rs.DMax, WMin: wMin,
+				ChargePreprocess: rs.Charge, Workers: s.cfg.Workers,
+				Observer: ob,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		s.shardRuns[key] = res
+		s.mu.Unlock()
+		return res, nil
 	})
 	if err != nil {
 		panic(fmt.Sprintf("bench: %s: %v", key, err))
 	}
-	s.mu.Lock()
-	if r, ok := s.shardRuns[key]; ok {
-		res = r // a concurrent caller won the race; keep one canonical Result
-	} else {
-		s.shardRuns[key] = res
-	}
-	s.mu.Unlock()
 	return res
 }
 

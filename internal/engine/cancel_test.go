@@ -1,0 +1,213 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"chgraph/internal/algorithms"
+	"chgraph/internal/bitset"
+	"chgraph/internal/obs"
+)
+
+// cancelAfterPhases is an Observer that fires a cancel func once it has seen
+// a given number of completed phases — the engine's cancellation points are
+// phase boundaries, so this exercises the mid-run abort path.
+type cancelAfterPhases struct {
+	obs.Null
+	mu     sync.Mutex
+	left   int
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfterPhases) PhaseDone(obs.PhaseSnapshot) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.left--
+	if c.left == 0 {
+		c.cancel()
+	}
+}
+
+func TestRunCtxPreCancelled(t *testing.T) {
+	g := smallHG(5)
+	prep := Prepare(g, 4, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, kind := range allKinds {
+		res, err := RunCtx(ctx, g, algorithms.NewPageRank(3), Options{Kind: kind, Sys: testSys(), Prep: prep, WMin: 1})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v: err = %v, want context.Canceled", kind, err)
+		}
+		if res != nil {
+			t.Fatalf("%v: got a Result from a cancelled run", kind)
+		}
+	}
+}
+
+func TestRunCtxCancelMidRun(t *testing.T) {
+	g := smallHG(7)
+	prep := Prepare(g, 4, 1)
+	for _, kind := range allKinds {
+		// A full PR(8) run takes many phases; cancelling after the third
+		// aborts strictly mid-run.
+		ctx, cancel := context.WithCancel(context.Background())
+		ob := &cancelAfterPhases{left: 3, cancel: cancel}
+		res, err := RunCtx(ctx, g, algorithms.NewPageRank(8), Options{Kind: kind, Sys: testSys(), Prep: prep, WMin: 1, Observer: ob})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v: err = %v, want context.Canceled", kind, err)
+		}
+		if res != nil {
+			t.Fatalf("%v: got a Result from a cancelled run", kind)
+		}
+	}
+}
+
+// TestRunCtxUncancelledMatchesRun pins the invariant that threading a live
+// context through changes nothing: same bits as the context-free entry point.
+func TestRunCtxUncancelledMatchesRun(t *testing.T) {
+	g := smallHG(11)
+	prep := Prepare(g, 4, 1)
+	for _, kind := range allKinds {
+		plain, err := Run(g, algorithms.NewPageRank(5), Options{Kind: kind, Sys: testSys(), Prep: prep, WMin: 1})
+		if err != nil {
+			t.Fatalf("%v: Run: %v", kind, err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		withCtx, err := RunCtx(ctx, g, algorithms.NewPageRank(5), Options{Kind: kind, Sys: testSys(), Prep: prep, WMin: 1})
+		cancel()
+		if err != nil {
+			t.Fatalf("%v: RunCtx: %v", kind, err)
+		}
+		if plain.Cycles != withCtx.Cycles || plain.Iterations != withCtx.Iterations {
+			t.Fatalf("%v: RunCtx diverged from Run: cycles %d vs %d, iters %d vs %d",
+				kind, withCtx.Cycles, plain.Cycles, withCtx.Iterations, plain.Iterations)
+		}
+		for i := range plain.State.VertexVal {
+			if plain.State.VertexVal[i] != withCtx.State.VertexVal[i] {
+				t.Fatalf("%v: vertex %d diverged", kind, i)
+			}
+		}
+	}
+}
+
+func TestNewInstanceCtxPreCancelled(t *testing.T) {
+	g := smallHG(13)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewInstanceCtx(ctx, g, Options{Kind: ChGraph, Sys: testSys(), WMin: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestInstanceErrSurfacesCancellation(t *testing.T) {
+	g := smallHG(17)
+	ctx, cancel := context.WithCancel(context.Background())
+	in, err := NewInstanceCtx(ctx, g, Options{Kind: ChGraph, Sys: testSys(), WMin: 1})
+	if err != nil {
+		t.Fatalf("NewInstanceCtx: %v", err)
+	}
+	if in.Err() != nil {
+		t.Fatalf("live instance reports %v", in.Err())
+	}
+	cancel()
+	if !errors.Is(in.Err(), context.Canceled) {
+		t.Fatalf("Err() = %v after cancel, want context.Canceled", in.Err())
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, name := range KindNames() {
+		k, err := ParseKind(name)
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", name, err)
+		}
+		// The display name ("ChGraph") differs from the CLI spelling
+		// ("chgraph"); parsing it back must land on the same kind.
+		if k2, err := ParseKind(k.String()); err != nil || k2 != k {
+			t.Fatalf("ParseKind(%q) = %v; display name %q parses to (%v, %v)", name, k, k.String(), k2, err)
+		}
+	}
+	if k, err := ParseKind("CHGRAPH-HCG"); err != nil || k != ChGraphHCG {
+		t.Fatalf("case-insensitive parse: got (%v, %v)", k, err)
+	}
+	if _, err := ParseKind("no-such-engine"); err == nil {
+		t.Fatalf("unknown kind accepted")
+	}
+}
+
+// TestInstanceDriveMatchesRun drives an Instance by hand through the same
+// loop Run uses and checks the stepwise API reproduces Run bit-for-bit —
+// the contract external drivers (internal/shard) rely on.
+func TestInstanceDriveMatchesRun(t *testing.T) {
+	g := smallHG(19)
+	prep := Prepare(g, 4, 1)
+	opt := Options{Kind: ChGraph, Sys: testSys(), Prep: prep, WMin: 1}
+	alg := algorithms.NewPageRank(3)
+	want, err := Run(g, alg, opt)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	in, err := NewInstance(g, opt)
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	if in.Graph() != g {
+		t.Fatalf("Graph() = %p, want %p", in.Graph(), g)
+	}
+	if got := in.Options(); got.Kind != ChGraph || got.Workers < 1 {
+		t.Fatalf("Options() not resolved: %+v", got)
+	}
+	if prep.OAGStorageBytes() == 0 {
+		t.Fatalf("OAGStorageBytes() = 0 for chain prep")
+	}
+
+	alg = algorithms.NewPageRank(3)
+	s := algorithms.NewState(g)
+	frontierV := bitset.New(g.NumVertices())
+	alg.Init(s, frontierV)
+	for frontierV.Count() > 0 && s.Iter < alg.MaxIterations() {
+		alg.BeforeHyperedgePhase(s)
+		frontierE := bitset.New(g.NumHyperedges())
+		st := in.BeginHyperedgeComputation(frontierV, frontierE)
+		drainStep(st, s, alg.HF, frontierE)
+		st.Commit()
+
+		alg.BeforeVertexPhase(s)
+		nextV := bitset.New(g.NumVertices())
+		st = in.BeginVertexComputation(frontierE, nextV)
+		drainStep(st, s, alg.VF, nextV)
+		st.Commit()
+
+		s.Iter++
+		in.AdvanceIteration()
+		if alg.AfterVertexPhase(s, nextV) {
+			break
+		}
+		frontierV = nextV
+	}
+	got := in.Finish()
+
+	if got.Cycles != want.Cycles || got.Iterations != want.Iterations {
+		t.Fatalf("hand drive diverged: cycles %d vs %d, iters %d vs %d",
+			got.Cycles, want.Cycles, got.Iterations, want.Iterations)
+	}
+	if in.EdgesProcessed() != want.EdgesProcessed || in.EdgesProcessed() == 0 {
+		t.Fatalf("EdgesProcessed() = %d, want %d (nonzero)", in.EdgesProcessed(), want.EdgesProcessed)
+	}
+	for i := range want.State.VertexVal {
+		if s.VertexVal[i] != want.State.VertexVal[i] {
+			t.Fatalf("vertex %d diverged", i)
+		}
+	}
+}
+
+func TestOptionsWithDefaultsExported(t *testing.T) {
+	o := Options{}.WithDefaults()
+	if o.Workers < 1 || o.Sys.Cores < 1 || o.WMin < 1 {
+		t.Fatalf("WithDefaults left zero fields: %+v", o)
+	}
+}

@@ -25,7 +25,9 @@
 package engine
 
 import (
+	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -58,6 +60,43 @@ const (
 	// HygraPF is Hygra with an event-triggered hardware prefetcher.
 	HygraPF
 )
+
+// kindSpellings maps the canonical CLI/API spellings to kinds, in display
+// order.
+var kindSpellings = []struct {
+	name string
+	kind Kind
+}{
+	{"hygra", Hygra},
+	{"gla", GLA},
+	{"chgraph", ChGraph},
+	{"chgraph-hcg", ChGraphHCG},
+	{"hats-v", HATSV},
+	{"hygra-pf", HygraPF},
+}
+
+// ParseKind maps a CLI/API spelling (case-insensitive: "hygra", "gla",
+// "chgraph", "chgraph-hcg", "hats-v", "hygra-pf") to its Kind. Display names
+// (e.g. "Hygra+PF") parse too, so spellings copied from printed results
+// round-trip.
+func ParseKind(s string) (Kind, error) {
+	l := strings.ReplaceAll(strings.ToLower(s), "+", "-")
+	for _, ks := range kindSpellings {
+		if ks.name == l {
+			return ks.kind, nil
+		}
+	}
+	return 0, fmt.Errorf("engine: unknown execution model %q (have %v)", s, KindNames())
+}
+
+// KindNames lists the spellings ParseKind accepts, in display order.
+func KindNames() []string {
+	out := make([]string, len(kindSpellings))
+	for i, ks := range kindSpellings {
+		out[i] = ks.name
+	}
+	return out
+}
 
 func (k Kind) String() string {
 	switch k {
@@ -209,6 +248,12 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// WithDefaults returns o with every unset field resolved to its default —
+// exactly the options an Instance created from o runs under. Callers that
+// build artifacts for later reuse (internal/shard, internal/serve) resolve
+// through this so their cache keys match what the engine will execute.
+func (o Options) WithDefaults() Options { return o.withDefaults() }
+
 // Result reports a run's outputs and measurements.
 type Result struct {
 	// Kind echoes the engine.
@@ -278,7 +323,17 @@ func (r *Result) StallFraction() float64 {
 // HF/VF applications sequentially in stream order, committing it to the
 // simulator — until the frontier empties or the algorithm converges.
 func Run(g *hypergraph.Bipartite, alg algorithms.Algorithm, opt Options) (*Result, error) {
-	in, err := NewInstance(g, opt)
+	return RunCtx(context.Background(), g, alg, opt)
+}
+
+// RunCtx is Run with cooperative cancellation. Cancellation is observed at
+// phase boundaries (and inside the parallel phase-compile workers, which stop
+// dispatching chunks): once ctx is done the engine abandons the iteration in
+// flight — no partially compiled phase is ever committed to the simulator or
+// allowed to mutate algorithm state — and returns ctx.Err(). A nil error
+// guarantees the Result is the same bit-identical output Run produces.
+func RunCtx(ctx context.Context, g *hypergraph.Bipartite, alg algorithms.Algorithm, opt Options) (*Result, error) {
+	in, err := NewInstanceCtx(ctx, g, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -299,6 +354,9 @@ func Run(g *hypergraph.Bipartite, alg algorithms.Algorithm, opt Options) (*Resul
 
 	maxIter := alg.MaxIterations()
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if frontierV.Count() == 0 {
 			break
 		}
@@ -309,6 +367,9 @@ func Run(g *hypergraph.Bipartite, alg algorithms.Algorithm, opt Options) (*Resul
 		alg.BeforeHyperedgePhase(s)
 		frontierE := bitset.New(g.NumHyperedges())
 		st := in.BeginHyperedgeComputation(frontierV, frontierE)
+		if err := ctx.Err(); err != nil {
+			return nil, err // compile aborted; never drain or commit it
+		}
 		drainStep(st, s, alg.HF, frontierE)
 		st.Commit()
 
@@ -316,6 +377,9 @@ func Run(g *hypergraph.Bipartite, alg algorithms.Algorithm, opt Options) (*Resul
 		alg.BeforeVertexPhase(s)
 		nextV := bitset.New(g.NumVertices())
 		st = in.BeginVertexComputation(frontierE, nextV)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		drainStep(st, s, alg.VF, nextV)
 		st.Commit()
 

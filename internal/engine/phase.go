@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -34,6 +35,13 @@ type runner struct {
 	sys  *system.System
 	res  *Result
 
+	// ctx is the instance's cancellation context (Background for
+	// uncancellable runs; nil — treated as never-cancelled — for runners
+	// constructed directly by op-stream tests). The compile fan-outs poll it
+	// so a cancelled run stops dispatching chunk work promptly; beginStep
+	// discards anything compiled under a cancelled context.
+	ctx context.Context
+
 	// iter is the synchronous iteration the engine is in, advanced by
 	// Instance.AdvanceIteration. The engine holds no algorithm state: HF/VF
 	// are applied by whoever drives the Instance (engine.Run against its own
@@ -59,6 +67,14 @@ type runner struct {
 	hostStitch   time.Duration
 }
 
+// ctxErr reports the runner's cancellation state; a nil ctx never cancels.
+func (r *runner) ctxErr() error {
+	if r.ctx == nil {
+		return nil
+	}
+	return r.ctx.Err()
+}
+
 type chainCacheEntry struct {
 	frontier bitset.Bitmap
 	css      []core.ChainSet // per chunk
@@ -78,7 +94,7 @@ func (r *runner) chains(ph *phaseSpec, phaseIdx int, mkVis func(chunk int) core.
 		css, replayed = cc.css, true
 	} else {
 		css = make([]core.ChainSet, len(ph.chunks))
-		par.For(r.opt.Workers, len(ph.chunks), func(i int) {
+		err := par.ForCtx(r.ctx, r.opt.Workers, len(ph.chunks), func(i int) {
 			ch := ph.chunks[i]
 			var vis core.Visitor
 			if mkVis != nil {
@@ -86,6 +102,11 @@ func (r *runner) chains(ph *phaseSpec, phaseIdx int, mkVis func(chunk int) core.
 			}
 			css[i] = core.Generate(ph.og, ch.Lo, ch.Hi, ph.frontier.Clone(), r.opt.DMax, vis)
 		})
+		if err != nil {
+			// Cancelled mid-generation: css is partial garbage. Don't count
+			// or cache it; beginStep discards the whole compile.
+			return css, false
+		}
 		for i := range css {
 			r.res.ChainGenCount += uint64(css[i].NumChains())
 			r.res.ChainGenNodes += uint64(len(css[i].Queue))
@@ -228,21 +249,30 @@ func (r *runner) compileStreams(ph *phaseSpec) []*compiledCore {
 		t0 = time.Now()
 	}
 
+	// All fan-outs poll the instance context: a cancelled run stops
+	// dispatching chunks and returns whatever partial cc it has, which
+	// beginStep then discards wholesale (the error itself is re-derived from
+	// r.ctx there). Chain-driven kinds additionally bail between generation
+	// and stream compilation — a cancelled generation leaves nil visitors.
 	n := len(ph.chunks)
 	cc := make([]*compiledCore, n)
 	w := r.opt.Workers
+	ctx := r.ctx
 	switch r.opt.Kind {
 	case Hygra:
-		par.For(w, n, func(i int) { cc[i] = r.compileHygra(ph, i, false) })
+		_ = par.ForCtx(ctx, w, n, func(i int) { cc[i] = r.compileHygra(ph, i, false) })
 	case HygraPF:
-		par.For(w, n, func(i int) { cc[i] = r.compileHygra(ph, i, true) })
+		_ = par.ForCtx(ctx, w, n, func(i int) { cc[i] = r.compileHygra(ph, i, true) })
 	case GLA:
 		visitors := make([]*swVisitor, n)
 		css, replayed := r.chains(ph, ph.idx, func(chunk int) core.Visitor {
 			visitors[chunk] = &swVisitor{side: ph.srcBm, bm: ph.srcBm, c: r.opt.Costs}
 			return visitors[chunk]
 		})
-		par.For(w, n, func(i int) { cc[i] = r.compileGLA(ph, i, css[i], visitors[i], replayed) })
+		if r.ctxErr() != nil {
+			return cc
+		}
+		_ = par.ForCtx(ctx, w, n, func(i int) { cc[i] = r.compileGLA(ph, i, css[i], visitors[i], replayed) })
 	case ChGraph, ChGraphHCG:
 		withCP := r.opt.Kind == ChGraph
 		visitors := make([]*hwVisitor, n)
@@ -250,9 +280,12 @@ func (r *runner) compileStreams(ph *phaseSpec) []*compiledCore {
 			visitors[chunk] = &hwVisitor{side: ph.srcBm, bm: ph.srcBm, c: r.opt.Costs}
 			return visitors[chunk]
 		})
-		par.For(w, n, func(i int) { cc[i] = r.compileChGraph(ph, i, css[i], visitors[i], replayed, withCP) })
+		if r.ctxErr() != nil {
+			return cc
+		}
+		_ = par.ForCtx(ctx, w, n, func(i int) { cc[i] = r.compileChGraph(ph, i, css[i], visitors[i], replayed, withCP) })
 	case HATSV:
-		par.For(w, n, func(i int) { cc[i] = r.compileHATSV(ph, i) })
+		_ = par.ForCtx(ctx, w, n, func(i int) { cc[i] = r.compileHATSV(ph, i) })
 	default:
 		panic(fmt.Sprintf("engine: unknown kind %v", r.opt.Kind))
 	}

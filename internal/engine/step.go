@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -34,6 +35,21 @@ type Instance struct {
 // fresh simulated system at cycle zero. The instance is exactly the state
 // engine.Run holds before its first iteration.
 func NewInstance(g *hypergraph.Bipartite, opt Options) (*Instance, error) {
+	return NewInstanceCtx(context.Background(), g, opt)
+}
+
+// NewInstanceCtx is NewInstance bound to a cancellation context: once ctx is
+// done, phase compilation stops dispatching work and every subsequently begun
+// Step is an inert no-op (NumMarks 0, Commit 0). Drivers own the contract of
+// checking ctx after each Begin and abandoning the run — the instance itself
+// never commits partially compiled work.
+func NewInstanceCtx(ctx context.Context, g *hypergraph.Bipartite, opt Options) (*Instance, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	opt = opt.withDefaults()
 	needChains := opt.Kind == GLA || opt.Kind == ChGraph || opt.Kind == ChGraphHCG
 	prep := opt.Prep
@@ -61,13 +77,16 @@ func NewInstance(g *hypergraph.Bipartite, opt Options) (*Instance, error) {
 		return nil, fmt.Errorf("engine: prep hyperedge chunks built for %d cores, system has %d", len(prep.HChunks), opt.Sys.Cores)
 	}
 	r := &runner{
-		g: g, opt: opt, prep: prep,
+		g: g, opt: opt, prep: prep, ctx: ctx,
 		sys: system.New(opt.Sys),
 		res: &Result{Kind: opt.Kind},
 		obs: opt.Observer,
 	}
 	return &Instance{g: g, r: r}, nil
 }
+
+// Err returns the instance context's cancellation error, nil while live.
+func (in *Instance) Err() error { return in.r.ctxErr() }
 
 // Graph returns the hypergraph the instance executes on.
 func (in *Instance) Graph() *hypergraph.Bipartite { return in.g }
@@ -161,10 +180,13 @@ type Step struct {
 }
 
 // beginStep compiles ph's op streams (pass 1) and returns the pending Step.
+// A cancelled instance context short-circuits to an inert skip Step, before
+// or after compilation: partially compiled streams are discarded, never
+// exposed through Mark/Resolve or committed to the simulator.
 func (r *runner) beginStep(ph *phaseSpec) *Step {
 	st := &Step{r: r, ph: ph}
 	frontier := ph.frontier.Count()
-	if frontier == 0 {
+	if frontier == 0 || r.ctxErr() != nil {
 		st.skip = true
 		return st
 	}
@@ -178,6 +200,10 @@ func (r *runner) beginStep(ph *phaseSpec) *Step {
 	}
 	st.before = r.sys.Hier.Mem().AccessesByArray()
 	st.cc = r.compileStreams(ph)
+	if r.ctxErr() != nil {
+		st.skip, st.cc = true, nil
+		return st
+	}
 	st.offs = make([]int, len(st.cc)+1)
 	st.outs = make([][]edgeOutcome, len(st.cc))
 	for i, c := range st.cc {

@@ -8,6 +8,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -23,18 +24,36 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // counter. fn must not rely on cross-index ordering or mutate state shared
 // between indices.
 func For(workers, n int, fn func(i int)) {
+	_ = ForCtx(context.Background(), workers, n, fn) // Background never cancels
+}
+
+// ForCtx is For with cooperative cancellation: once ctx is done, no further
+// indices are dispatched and ForCtx returns ctx.Err() after the in-flight
+// calls finish. A nil error guarantees fn ran for every index; on
+// cancellation an index-order prefix of the serial path (or an arbitrary
+// subset of the parallel path) has run, so callers must treat partial output
+// as garbage. An un-cancelled ForCtx dispatches exactly like For, preserving
+// the worker-count-invariance contract. A nil ctx means "never cancelled".
+func ForCtx(ctx context.Context, workers, n int, fn func(i int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	if workers <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	if workers > n {
 		workers = n
 	}
+	done := ctx.Done()
 	var next int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -42,6 +61,11 @@ func For(workers, n int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= n {
 					return
@@ -51,4 +75,5 @@ func For(workers, n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }

@@ -1,6 +1,8 @@
 package par
 
 import (
+	"context"
+	"errors"
 	"sync/atomic"
 	"testing"
 )
@@ -32,5 +34,64 @@ func TestForSerialRunsInOrder(t *testing.T) {
 func TestDefaultWorkersPositive(t *testing.T) {
 	if DefaultWorkers() < 1 {
 		t.Fatalf("DefaultWorkers() = %d", DefaultWorkers())
+	}
+}
+
+func TestForCtxCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		for _, n := range []int{0, 1, 2, 5, 100} {
+			hits := make([]int64, n)
+			if err := ForCtx(context.Background(), workers, n, func(i int) { atomic.AddInt64(&hits[i], 1) }); err != nil {
+				t.Fatalf("workers=%d n=%d: err = %v", workers, n, err)
+			}
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForCtxPreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := ForCtx(ctx, workers, 100, func(i int) { ran.Add(1) })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if workers == 1 && ran.Load() != 0 {
+			t.Fatalf("serial path ran %d iterations under a dead context", ran.Load())
+		}
+	}
+}
+
+func TestForCtxCancelMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := ForCtx(ctx, 4, 10_000, func(i int) {
+		if ran.Add(1) == 8 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 10_000 {
+		t.Fatalf("every iteration ran despite mid-flight cancellation")
+	}
+}
+
+func TestForCtxNilContext(t *testing.T) {
+	hits := make([]int64, 10)
+	if err := ForCtx(nil, 4, 10, func(i int) { atomic.AddInt64(&hits[i], 1) }); err != nil { //nolint:staticcheck // nil ctx tolerance is part of the contract
+		t.Fatalf("err = %v", err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d ran %d times", i, h)
+		}
 	}
 }

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"chgraph"
+	"chgraph/internal/flight"
+)
+
+// artifact is one prepared-cache entry: the loaded hypergraph and the
+// preprocessing bundle built from it. Prepared validates pointer identity
+// against the hypergraph it was built from, so the two must travel together.
+// Both are immutable and safe to hand to any number of concurrent runs —
+// eviction never invalidates an artifact a run is still holding.
+type artifact struct {
+	g   *chgraph.Hypergraph
+	pre *chgraph.Prepared
+}
+
+// prepCache is the LRU of prepared artifacts, keyed by the preparation spec
+// (dataset, scale, cores, W_min, shard layout — not engine kind or
+// algorithm: one artifact serves every kind). Concurrent misses on one key
+// coalesce into a single build through a flight group; a build joins the LRU
+// only on success, so a failed spec is retried rather than cached.
+type prepCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	builds *flight.Group[*artifact]
+	met    *metrics
+}
+
+type cacheEntry struct {
+	key string
+	art *artifact
+}
+
+func newPrepCache(capacity int, met *metrics) *prepCache {
+	return &prepCache{
+		cap:    capacity,
+		ll:     list.New(),
+		items:  map[string]*list.Element{},
+		builds: flight.NewGroup[*artifact](),
+		met:    met,
+	}
+}
+
+// get returns the artifact for key, building it with build on a miss. hit
+// reports whether this caller was served from the cache without waiting on a
+// build. Cancelling ctx detaches this caller; the build itself is abandoned
+// only when no other caller still wants it.
+func (c *prepCache) get(ctx context.Context, key string, build func(context.Context) (*artifact, error)) (art *artifact, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		c.met.cacheHits.Add(1)
+		return el.Value.(*cacheEntry).art, true, nil
+	}
+	c.mu.Unlock()
+	c.met.cacheMisses.Add(1)
+
+	art, err, _ = c.builds.Do(ctx, key, func(bctx context.Context) (*artifact, error) {
+		c.met.cacheBuilds.Add(1)
+		return build(bctx)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	c.add(key, art)
+	return art, false, nil
+}
+
+// add inserts an artifact, evicting from the LRU tail beyond capacity. A key
+// already present keeps its existing artifact (coalesced builders insert the
+// same value; a racing re-build must not flap the canonical pointer).
+func (c *prepCache) add(key string, art *artifact) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, art: art})
+	for c.ll.Len() > c.cap {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.items, tail.Value.(*cacheEntry).key)
+		c.met.cacheEvictions.Add(1)
+	}
+}
+
+// len returns the current entry count.
+func (c *prepCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

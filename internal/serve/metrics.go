@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"chgraph/internal/obs"
+)
+
+// latencyBucketsMS are the upper bounds (milliseconds, inclusive) of the
+// request-latency histogram; the last bucket is unbounded.
+var latencyBucketsMS = [numLatencyBuckets - 1]float64{1, 5, 10, 50, 100, 500, 1000, 5000}
+
+const numLatencyBuckets = 9
+
+// metrics is the server's counter set. All fields are atomics: the hot path
+// touches them from many request goroutines.
+type metrics struct {
+	requests  atomic.Uint64 // /run requests admitted past decoding
+	rejected  atomic.Uint64 // 429s from a full queue
+	completed atomic.Uint64 // 200s
+	failed    atomic.Uint64 // 4xx/5xx after admission
+	cancelled atomic.Uint64 // client went away before the result
+	coalesced atomic.Uint64 // requests that joined another request's run
+	inFlight  atomic.Int64  // admitted, not yet responded
+
+	cacheHits      atomic.Uint64
+	cacheMisses    atomic.Uint64
+	cacheBuilds    atomic.Uint64 // artifact builds actually executed
+	cacheEvictions atomic.Uint64
+
+	latency [numLatencyBuckets]atomic.Uint64
+}
+
+func (m *metrics) observeLatencyMS(ms float64) {
+	for i, ub := range latencyBucketsMS[:] {
+		if ms <= ub {
+			m.latency[i].Add(1)
+			return
+		}
+	}
+	m.latency[len(latencyBucketsMS)].Add(1)
+}
+
+// LatencyBucket is one histogram bucket: counts of requests at or under
+// UpperMS (the last bucket has UpperMS 0, meaning unbounded).
+type LatencyBucket struct {
+	UpperMS float64 `json:"upper_ms"`
+	Count   uint64  `json:"count"`
+}
+
+// Snapshot is the /metrics document: serve-layer counters plus, when the
+// server aggregates run telemetry, the session rollup over every executed
+// run.
+type Snapshot struct {
+	Requests  uint64 `json:"requests"`
+	Rejected  uint64 `json:"rejected"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Cancelled uint64 `json:"cancelled"`
+	Coalesced uint64 `json:"coalesced"`
+	InFlight  int64  `json:"in_flight"`
+
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+
+	CacheEntries   int     `json:"cache_entries"`
+	CacheCapacity  int     `json:"cache_capacity"`
+	CacheHits      uint64  `json:"cache_hits"`
+	CacheMisses    uint64  `json:"cache_misses"`
+	CacheBuilds    uint64  `json:"cache_builds"`
+	CacheEvictions uint64  `json:"cache_evictions"`
+	CacheHitRatio  float64 `json:"cache_hit_ratio"`
+
+	Latency []LatencyBucket `json:"latency_ms"`
+
+	Draining bool `json:"draining"`
+
+	Session *obs.SessionSummary `json:"session,omitempty"`
+}
+
+func (m *metrics) snapshot() Snapshot {
+	s := Snapshot{
+		Requests:       m.requests.Load(),
+		Rejected:       m.rejected.Load(),
+		Completed:      m.completed.Load(),
+		Failed:         m.failed.Load(),
+		Cancelled:      m.cancelled.Load(),
+		Coalesced:      m.coalesced.Load(),
+		InFlight:       m.inFlight.Load(),
+		CacheHits:      m.cacheHits.Load(),
+		CacheMisses:    m.cacheMisses.Load(),
+		CacheBuilds:    m.cacheBuilds.Load(),
+		CacheEvictions: m.cacheEvictions.Load(),
+	}
+	if looked := s.CacheHits + s.CacheMisses; looked > 0 {
+		s.CacheHitRatio = float64(s.CacheHits) / float64(looked)
+	}
+	s.Latency = make([]LatencyBucket, len(m.latency))
+	for i := range latencyBucketsMS {
+		s.Latency[i] = LatencyBucket{UpperMS: latencyBucketsMS[i], Count: m.latency[i].Load()}
+	}
+	s.Latency[len(latencyBucketsMS)] = LatencyBucket{Count: m.latency[len(latencyBucketsMS)].Load()}
+	return s
+}

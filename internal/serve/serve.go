@@ -1,0 +1,516 @@
+// Package serve is the repeated-request layer over the chgraph library: a
+// long-running HTTP service that accepts simulation requests, admits them
+// through a bounded queue with backpressure, coalesces identical in-flight
+// requests into one execution, and runs them on a worker pool against an LRU
+// cache of prepared artifacts (hypergraph + chunking + OAGs + shard
+// partitions), so a steady-state request stream pays the preprocessing cost
+// of §IV-A once per spec instead of once per request.
+//
+// Three endpoints:
+//
+//   - POST /run — execute one simulation (JSON request/response);
+//   - GET /healthz — liveness and drain state;
+//   - GET /metrics — JSON counters: queue depth, cache hit ratio, in-flight,
+//     latency histogram, plus the run-telemetry session rollup when one is
+//     attached.
+//
+// Cancellation rides the request context end to end: a client that
+// disconnects detaches from its (possibly shared) run immediately, and the
+// run itself is abandoned at the next engine phase boundary once its last
+// client is gone. Shutdown flips the server into draining (new requests get
+// 503), then waits for in-flight requests up to a deadline.
+//
+// Coalescing and caching both key on the simulated specification only —
+// host-side knobs (workers, response shaping) are excluded, because results
+// are bit-identical for every host parallelism (DESIGN.md §10's determinism
+// contract). Two requests that differ only in Workers share one run.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"chgraph"
+	"chgraph/internal/flight"
+	"chgraph/internal/obs"
+)
+
+// Options configures a Server. The zero value serves with sane defaults.
+type Options struct {
+	// QueueDepth bounds admitted-but-unfinished /run requests; a request
+	// arriving past the bound is rejected with 429 (default 64).
+	QueueDepth int
+	// Workers bounds concurrently executing runs (default GOMAXPROCS).
+	// Waiting coalesced requests don't hold a worker slot.
+	Workers int
+	// CacheEntries bounds the prepared-artifact LRU (default 16 specs).
+	CacheEntries int
+	// DrainTimeout bounds Shutdown when its context has no deadline
+	// (default 30s).
+	DrainTimeout time.Duration
+	// Session, if non-nil, aggregates every executed run's telemetry; its
+	// rollup is exported under /metrics. Coalesced and cache-served
+	// requests record nothing — one entry per actual engine execution.
+	Session *obs.SessionMetrics
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 16
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 30 * time.Second
+	}
+	return o
+}
+
+// RunRequest is the /run request body. Dataset names come from
+// chgraph.Datasets (hypergraphs) and chgraph.GraphDatasets (ordinary
+// graphs); the side is inferred from the name.
+type RunRequest struct {
+	// Dataset and Scale select the synthetic dataset (scale <= 0 is the
+	// calibrated default size).
+	Dataset string  `json:"dataset"`
+	Scale   float64 `json:"scale,omitempty"`
+	// Algorithm is the algorithm name (see chgraph.Algorithms, plus the
+	// graph workloads).
+	Algorithm string `json:"algorithm"`
+	// Engine is the execution model spelling (default "hygra").
+	Engine string `json:"engine,omitempty"`
+	// Cores, WMin, DMax, Iterations, Source tune the run as in
+	// chgraph.RunConfig.
+	Cores      int    `json:"cores,omitempty"`
+	WMin       uint32 `json:"wmin,omitempty"`
+	DMax       int    `json:"dmax,omitempty"`
+	Iterations int    `json:"iterations,omitempty"`
+	Source     uint32 `json:"source,omitempty"`
+	// Workers bounds host-side parallelism inside the run. It does not
+	// affect results and is excluded from coalescing and cache keys.
+	Workers int `json:"workers,omitempty"`
+	// Shards and ShardPolicy select the scale-out layout.
+	Shards      int    `json:"shards,omitempty"`
+	ShardPolicy string `json:"shard_policy,omitempty"`
+	// IncludeValues asks for the final value arrays in the response
+	// (responses always carry their checksum).
+	IncludeValues bool `json:"include_values,omitempty"`
+}
+
+// runKey is the coalescing key: every field that shapes the simulated
+// result, and nothing else.
+func (r RunRequest) runKey() string {
+	return fmt.Sprintf("%s/s%g/%s/%s/c%d/w%d/d%d/i%d/src%d/k%d/%s",
+		strings.ToUpper(r.Dataset), r.Scale, r.Algorithm, strings.ToLower(r.Engine),
+		r.Cores, r.WMin, r.DMax, r.Iterations, r.Source, r.Shards, r.ShardPolicy)
+}
+
+// prepKey is the artifact-cache key: every field preprocessing depends on.
+// Engine kind, algorithm and D_max are absent — one artifact serves them
+// all.
+func (r RunRequest) prepKey() string {
+	return fmt.Sprintf("%s/s%g/c%d/w%d/k%d/%s",
+		strings.ToUpper(r.Dataset), r.Scale, r.Cores, r.WMin, r.Shards, r.ShardPolicy)
+}
+
+// RunResponse is the /run response body.
+type RunResponse struct {
+	// Checksum is the SHA-256 of the final vertex and hyperedge value
+	// arrays (little-endian float64 bits, vertices then hyperedges) — the
+	// bit-identity witness for a response whether or not values are
+	// included.
+	Checksum string `json:"checksum"`
+	// Cycles, Iterations, MemAccesses summarize the simulated execution.
+	Cycles      uint64 `json:"cycles"`
+	Iterations  int    `json:"iterations"`
+	MemAccesses uint64 `json:"mem_accesses"`
+	// Shards and ReplicationFactor echo the scale-out layout (sharded runs
+	// only).
+	Shards            int     `json:"shards,omitempty"`
+	ReplicationFactor float64 `json:"replication_factor,omitempty"`
+	// PrepCache reports whether the prepared artifacts came from the LRU
+	// ("hit") or were built for this run ("miss").
+	PrepCache string `json:"prep_cache"`
+	// Coalesced reports that this request shared an execution another
+	// in-flight request started.
+	Coalesced bool `json:"coalesced"`
+	// VertexValues / HyperedgeValues are present when requested.
+	VertexValues    []float64 `json:"vertex_values,omitempty"`
+	HyperedgeValues []float64 `json:"hyperedge_values,omitempty"`
+}
+
+// runOutcome is the shared result of one coalesced execution. Value arrays
+// are always retained so any waiter may ask for them; per-caller response
+// shaping happens at write time.
+type runOutcome struct {
+	resp    RunResponse
+	vv, hv  []float64
+	prepHit bool
+}
+
+// errBadSpec marks request errors (unknown names, mismatched parameters)
+// that map to 400 rather than 500.
+var errBadSpec = errors.New("bad request spec")
+
+// Server is the serving layer. Construct with NewServer; it implements
+// http.Handler.
+type Server struct {
+	opt   Options
+	mux   *http.ServeMux
+	cache *prepCache
+	runs  *flight.Group[*runOutcome]
+
+	queue   chan struct{} // admission tokens, capacity QueueDepth
+	workers chan struct{} // execution slots, capacity Workers
+
+	met metrics
+
+	drainMu  sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+}
+
+// NewServer builds a Server.
+func NewServer(opt Options) *Server {
+	opt = opt.withDefaults()
+	s := &Server{
+		opt:     opt,
+		mux:     http.NewServeMux(),
+		runs:    flight.NewGroup[*runOutcome](),
+		queue:   make(chan struct{}, opt.QueueDepth),
+		workers: make(chan struct{}, opt.Workers),
+	}
+	s.cache = newPrepCache(opt.CacheEntries, &s.met)
+	s.mux.HandleFunc("/run", s.handleRun)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Metrics returns the current counter snapshot (what /metrics serves).
+func (s *Server) Metrics() Snapshot {
+	snap := s.met.snapshot()
+	snap.QueueDepth = len(s.queue)
+	snap.QueueCapacity = cap(s.queue)
+	snap.CacheEntries = s.cache.len()
+	snap.CacheCapacity = s.opt.CacheEntries
+	s.drainMu.Lock()
+	snap.Draining = s.draining
+	s.drainMu.Unlock()
+	if s.opt.Session != nil {
+		sum := s.opt.Session.Summary()
+		snap.Session = &sum
+	}
+	return snap
+}
+
+// Shutdown drains the server: new /run requests are refused with 503 while
+// requests already admitted run to completion. It returns nil once the last
+// in-flight request has finished, or the context/drain-timeout error if the
+// deadline passes first (in-flight requests are not forcibly cancelled —
+// the process owner decides what to do with a blown drain deadline).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opt.DrainTimeout)
+		defer cancel()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// enter registers an in-flight request unless the server is draining.
+func (s *Server) enter() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.drainMu.Lock()
+	draining := s.draining
+	s.drainMu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"draining"}`)
+		return
+	}
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.Metrics())
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := validate(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !s.enter() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	defer s.inflight.Done()
+
+	// Bounded admission: the token is held for the request's whole
+	// lifetime (queued, waiting on a coalesced run, executing), so
+	// QueueDepth bounds total concurrent admitted requests and overflow
+	// backpressures immediately.
+	select {
+	case s.queue <- struct{}{}:
+		defer func() { <-s.queue }()
+	default:
+		s.met.rejected.Add(1)
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+		return
+	}
+
+	s.met.requests.Add(1)
+	s.met.inFlight.Add(1)
+	defer s.met.inFlight.Add(-1)
+	start := time.Now()
+
+	out, err, shared := s.runs.Do(r.Context(), req.runKey(), func(ctx context.Context) (*runOutcome, error) {
+		return s.execute(ctx, req)
+	})
+	if shared {
+		s.met.coalesced.Add(1)
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			// The client is gone; the status code is for bookkeeping only.
+			s.met.cancelled.Add(1)
+			w.WriteHeader(statusClientClosedRequest)
+		case errors.Is(err, errBadSpec):
+			s.met.failed.Add(1)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		default:
+			s.met.failed.Add(1)
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+
+	resp := out.resp
+	resp.Coalesced = shared
+	if req.IncludeValues {
+		resp.VertexValues, resp.HyperedgeValues = out.vv, out.hv
+	}
+	s.met.completed.Add(1)
+	s.met.observeLatencyMS(float64(time.Since(start)) / float64(time.Millisecond))
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// statusClientClosedRequest is nginx's conventional code for a client that
+// disconnected before the response; net/http never sends it anywhere.
+const statusClientClosedRequest = 499
+
+// validate pre-checks the parts of a spec that are cheap to check before
+// admission; everything else (algorithm names, shard bounds) surfaces from
+// the run itself and is classified by execute.
+func validate(req *RunRequest) error {
+	if req.Dataset == "" {
+		return errors.New("dataset is required")
+	}
+	if _, _, err := datasetSide(req.Dataset); err != nil {
+		return err
+	}
+	if req.Algorithm == "" {
+		return errors.New("algorithm is required")
+	}
+	if req.Engine != "" {
+		if _, err := chgraph.ParseEngine(req.Engine); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// datasetSide resolves a dataset name to (canonical name, isGraph).
+func datasetSide(name string) (string, bool, error) {
+	for _, n := range chgraph.Datasets() {
+		if strings.EqualFold(n, name) {
+			return n, false, nil
+		}
+	}
+	for _, n := range chgraph.GraphDatasets() {
+		if strings.EqualFold(n, name) {
+			return n, true, nil
+		}
+	}
+	return "", false, fmt.Errorf("unknown dataset %q (have %v + %v)", name, chgraph.Datasets(), chgraph.GraphDatasets())
+}
+
+// config maps a request to the RunConfig its run executes under.
+func config(req RunRequest) (chgraph.RunConfig, error) {
+	cfg := chgraph.RunConfig{
+		Cores: req.Cores, WMin: req.WMin, DMax: req.DMax,
+		Iterations: req.Iterations, Source: req.Source, Workers: req.Workers,
+		Shards: req.Shards, ShardPolicy: req.ShardPolicy,
+	}
+	if req.Engine != "" {
+		kind, err := chgraph.ParseEngine(req.Engine)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Engine = kind
+	}
+	return cfg, nil
+}
+
+// execute is the leader path of one coalesced run: acquire a worker slot,
+// resolve the prepared artifacts through the LRU, and execute under the
+// shared call context (cancelled only when every interested client is
+// gone).
+func (s *Server) execute(ctx context.Context, req RunRequest) (*runOutcome, error) {
+	select {
+	case s.workers <- struct{}{}:
+		defer func() { <-s.workers }()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+
+	cfg, err := config(req)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errBadSpec, err)
+	}
+	art, hit, err := s.cache.get(ctx, req.prepKey(), func(bctx context.Context) (*artifact, error) {
+		return buildArtifact(bctx, req, cfg)
+	})
+	if err != nil {
+		return nil, classify(err)
+	}
+
+	runCfg := cfg
+	runCfg.Prepared = art.pre
+	if s.opt.Session != nil {
+		runCfg.Observer = s.opt.Session.Observe(req.runKey())
+	}
+	res, err := chgraph.RunContext(ctx, art.g, req.Algorithm, runCfg)
+	if err != nil {
+		return nil, classify(err)
+	}
+	return &runOutcome{
+		resp: RunResponse{
+			Checksum:          checksum(res.VertexValues, res.HyperedgeValues),
+			Cycles:            res.Cycles,
+			Iterations:        res.Iterations,
+			MemAccesses:       res.MemAccesses,
+			Shards:            res.Shards,
+			ReplicationFactor: res.ReplicationFactor,
+			PrepCache:         map[bool]string{true: "hit", false: "miss"}[hit],
+		},
+		vv: res.VertexValues, hv: res.HyperedgeValues,
+		prepHit: hit,
+	}, nil
+}
+
+// buildArtifact loads the dataset and builds its prepared bundle — the
+// cache-miss path.
+func buildArtifact(ctx context.Context, req RunRequest, cfg chgraph.RunConfig) (*artifact, error) {
+	name, isGraph, err := datasetSide(req.Dataset)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errBadSpec, err)
+	}
+	var g *chgraph.Hypergraph
+	if isGraph {
+		g, err = chgraph.LoadGraphDataset(name, req.Scale)
+	} else {
+		g, err = chgraph.LoadDataset(name, req.Scale)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errBadSpec, err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	pre, err := chgraph.Prepare(ctx, g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &artifact{g: g, pre: pre}, nil
+}
+
+// classify sorts run/build errors into client vs server classes: anything
+// naming an unknown entity or invalid parameter is the requester's fault.
+func classify(err error) error {
+	if err == nil || errors.Is(err, errBadSpec) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	msg := err.Error()
+	if strings.Contains(msg, "unknown") || strings.Contains(msg, "invalid") {
+		return fmt.Errorf("%w: %v", errBadSpec, err)
+	}
+	return err
+}
+
+// checksum digests the final value arrays (little-endian float64 bits,
+// vertices then hyperedges, each array preceded by its length so the
+// boundary between the two is unambiguous).
+func checksum(vv, hv []float64) string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(bits uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, vals := range [][]float64{vv, hv} {
+		put(uint64(len(vals)))
+		for _, v := range vals {
+			put(math.Float64bits(v))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

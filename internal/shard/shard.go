@@ -29,6 +29,7 @@
 package shard
 
 import (
+	"context"
 	"time"
 
 	"chgraph/internal/algorithms"
@@ -56,6 +57,12 @@ type Options struct {
 	// per-phase snapshots tagged with the shard index, plus merged
 	// iteration and run snapshots from the coordinator.
 	Engine engine.Options
+	// Pre supplies prebuilt partition artifacts (see Prepare): when non-nil
+	// the run skips partitioning, materialization and per-shard OAG
+	// construction, using Pre's shards and preps instead. Pre must have been
+	// built for the same K, policy, cap factor, core count and W_min; a
+	// mismatch is an error, never a silent misconfiguration.
+	Pre *Prepared
 }
 
 // Result is a sharded run's merged outcome: the embedded engine.Result
@@ -97,6 +104,18 @@ func (t *shardTap) RunDone(obs.RunSnapshot)             {}
 
 // Run executes alg on g split across opt.Shards shards.
 func Run(g *hypergraph.Bipartite, alg algorithms.Algorithm, opt Options) (*Result, error) {
+	return RunCtx(context.Background(), g, alg, opt)
+}
+
+// RunCtx is Run with cooperative cancellation, observed at the same points
+// as engine.RunCtx — iteration boundaries, after each phase's compile
+// fan-out (before any HF/VF application), and inside every shard engine's
+// parallel compile workers — so a cancelled sharded run never commits
+// partial work to any shard's simulator and returns ctx.Err() promptly.
+func RunCtx(ctx context.Context, g *hypergraph.Bipartite, alg algorithms.Algorithm, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	k := opt.Shards
 	if k <= 0 {
 		k = 1
@@ -105,17 +124,25 @@ func Run(g *hypergraph.Bipartite, alg algorithms.Algorithm, opt Options) (*Resul
 	if pol == "" {
 		pol = PolicyRange
 	}
-	a, err := Partition(g, k, pol, opt.CapFactor)
-	if err != nil {
-		return nil, err
-	}
 	workers := opt.Engine.Workers
 	if workers <= 0 {
 		workers = par.DefaultWorkers()
 	}
-	p, err := Materialize(g, a, workers)
-	if err != nil {
-		return nil, err
+	var a *Assignment
+	var p *Partitioned
+	if opt.Pre != nil {
+		if err := validatePre(opt.Pre, k, pol, opt.CapFactor, opt.Engine.WithDefaults()); err != nil {
+			return nil, err
+		}
+		a, p = opt.Pre.P.Assign, opt.Pre.P
+	} else {
+		var err error
+		if a, err = Partition(g, k, pol, opt.CapFactor); err != nil {
+			return nil, err
+		}
+		if p, err = Materialize(g, a, workers); err != nil {
+			return nil, err
+		}
 	}
 
 	userObs := opt.Engine.Observer
@@ -128,15 +155,20 @@ func Run(g *hypergraph.Bipartite, alg algorithms.Algorithm, opt Options) (*Resul
 	// builds inside each instance already fan out; shards are independent).
 	ins := make([]*engine.Instance, k)
 	errs := make([]error, k)
-	par.For(workers, k, func(i int) {
+	if err := par.ForCtx(ctx, workers, k, func(i int) {
 		o := opt.Engine
 		o.Prep = nil
+		if opt.Pre != nil {
+			o.Prep = opt.Pre.Preps[i]
+		}
 		o.Observer = nil
 		if userObs != nil {
 			o.Observer = &shardTap{shard: i, inner: userObs}
 		}
-		ins[i], errs[i] = engine.NewInstance(p.Shards[i].G, o)
-	})
+		ins[i], errs[i] = engine.NewInstanceCtx(ctx, p.Shards[i].G, o)
+	}); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -163,6 +195,9 @@ func Run(g *hypergraph.Bipartite, alg algorithms.Algorithm, opt Options) (*Resul
 	maxIter := alg.MaxIterations()
 	iterations := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if frontierV.Count() == 0 {
 			break
 		}
@@ -188,6 +223,9 @@ func Run(g *hypergraph.Bipartite, alg algorithms.Algorithm, opt Options) (*Resul
 			localNextE[i] = bitset.New(sh.G.NumHyperedges())
 			steps[i] = ins[i].BeginHyperedgeComputation(lf, localNextE[i])
 		})
+		if err := ctx.Err(); err != nil {
+			return nil, err // a shard's compile was aborted; commit nothing
+		}
 		drain(p, steps, localNextE, func(gsrc, gdst uint32) algorithms.EdgeResult {
 			return alg.HF(s, gsrc, gdst)
 		}, func(sh *Shard, lsrc, ldst uint32) (uint32, uint32) {
@@ -204,6 +242,9 @@ func Run(g *hypergraph.Bipartite, alg algorithms.Algorithm, opt Options) (*Resul
 			localNextV[i] = bitset.New(p.Shards[i].G.NumVertices())
 			steps[i] = ins[i].BeginVertexComputation(localNextE[i], localNextV[i])
 		})
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		drain(p, steps, localNextV, func(gsrc, gdst uint32) algorithms.EdgeResult {
 			return alg.VF(s, gsrc, gdst)
 		}, func(sh *Shard, lsrc, ldst uint32) (uint32, uint32) {

@@ -1,0 +1,68 @@
+#!/bin/sh
+# benchgate.sh gates pull requests on benchmark regressions. It compares a
+# fresh bench-smoke session (bench-metrics.json, written by `make bench-smoke`)
+# against the committed baseline (BENCH_baseline.json) and fails when the
+# session-level totals regress:
+#
+#   simulated_cycles  > CYCLE_TOL % worse (default 5)  -- deterministic model
+#                       output, so any growth is a real behavioural change
+#   host_wall_ns      > WALL_TOL  % worse (default 10) -- host-side speed,
+#                       noisier, so the tolerance is looser
+#
+# Usage: sh scripts/benchgate.sh [baseline.json] [fresh.json]
+# Tolerances are env-overridable (CYCLE_TOL=8 WALL_TOL=25 sh scripts/benchgate.sh).
+# Refresh the baseline with `make bench-baseline` when a change legitimately
+# moves the numbers, and say why in the commit message.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+base=${1:-BENCH_baseline.json}
+fresh=${2:-bench-metrics.json}
+cycle_tol=${CYCLE_TOL:-5}
+wall_tol=${WALL_TOL:-10}
+
+for f in "$base" "$fresh"; do
+    if [ ! -f "$f" ]; then
+        echo "benchgate: missing $f (run 'make bench-smoke' first;" \
+            "the baseline is committed as BENCH_baseline.json)" >&2
+        exit 1
+    fi
+done
+
+# The session summary precedes the per-run entries in the metrics JSON, so the
+# first occurrence of each field is the session-wide total.
+field() {
+    sed -n 's/.*"'"$2"'": *\([0-9][0-9]*\).*/\1/p' "$1" | head -1
+}
+
+fail=0
+gate() {
+    name=$1 tol=$2 old=$3 new=$4
+    if [ -z "$old" ] || [ -z "$new" ]; then
+        echo "FAIL  $name: field missing (baseline='$old' fresh='$new')"
+        fail=1
+        return
+    fi
+    if [ "$old" -eq 0 ]; then
+        echo "FAIL  $name: baseline is zero (stale or truncated $base?)"
+        fail=1
+        return
+    fi
+    delta=$(awk -v o="$old" -v n="$new" 'BEGIN { printf "%+.2f", (n - o) * 100 / o }')
+    over=$(awk -v o="$old" -v n="$new" -v t="$tol" 'BEGIN { print ((n - o) * 100 / o > t) ? 1 : 0 }')
+    if [ "$over" = 1 ]; then
+        echo "FAIL  $name: $old -> $new (${delta}%, tolerance +${tol}%)"
+        fail=1
+    else
+        echo "ok    $name: $old -> $new (${delta}%, tolerance +${tol}%)"
+    fi
+}
+
+gate simulated_cycles "$cycle_tol" "$(field "$base" simulated_cycles)" "$(field "$fresh" simulated_cycles)"
+gate host_wall_ns "$wall_tol" "$(field "$base" host_wall_ns)" "$(field "$fresh" host_wall_ns)"
+
+if [ "$fail" = 1 ]; then
+    echo "benchgate: regression against $base (refresh with 'make bench-baseline' only if intended)" >&2
+fi
+exit $fail

@@ -15,6 +15,15 @@ check() {
     pkg=$1
     floor=$(awk -v f="$2" -v s="$slack" 'BEGIN { print f - s }')
     out=$(go test -count=1 -cover "./$pkg/" 2>&1) || { echo "$out"; exit 1; }
+    case "$out" in
+    *"[no test files]"*)
+        # A floored package with no tests would otherwise read as a silent
+        # pass ("ok ... [no test files]" exits 0 with no coverage figure).
+        echo "FAIL  $pkg: no test files"
+        fail=1
+        return
+        ;;
+    esac
     pct=$(echo "$out" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p' | head -1)
     if [ -z "$pct" ]; then
         echo "FAIL  $pkg: no coverage figure in output:"
@@ -35,5 +44,7 @@ check internal/engine     96
 check internal/obs        97
 check internal/hypergraph 87
 check internal/shard      90
+check internal/serve      90
+check internal/flight     90
 
 exit $fail
