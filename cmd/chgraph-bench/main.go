@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	rtrace "runtime/trace"
 	"strings"
@@ -100,6 +101,11 @@ func main() {
 	}
 	session := bench.NewSession(cfg)
 
+	// Host allocation accounting for the session: a Mallocs delta over the
+	// figure runs feeds the bench wall's allocation gate.
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+
 	var runners []bench.Runner
 	if *fig == "all" {
 		runners = bench.Runners()
@@ -122,6 +128,9 @@ func main() {
 	}
 
 	if cfg.Metrics != nil {
+		var memAfter runtime.MemStats
+		runtime.ReadMemStats(&memAfter)
+		cfg.Metrics.RecordHostAllocs(memAfter.Mallocs - memBefore.Mallocs)
 		f, err := os.Create(*metricsOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -46,6 +46,18 @@ func (b Bitmap) Clone() Bitmap {
 	return c
 }
 
+// CopyFrom makes b an exact copy of src, reusing b's backing array when it
+// is large enough. This is the allocation-free counterpart of Clone for
+// hot paths that keep a scratch bitmap across iterations.
+func (b *Bitmap) CopyFrom(src Bitmap) {
+	if cap(*b) >= len(src) {
+		*b = (*b)[:len(src)]
+	} else {
+		*b = make(Bitmap, len(src))
+	}
+	copy(*b, src)
+}
+
 // Count returns the number of set bits.
 func (b Bitmap) Count() uint64 {
 	var n uint64

@@ -89,22 +89,52 @@ type ActiveSet interface {
 // nodes are cleared). dMax bounds chain length; v observes every micro-step
 // (pass nil for none).
 func Generate(o *oag.OAG, lo, hi uint32, active ActiveSet, dMax int, v Visitor) ChainSet {
+	var g Generator
+	cs := ChainSet{}
+	g.GenerateInto(&cs, o, lo, hi, active, dMax, v)
+	return cs
+}
+
+// Generator runs Algorithm 3 with reusable scratch: the exploration stack
+// (the hardware's 16-deep stack, §V-B) survives across calls, and
+// GenerateInto refills a caller-owned ChainSet in place. A Generator is for
+// one goroutine at a time; the zero value is ready to use.
+type Generator struct {
+	stack []level
+
+	// scanV/scanFn cache the bound v.RootScan method value: evaluating it
+	// at the NextSet call site would allocate a fresh closure per chain.
+	scanV  Visitor
+	scanFn func(uint32)
+}
+
+// GenerateInto is Generate writing into cs, truncating and reusing its
+// Queue and Starts backing arrays. The schedule produced is bit-identical
+// to Generate's.
+func (g *Generator) GenerateInto(cs *ChainSet, o *oag.OAG, lo, hi uint32, active ActiveSet, dMax int, v Visitor) {
 	if v == nil {
 		v = nopVisitor{}
 	}
 	if dMax < 1 {
 		dMax = 1
 	}
-	cs := ChainSet{}
+	cs.Queue = cs.Queue[:0]
+	cs.Starts = cs.Starts[:0]
 
-	stack := make([]level, 0, dMax)
+	if cap(g.stack) < dMax {
+		g.stack = make([]level, 0, dMax)
+	}
+	stack := g.stack[:0]
+	if g.scanV != v {
+		g.scanV, g.scanFn = v, v.RootScan
+	}
 
 	cursor := lo
 	for {
 		// Root setting: minimal-index active node. Because selected nodes
 		// become inactive, the minimal active index is non-decreasing, so
 		// a resuming scan is exact.
-		root := active.NextSet(cursor, hi, v.RootScan)
+		root := active.NextSet(cursor, hi, g.scanFn)
 		if root >= hi {
 			break
 		}
@@ -140,7 +170,7 @@ func Generate(o *oag.OAG, lo, hi uint32, active ActiveSet, dMax int, v Visitor) 
 	if len(cs.Starts) > 0 || len(cs.Queue) > 0 {
 		cs.Starts = append(cs.Starts, uint32(len(cs.Queue)))
 	}
-	return cs
+	g.stack = stack[:0]
 }
 
 // level mirrors one entry of the hardware stack (§V-B/§VI-E): the node and

@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"chgraph/internal/algorithms"
+	"chgraph/internal/bitset"
+)
+
+// TestSteadyStateIterationAllocs is the tentpole's acceptance gate: once an
+// instance is warm, driving a full iteration (both phases: compile, apply,
+// stitch, simulate) must not allocate at all with Workers=1. Every hot-path
+// buffer — chain sets, op streams, FIFO rings, agents, frontier bitmaps,
+// mark outcomes — lives in the instance's reuse arena.
+func TestSteadyStateIterationAllocs(t *testing.T) {
+	g := smallHG(3)
+	prep := Prepare(g, 4, 1)
+	for _, kind := range allKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			alg := algorithms.NewPageRank(1 << 20) // never self-terminates
+			opt := Options{Kind: kind, Sys: testSys(), Prep: prep, WMin: 1, Workers: 1}
+			in, err := NewInstance(g, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer in.Finish()
+
+			s := algorithms.NewState(g)
+			frontierV := bitset.New(g.NumVertices())
+			alg.Init(s, frontierV)
+			frontierE := bitset.New(g.NumHyperedges())
+			nextV := bitset.New(g.NumVertices())
+
+			iterate := func() {
+				alg.BeforeHyperedgePhase(s)
+				frontierE.Reset()
+				st := in.BeginHyperedgeComputation(frontierV, frontierE)
+				drainStep(st, s, alg.HF, frontierE)
+				st.Commit()
+
+				alg.BeforeVertexPhase(s)
+				nextV.Reset()
+				st = in.BeginVertexComputation(frontierE, nextV)
+				drainStep(st, s, alg.VF, nextV)
+				st.Commit()
+
+				s.Iter++
+				in.AdvanceIteration()
+				alg.AfterVertexPhase(s, nextV)
+				frontierV, nextV = nextV, frontierV
+			}
+
+			// Warm the arena: the first iterations size every buffer (and the
+			// second hits the §VI-B replay path on a stable frontier).
+			for i := 0; i < 3; i++ {
+				iterate()
+			}
+			if allocs := testing.AllocsPerRun(10, iterate); allocs != 0 {
+				t.Fatalf("steady-state iteration allocates %v objects, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestConcurrentRunsSharedPrep exercises the Prep-owned scratch pool from
+// many concurrent runs — the sharing pattern serve's worker pool produces on
+// a prepared-artifact cache hit. Under -race this is the data-race wall for
+// the pooled buffers; in any mode it asserts runs stay bit-identical when
+// their arenas are recycled across goroutines.
+func TestConcurrentRunsSharedPrep(t *testing.T) {
+	g := smallHG(5)
+	prep := Prepare(g, 4, 1)
+	opt := Options{Kind: ChGraph, Sys: testSys(), Prep: prep, WMin: 1, Workers: 2}
+
+	want, err := Run(g, algorithms.NewPageRank(5), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const runs = 12
+	var wg sync.WaitGroup
+	errs := make([]error, runs)
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := Run(g, algorithms.NewPageRank(5), opt)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if res.Cycles != want.Cycles {
+				errs[i] = fmt.Errorf("cycles %d, want %d", res.Cycles, want.Cycles)
+				return
+			}
+			for v := range want.State.VertexVal {
+				if res.State.VertexVal[v] != want.State.VertexVal[v] {
+					errs[i] = fmt.Errorf("vertex %d diverged", v)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent run %d: %v", i, err)
+		}
+	}
+}

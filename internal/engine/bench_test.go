@@ -26,6 +26,7 @@ func benchmarkRunPR(b *testing.B, workers int) {
 	sys := testSys()
 	sys.Cores = 8
 	prep := Prepare(benchGraph, 8, 3)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Run(benchGraph, algorithms.NewPageRank(3), Options{Kind: ChGraph, Sys: sys, Prep: prep, Workers: workers}); err != nil {
@@ -41,6 +42,7 @@ func benchmarkRunBFS(b *testing.B, workers int) {
 	sys := testSys()
 	sys.Cores = 8
 	prep := Prepare(benchGraph, 8, 3)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Run(benchGraph, algorithms.NewBFS(0), Options{Kind: ChGraph, Sys: sys, Prep: prep, Workers: workers}); err != nil {

@@ -134,6 +134,13 @@ type Prep struct {
 	// VOAG drives chains over vertices (hyperedge-computation phases);
 	// HOAG drives chains over hyperedges (vertex-computation phases).
 	VOAG, HOAG *oag.OAG
+
+	// scratch recycles per-instance reuse arenas (runScratch) across the
+	// runs sharing this Prep — steady-state serve traffic and repeated
+	// sweeps reuse buffers instead of reallocating them each run. Prep must
+	// be shared by pointer; copying it would split the pool (go vet's
+	// copylocks check flags this).
+	scratch scratchPool
 }
 
 // Prepare builds chunks and per-chunk OAGs for g at the default host
@@ -351,6 +358,13 @@ func RunCtx(ctx context.Context, g *hypergraph.Bipartite, alg algorithms.Algorit
 	s := algorithms.NewState(g)
 	frontierV := bitset.New(g.NumVertices())
 	alg.Init(s, frontierV)
+	// The three frontier bitmaps are allocated once and recycled: the
+	// hyperedge frontier is zeroed at the top of each iteration, and the
+	// vertex frontiers double-buffer (the consumed one becomes the next
+	// iteration's scratch). Identical contents to the historical
+	// fresh-allocation per phase, without the per-iteration garbage.
+	frontierE := bitset.New(g.NumHyperedges())
+	nextV := bitset.New(g.NumVertices())
 
 	maxIter := alg.MaxIterations()
 	for {
@@ -365,7 +379,7 @@ func RunCtx(ctx context.Context, g *hypergraph.Bipartite, alg algorithms.Algorit
 		}
 		// Hyperedge computation: active vertices scatter via HF.
 		alg.BeforeHyperedgePhase(s)
-		frontierE := bitset.New(g.NumHyperedges())
+		frontierE.Reset()
 		st := in.BeginHyperedgeComputation(frontierV, frontierE)
 		if err := ctx.Err(); err != nil {
 			return nil, err // compile aborted; never drain or commit it
@@ -375,7 +389,7 @@ func RunCtx(ctx context.Context, g *hypergraph.Bipartite, alg algorithms.Algorit
 
 		// Vertex computation: active hyperedges scatter via VF.
 		alg.BeforeVertexPhase(s)
-		nextV := bitset.New(g.NumVertices())
+		nextV.Reset()
 		st = in.BeginVertexComputation(frontierE, nextV)
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -386,7 +400,7 @@ func RunCtx(ctx context.Context, g *hypergraph.Bipartite, alg algorithms.Algorit
 		s.Iter++
 		in.AdvanceIteration()
 		done := alg.AfterVertexPhase(s, nextV)
-		frontierV = nextV
+		frontierV, nextV = nextV, frontierV
 		if r.obs != nil {
 			r.obs.IterationDone(obs.IterationSnapshot{
 				Iteration:      r.res.Iterations - 1,

@@ -58,6 +58,9 @@ func TestTimelineSumsMatchResult(t *testing.T) {
 					sum.ChainGenCount != res.ChainGenCount || sum.ChainGenNodes != res.ChainGenNodes {
 					t.Errorf("%s: chain sums mismatch result", name)
 				}
+				if sum.HostWall <= 0 {
+					t.Errorf("%s: summed per-phase host time = %v, want > 0", name, sum.HostWall)
+				}
 
 				run, done := tl.Run()
 				if !done {

@@ -12,6 +12,7 @@ import (
 	"chgraph/internal/hypergraph"
 	"chgraph/internal/obs"
 	"chgraph/internal/par"
+	"chgraph/internal/pool"
 	"chgraph/internal/sim/system"
 	"chgraph/internal/trace"
 )
@@ -48,13 +49,34 @@ type runner struct {
 	// State, the shard coordinator against the global one).
 	iter int
 
-	// chainCache memoizes per-side chain schedules: when a phase's
-	// frontier is identical to the previous iteration's (e.g. PageRank,
-	// where everything stays active), the chains are reused instead of
-	// regenerated — §VI-B: "GLA only needs to generate the chains in the
-	// first (rather than every) iteration". The replayed schedule is
-	// streamed from a chain-queue array in memory.
-	chainCache [2]*chainCacheEntry
+	// scratch is the reuse arena every per-phase buffer lives in,
+	// including the §VI-B chain memoization cache. Borrowed from the
+	// Prep's pool at instance creation, returned by Instance.Finish;
+	// lazily created for runners built without one (op-stream tests).
+	scratch *runScratch
+
+	// step is the one live Step the instance hands out; its buffers alias
+	// the scratch, so beginStep recycles rather than allocates it.
+	step Step
+
+	// phs holds the two prebuilt phase specs (index 0 = hyperedge
+	// computation, 1 = vertex computation); Begin* only swaps the frontier
+	// bitmaps in, so the spec (and its CSR accessor closures) is built
+	// once per instance instead of once per phase.
+	phs [2]phaseSpec
+
+	// Fan-out state + prebuilt bodies: the parallel compile passes run
+	// fixed closures built once (lazily) per runner, reading their
+	// per-phase inputs from these fields. This keeps the steady-state
+	// phase path free of closure allocations for every worker count.
+	curPh       *phaseSpec
+	curCC       []*compiledCore
+	curCSS      []core.ChainSet
+	curReplayed bool
+	curMaintain bool
+	genBody     func(int)
+	compileBody func(int)
+	stitchBody  func(int)
 
 	// Observability (nil obs = zero-overhead fast path). seq numbers
 	// observed phases; lastReplayed and the host pass times are scratch
@@ -76,47 +98,50 @@ func (r *runner) ctxErr() error {
 }
 
 type chainCacheEntry struct {
+	valid    bool
 	frontier bitset.Bitmap
 	css      []core.ChainSet // per chunk
 }
 
 // chains returns the per-chunk chain schedules for this phase, generating
-// them (with visitor instrumentation via mkVis) or replaying the cached
-// ones. Generation fans out across Options.Workers goroutines — each chunk
-// walks its own disposable frontier clone, so chunks are independent.
-// replayed reports whether generation was skipped. ChainCount/ChainNodes
-// accumulate on every call (the schedule runs this phase whether fresh or
-// replayed, keeping the stats consistent with EdgesProcessed);
-// ChainGenCount/ChainGenNodes accumulate only on fresh generation.
-func (r *runner) chains(ph *phaseSpec, phaseIdx int, mkVis func(chunk int) core.Visitor) (css []core.ChainSet, replayed bool) {
-	defer func() { r.lastReplayed = replayed }()
-	if cc := r.chainCache[phaseIdx]; cc != nil && bitmapsEqual(cc.frontier, ph.frontier) {
+// them (with visitor instrumentation via the runner's genBody) or replaying
+// the cached ones. Generation fans out across Options.Workers goroutines —
+// each chunk walks its own recycled frontier copy, so chunks are
+// independent. replayed reports whether generation was skipped.
+// ChainCount/ChainNodes accumulate on every call (the schedule runs this
+// phase whether fresh or replayed, keeping the stats consistent with
+// EdgesProcessed); ChainGenCount/ChainGenNodes accumulate only on fresh
+// generation. The cache entry and every ChainSet in it are scratch-owned:
+// generation truncates and refills them in place.
+func (r *runner) chains(ph *phaseSpec) (css []core.ChainSet, replayed bool) {
+	cc := &r.scratch.chainCache[ph.idx]
+	if cc.valid && bitmapsEqual(cc.frontier, ph.frontier) {
 		css, replayed = cc.css, true
 	} else {
-		css = make([]core.ChainSet, len(ph.chunks))
-		err := par.ForCtx(r.ctx, r.opt.Workers, len(ph.chunks), func(i int) {
-			ch := ph.chunks[i]
-			var vis core.Visitor
-			if mkVis != nil {
-				vis = mkVis(i)
-			}
-			css[i] = core.Generate(ph.og, ch.Lo, ch.Hi, ph.frontier.Clone(), r.opt.DMax, vis)
-		})
+		cc.valid = false
+		cc.css = pool.Grow(cc.css, len(ph.chunks))
+		r.curCSS = cc.css
+		err := par.ForCtx(r.ctx, r.opt.Workers, len(ph.chunks), r.genBody)
 		if err != nil {
 			// Cancelled mid-generation: css is partial garbage. Don't count
-			// or cache it; beginStep discards the whole compile.
-			return css, false
+			// or cache it (cc stays invalid); beginStep discards the whole
+			// compile.
+			r.lastReplayed = false
+			return cc.css, false
 		}
+		css = cc.css
 		for i := range css {
 			r.res.ChainGenCount += uint64(css[i].NumChains())
 			r.res.ChainGenNodes += uint64(len(css[i].Queue))
 		}
-		r.chainCache[phaseIdx] = &chainCacheEntry{frontier: ph.frontier.Clone(), css: css}
+		cc.frontier.CopyFrom(ph.frontier)
+		cc.valid = true
 	}
 	for i := range css {
 		r.res.ChainCount += uint64(css[i].NumChains())
 		r.res.ChainNodes += uint64(len(css[i].Queue))
 	}
+	r.lastReplayed = replayed
 	return css, replayed
 }
 
@@ -253,47 +278,89 @@ func (r *runner) compileStreams(ph *phaseSpec) []*compiledCore {
 	// dispatching chunks and returns whatever partial cc it has, which
 	// beginStep then discards wholesale (the error itself is re-derived from
 	// r.ctx there). Chain-driven kinds additionally bail between generation
-	// and stream compilation — a cancelled generation leaves nil visitors.
+	// and stream compilation.
 	n := len(ph.chunks)
-	cc := make([]*compiledCore, n)
-	w := r.opt.Workers
-	ctx := r.ctx
+	cc := pool.GrowZeroed(r.scratch.ccRefs, n)
+	r.scratch.ccRefs = cc
+	r.curPh, r.curCC = ph, cc
 	switch r.opt.Kind {
-	case Hygra:
-		_ = par.ForCtx(ctx, w, n, func(i int) { cc[i] = r.compileHygra(ph, i, false) })
-	case HygraPF:
-		_ = par.ForCtx(ctx, w, n, func(i int) { cc[i] = r.compileHygra(ph, i, true) })
-	case GLA:
-		visitors := make([]*swVisitor, n)
-		css, replayed := r.chains(ph, ph.idx, func(chunk int) core.Visitor {
-			visitors[chunk] = &swVisitor{side: ph.srcBm, bm: ph.srcBm, c: r.opt.Costs}
-			return visitors[chunk]
-		})
+	case GLA, ChGraph, ChGraphHCG:
+		css, replayed := r.chains(ph)
 		if r.ctxErr() != nil {
 			return cc
 		}
-		_ = par.ForCtx(ctx, w, n, func(i int) { cc[i] = r.compileGLA(ph, i, css[i], visitors[i], replayed) })
-	case ChGraph, ChGraphHCG:
-		withCP := r.opt.Kind == ChGraph
-		visitors := make([]*hwVisitor, n)
-		css, replayed := r.chains(ph, ph.idx, func(chunk int) core.Visitor {
-			visitors[chunk] = &hwVisitor{side: ph.srcBm, bm: ph.srcBm, c: r.opt.Costs}
-			return visitors[chunk]
-		})
-		if r.ctxErr() != nil {
-			return cc
-		}
-		_ = par.ForCtx(ctx, w, n, func(i int) { cc[i] = r.compileChGraph(ph, i, css[i], visitors[i], replayed, withCP) })
-	case HATSV:
-		_ = par.ForCtx(ctx, w, n, func(i int) { cc[i] = r.compileHATSV(ph, i) })
-	default:
-		panic(fmt.Sprintf("engine: unknown kind %v", r.opt.Kind))
+		r.curCSS, r.curReplayed = css, replayed
 	}
+	_ = par.ForCtx(r.ctx, r.opt.Workers, n, r.compileBody)
 
 	if timed {
 		r.hostCompile = time.Since(t0)
 	}
 	return cc
+}
+
+// initBodies builds the runner's fan-out closures once: they capture only
+// the runner and read their per-phase inputs from its cur* fields, so the
+// per-phase hot path creates no new closures.
+func (r *runner) initBodies() {
+	switch r.opt.Kind {
+	case Hygra:
+		r.compileBody = func(i int) { r.curCC[i] = r.compileHygra(r.curPh, i, false) }
+	case HygraPF:
+		r.compileBody = func(i int) { r.curCC[i] = r.compileHygra(r.curPh, i, true) }
+	case GLA:
+		r.compileBody = func(i int) { r.curCC[i] = r.compileGLA(r.curPh, i, r.curCSS[i], r.curReplayed) }
+	case ChGraph:
+		r.compileBody = func(i int) { r.curCC[i] = r.compileChGraph(r.curPh, i, r.curCSS[i], r.curReplayed, true) }
+	case ChGraphHCG:
+		r.compileBody = func(i int) { r.curCC[i] = r.compileChGraph(r.curPh, i, r.curCSS[i], r.curReplayed, false) }
+	case HATSV:
+		r.compileBody = func(i int) { r.curCC[i] = r.compileHATSV(r.curPh, i) }
+	default:
+		panic(fmt.Sprintf("engine: unknown kind %v", r.opt.Kind))
+	}
+	r.genBody = func(i int) {
+		ph := r.curPh
+		ch := ph.chunks[i]
+		sc := &r.scratch.cores[i]
+		var vis core.Visitor
+		switch r.opt.Kind {
+		case GLA:
+			v := &sc.sw
+			v.ops, v.side, v.bm, v.c = v.ops[:0], ph.srcBm, ph.srcBm, r.opt.Costs
+			vis = v
+		case ChGraph, ChGraphHCG:
+			v := &sc.hw
+			v.ops, v.side, v.bm, v.c = v.ops[:0], ph.srcBm, ph.srcBm, r.opt.Costs
+			vis = v
+		}
+		sc.frontier.CopyFrom(ph.frontier)
+		sc.gen.GenerateInto(&r.curCSS[i], ph.og, ch.Lo, ch.Hi, &sc.frontier, r.opt.DMax, vis)
+	}
+	r.stitchBody = func(i int) {
+		st := &r.step
+		c := st.cc[i]
+		coreAgent := c.agents[len(c.agents)-1]
+		if len(c.marks) == 0 {
+			coreAgent.Ops = c.coreOps
+			return
+		}
+		sc := &r.scratch.cores[i]
+		sc.stitched = stitchInto(sc.stitched[:0], r.curPh, c.coreOps, c.marks, st.outs[i], r.curMaintain)
+		coreAgent.Ops = sc.stitched
+	}
+}
+
+// ensureScratch attaches (or lazily creates) the runner's scratch arena,
+// sizes it for n cores, and builds the fan-out bodies on first use.
+func (r *runner) ensureScratch(n int) {
+	if r.scratch == nil {
+		r.scratch = &runScratch{}
+	}
+	r.scratch.ensure(n)
+	if r.compileBody == nil {
+		r.initBodies()
+	}
 }
 
 // compilePhase compiles the phase end to end — compile streams, apply HF/VF
@@ -307,14 +374,12 @@ func (r *runner) compilePhase(ph *phaseSpec, s *algorithms.State, apply edgeFunc
 	return st.stitch()
 }
 
-// stitchOps inserts each deferred application's ops (value write when the
+// stitchInto inserts each deferred application's ops (value write when the
 // algorithm wrote, next-frontier bitmap write on first activation) at its
-// recorded position in the core's op stream.
-func stitchOps(ph *phaseSpec, ops []trace.Op, marks []edgeMark, outs []edgeOutcome, maintainNext bool) []trace.Op {
-	if len(marks) == 0 {
-		return ops
-	}
-	out := make([]trace.Op, 0, len(ops)+2*len(marks))
+// recorded position in the core's op stream, appending into out (pass a
+// recycled buffer truncated to zero; marks must be non-empty — the caller
+// uses ops directly otherwise).
+func stitchInto(out []trace.Op, ph *phaseSpec, ops []trace.Op, marks []edgeMark, outs []edgeOutcome, maintainNext bool) []trace.Op {
 	mi := 0
 	for i := 0; i <= len(ops); i++ {
 		for mi < len(marks) && marks[mi].pos == i {
@@ -352,12 +417,15 @@ func emitScan(ops []trace.Op, side int, lo, hi uint32, cost uint16) []trace.Op {
 func (r *runner) compileHygra(ph *phaseSpec, coreID int, prefetch bool) *compiledCore {
 	c := r.opt.Costs
 	ch := ph.chunks[coreID]
-	out := &compiledCore{}
-	var ops []trace.Op
+	sc := &r.scratch.cores[coreID]
+	out := &sc.cc
+	out.agents = out.agents[:0]
+	out.marks = out.marks[:0]
+	ops := sc.coreBuf[:0]
 	if !ph.dense {
 		ops = emitScan(ops, ph.srcBm, ch.Lo, ch.Hi, c.Scan)
 	}
-	var pfOps []trace.Op
+	pfOps := sc.engA[:0]
 	var popFlag trace.OpFlags
 	if prefetch {
 		popFlag = trace.FlagPopTuple
@@ -382,14 +450,17 @@ func (r *runner) compileHygra(ph *phaseSpec, coreID int, prefetch bool) *compile
 			out.marks = append(out.marks, edgeMark{pos: len(ops), src: e, dst: d})
 		}
 	})
-	coreAgent := &system.Agent{
-		Name: fmt.Sprintf("core%d", coreID), Core: coreID,
+	coreAgent := &sc.agentBuf[0]
+	*coreAgent = system.Agent{
+		Name: sc.names.core, Core: coreID,
 		MLP: r.opt.Sys.CoreMLP, IsCore: true,
 	}
 	if prefetch {
-		fifo := system.NewFIFO(fmt.Sprintf("pf%d", coreID), r.opt.PrefetchDistance)
-		pf := &system.Agent{
-			Name: fmt.Sprintf("pf%d", coreID), Core: coreID, Ops: pfOps,
+		fifo, _ := sc.fifos()
+		fifo.Reset(sc.names.pf, r.opt.PrefetchDistance)
+		pf := &sc.agentBuf[1]
+		*pf = system.Agent{
+			Name: sc.names.pf, Core: coreID, Ops: pfOps,
 			Engine: true, MLP: r.opt.Sys.PrefetchMLP, Out: fifo,
 		}
 		coreAgent.In = fifo
@@ -397,6 +468,7 @@ func (r *runner) compileHygra(ph *phaseSpec, coreID int, prefetch bool) *compile
 	}
 	out.agents = append(out.agents, coreAgent)
 	out.coreOps = ops
+	sc.coreBuf, sc.engA = ops, pfOps
 	return out
 }
 
@@ -427,18 +499,24 @@ func (v *swVisitor) ChainEnd() {}
 
 // compileGLA compiles one core of the software chain-driven model: chain
 // generation and the chain-ordered load/apply run serially on the core.
-func (r *runner) compileGLA(ph *phaseSpec, coreID int, cs core.ChainSet, vis *swVisitor, replayed bool) *compiledCore {
+func (r *runner) compileGLA(ph *phaseSpec, coreID int, cs core.ChainSet, replayed bool) *compiledCore {
 	c := r.opt.Costs
 	ch := ph.chunks[coreID]
-	out := &compiledCore{}
+	sc := &r.scratch.cores[coreID]
+	out := &sc.cc
+	out.agents = out.agents[:0]
+	out.marks = out.marks[:0]
 	var ops []trace.Op
 	if replayed {
 		// Stream the memoized chain queue from memory.
+		ops = sc.engA[:0]
 		for i := range cs.Queue {
 			ops = append(ops, trace.Op{Addr: chainQueueAddr(ph.srcBm, uint64(ch.Lo)+uint64(i)), Arr: trace.Other, Compute: 1})
 		}
 	} else {
-		ops = vis.ops
+		// The software model interleaves generation with the load/apply
+		// work, so the core stream extends the visitor's buffer in place.
+		ops = sc.sw.ops
 	}
 	for _, e := range cs.Queue {
 		ops = append(ops,
@@ -452,11 +530,18 @@ func (r *runner) compileGLA(ph *phaseSpec, coreID int, cs core.ChainSet, vis *sw
 			out.marks = append(out.marks, edgeMark{pos: len(ops), src: e, dst: d})
 		}
 	}
-	out.agents = []*system.Agent{{
-		Name: fmt.Sprintf("core%d", coreID), Core: coreID,
+	coreAgent := &sc.agentBuf[0]
+	*coreAgent = system.Agent{
+		Name: sc.names.core, Core: coreID,
 		MLP: r.opt.Sys.CoreMLP, IsCore: true,
-	}}
+	}
+	out.agents = append(out.agents, coreAgent)
 	out.coreOps = ops
+	if replayed {
+		sc.engA = ops
+	} else {
+		sc.sw.ops = ops
+	}
 	return out
 }
 
@@ -493,33 +578,44 @@ func (v *hwVisitor) ChainEnd() {}
 // into the bipartite-edge FIFO so the core only applies updates; without it
 // (Figure 16 HCG-only ablation) the core pops chain entries and performs
 // its own loads.
-func (r *runner) compileChGraph(ph *phaseSpec, coreID int, cs core.ChainSet, vis *hwVisitor, replayed, withCP bool) *compiledCore {
+func (r *runner) compileChGraph(ph *phaseSpec, coreID int, cs core.ChainSet, replayed, withCP bool) *compiledCore {
 	c := r.opt.Costs
 	ch := ph.chunks[coreID]
-	out := &compiledCore{}
+	sc := &r.scratch.cores[coreID]
+	out := &sc.cc
+	out.agents = out.agents[:0]
+	out.marks = out.marks[:0]
 	var hcgOps []trace.Op
 	if replayed {
 		// Replay the memoized chain queue: the HCG streams it from
 		// memory straight into the chain FIFO.
+		hcgOps = sc.engA[:0]
 		for i := range cs.Queue {
 			hcgOps = append(hcgOps, trace.Op{Addr: chainQueueAddr(ph.srcBm, uint64(ch.Lo)+uint64(i)), Arr: trace.Other,
 				Flags: trace.FlagL2 | trace.FlagPushChain, Compute: c.HWStage})
 		}
 	} else {
-		hcgOps = vis.ops
+		hcgOps = sc.hw.ops
 	}
 	hcgOps = append(hcgOps, trace.Op{Flags: trace.FlagNoMem | trace.FlagPushChain}) // the '-1' sentinel
-	chainFIFO := system.NewFIFO(fmt.Sprintf("chain%d", coreID), r.opt.ChainFIFO)
+	if replayed {
+		sc.engA = hcgOps
+	} else {
+		sc.hw.ops = hcgOps
+	}
+	chainFIFO, edgeFIFO := sc.fifos()
+	chainFIFO.Reset(sc.names.chain, r.opt.ChainFIFO)
 
-	hcg := &system.Agent{
-		Name: fmt.Sprintf("hcg%d", coreID), Core: coreID, Ops: hcgOps,
+	hcg := &sc.agentBuf[1]
+	*hcg = system.Agent{
+		Name: sc.names.hcg, Core: coreID, Ops: hcgOps,
 		Engine: true, MLP: r.opt.Sys.EngineMLP, Out: chainFIFO,
 	}
 
-	var coreOps []trace.Op
+	coreOps := sc.coreBuf[:0]
 	if withCP {
-		var cpOps []trace.Op
-		edgeFIFO := system.NewFIFO(fmt.Sprintf("bedge%d", coreID), r.opt.EdgeFIFO)
+		cpOps := sc.engB[:0]
+		edgeFIFO.Reset(sc.names.bedge, r.opt.EdgeFIFO)
 		for _, e := range cs.Queue {
 			cpOps = append(cpOps,
 				trace.Op{Flags: trace.FlagNoMem | trace.FlagPopChain, Compute: c.HWStage},
@@ -540,15 +636,19 @@ func (r *runner) compileChGraph(ph *phaseSpec, coreID int, cs core.ChainSet, vis
 			trace.Op{Flags: trace.FlagNoMem | trace.FlagPopChain, Compute: c.HWStage},
 			trace.Op{Flags: trace.FlagNoMem | trace.FlagPushTuple, Compute: c.HWStage})
 		coreOps = append(coreOps, trace.Op{Flags: trace.FlagNoMem | trace.FlagPopTuple})
-		cp := &system.Agent{
-			Name: fmt.Sprintf("cp%d", coreID), Core: coreID, Ops: cpOps,
+		cp := &sc.agentBuf[2]
+		*cp = system.Agent{
+			Name: sc.names.cp, Core: coreID, Ops: cpOps,
 			Engine: true, MLP: r.opt.Sys.PrefetchMLP, In: chainFIFO, Out: edgeFIFO,
 		}
-		out.agents = []*system.Agent{hcg, cp, {
-			Name: fmt.Sprintf("core%d", coreID), Core: coreID,
+		coreAgent := &sc.agentBuf[0]
+		*coreAgent = system.Agent{
+			Name: sc.names.core, Core: coreID,
 			MLP: r.opt.Sys.CoreMLP, IsCore: true, In: edgeFIFO,
-		}}
+		}
+		out.agents = append(out.agents, hcg, cp, coreAgent)
 		out.coreOps = coreOps
+		sc.coreBuf, sc.engB = coreOps, cpOps
 		return out
 	}
 
@@ -567,11 +667,14 @@ func (r *runner) compileChGraph(ph *phaseSpec, coreID int, cs core.ChainSet, vis
 		}
 	}
 	coreOps = append(coreOps, trace.Op{Flags: trace.FlagNoMem | trace.FlagPopChain})
-	out.agents = []*system.Agent{hcg, {
-		Name: fmt.Sprintf("core%d", coreID), Core: coreID,
+	coreAgent := &sc.agentBuf[0]
+	*coreAgent = system.Agent{
+		Name: sc.names.core, Core: coreID,
 		MLP: r.opt.Sys.CoreMLP, IsCore: true, In: chainFIFO,
-	}}
+	}
+	out.agents = append(out.agents, hcg, coreAgent)
 	out.coreOps = coreOps
+	sc.coreBuf = coreOps
 	return out
 }
 
@@ -582,21 +685,31 @@ func (r *runner) compileChGraph(ph *phaseSpec, coreID int, cs core.ChainSet, vis
 func (r *runner) compileHATSV(ph *phaseSpec, coreID int) *compiledCore {
 	c := r.opt.Costs
 	ch := ph.chunks[coreID]
-	out := &compiledCore{}
-	vis := &hatsVisitor{ph: ph, c: c}
-	sched := hats.Generate(hats.Input{
+	sc := &r.scratch.cores[coreID]
+	out := &sc.cc
+	out.agents = out.agents[:0]
+	out.marks = out.marks[:0]
+	vis := &sc.hv
+	vis.ops, vis.ph, vis.c = vis.ops[:0], ph, c
+	sc.frontier.CopyFrom(ph.frontier)
+	sched := hats.GenerateInto(sc.sched, hats.Input{
 		Offset: ph.offset, Neighbors: ph.neighbors,
 		BackOffset: ph.backOffset, BackNeighbors: ph.backNeighbors,
-		Lo: ch.Lo, Hi: ch.Hi, Active: ph.frontier.Clone(), DMax: r.opt.DMax,
+		Lo: ch.Lo, Hi: ch.Hi, Active: sc.frontier, DMax: r.opt.DMax,
 	}, vis)
+	sc.sched = sched
 	hatsOps := append(vis.ops, trace.Op{Flags: trace.FlagNoMem | trace.FlagPushChain})
-	fifo := system.NewFIFO(fmt.Sprintf("hats%d", coreID), r.opt.ChainFIFO)
-	out.agents = append(out.agents, &system.Agent{
-		Name: fmt.Sprintf("hats%d", coreID), Core: coreID, Ops: hatsOps,
+	vis.ops = hatsOps
+	fifo, _ := sc.fifos()
+	fifo.Reset(sc.names.hats, r.opt.ChainFIFO)
+	eng := &sc.agentBuf[1]
+	*eng = system.Agent{
+		Name: sc.names.hats, Core: coreID, Ops: hatsOps,
 		Engine: true, MLP: r.opt.Sys.EngineMLP, Out: fifo,
-	})
+	}
+	out.agents = append(out.agents, eng)
 
-	var coreOps []trace.Op
+	coreOps := sc.coreBuf[:0]
 	for _, e := range sched {
 		coreOps = append(coreOps,
 			trace.Op{Flags: trace.FlagNoMem | trace.FlagPopChain, Compute: c.Element},
@@ -611,11 +724,14 @@ func (r *runner) compileHATSV(ph *phaseSpec, coreID int) *compiledCore {
 		}
 	}
 	coreOps = append(coreOps, trace.Op{Flags: trace.FlagNoMem | trace.FlagPopChain})
-	out.agents = append(out.agents, &system.Agent{
-		Name: fmt.Sprintf("core%d", coreID), Core: coreID,
+	coreAgent := &sc.agentBuf[0]
+	*coreAgent = system.Agent{
+		Name: sc.names.core, Core: coreID,
 		MLP: r.opt.Sys.CoreMLP, IsCore: true, In: fifo,
-	})
+	}
+	out.agents = append(out.agents, coreAgent)
 	out.coreOps = coreOps
+	sc.coreBuf = coreOps
 	return out
 }
 

@@ -11,6 +11,7 @@ import (
 	"chgraph/internal/hypergraph"
 	"chgraph/internal/obs"
 	"chgraph/internal/par"
+	"chgraph/internal/pool"
 	"chgraph/internal/sim/system"
 	"chgraph/internal/trace"
 )
@@ -78,10 +79,25 @@ func NewInstanceCtx(ctx context.Context, g *hypergraph.Bipartite, opt Options) (
 	}
 	r := &runner{
 		g: g, opt: opt, prep: prep, ctx: ctx,
-		sys: system.New(opt.Sys),
 		res: &Result{Kind: opt.Kind},
 		obs: opt.Observer,
 	}
+	// Borrow the reuse arena from the Prep's pool (returned by Finish) and
+	// prebuild the two phase specs; Begin* only swaps frontier bitmaps in.
+	// The simulated system rides in the arena too: building the hierarchy
+	// (caches, directory, NoC, DRAM queues) dominates per-run allocation,
+	// and a Reset system replays bit-identically to a fresh one.
+	r.scratch = prep.scratch.get()
+	if s := r.scratch.sys; s != nil && s.Cfg == opt.Sys {
+		s.Reset()
+		r.sys = s
+	} else {
+		r.sys = system.New(opt.Sys)
+		r.scratch.sys = r.sys
+	}
+	r.ensureScratch(opt.Sys.Cores)
+	r.phs[0] = *vertexPhase(g, prep, nil, nil)
+	r.phs[1] = *hyperedgePhase(g, prep, nil, nil)
 	return &Instance{g: g, r: r}, nil
 }
 
@@ -130,19 +146,25 @@ func (in *Instance) EdgesProcessed() uint64 { return in.r.res.EdgesProcessed }
 // returned Step holds the compiled streams with the HF applications still
 // pending.
 func (in *Instance) BeginHyperedgeComputation(frontierV, nextE bitset.Bitmap) *Step {
-	return in.r.beginStep(vertexPhase(in.g, in.r.prep, frontierV, nextE))
+	ph := &in.r.phs[0]
+	ph.frontier, ph.next = frontierV, nextE
+	return in.r.beginStep(ph)
 }
 
 // BeginVertexComputation compiles a vertex-computation phase: active
 // hyperedges in frontierE scatter via VF, activations land in nextV.
 func (in *Instance) BeginVertexComputation(frontierE, nextV bitset.Bitmap) *Step {
-	return in.r.beginStep(hyperedgePhase(in.g, in.r.prep, frontierE, nextV))
+	ph := &in.r.phs[1]
+	ph.frontier, ph.next = frontierE, nextV
+	return in.r.beginStep(ph)
 }
 
 // Finish reads the final measurements off the simulated system into the
 // instance's Result and returns it. State is left nil: the driver owns the
 // algorithm state (Run fills it in; the shard coordinator keeps one global
-// State for all shards).
+// State for all shards). Finish also retires the instance's reuse arena
+// back to the Prep's pool — the last Step's marks and agents are invalid
+// afterwards, so drivers must not Begin or Commit on a finished instance.
 func (in *Instance) Finish() *Result {
 	r := in.r
 	res := r.res
@@ -153,6 +175,10 @@ func (in *Instance) Finish() *Result {
 	res.MemStallCycles = r.sys.MemStallCycles
 	res.FifoStallCycles = r.sys.FifoStallCycles
 	res.L1Hits, res.L1Misses, res.L2Hits, res.L2Misses, res.L3Hits, res.L3Misses = r.sys.Hier.CacheStats()
+	if r.scratch != nil {
+		r.prep.scratch.put(r.scratch)
+		r.scratch = nil
+	}
 	return res
 }
 
@@ -184,12 +210,14 @@ type Step struct {
 // or after compilation: partially compiled streams are discarded, never
 // exposed through Mark/Resolve or committed to the simulator.
 func (r *runner) beginStep(ph *phaseSpec) *Step {
-	st := &Step{r: r, ph: ph}
+	st := &r.step
+	*st = Step{r: r, ph: ph, offs: st.offs, outs: st.outs}
 	frontier := ph.frontier.Count()
 	if frontier == 0 || r.ctxErr() != nil {
 		st.skip = true
 		return st
 	}
+	r.ensureScratch(len(ph.chunks))
 	phaseIdx := 0
 	if ph.srcBm == bmHyperedge {
 		phaseIdx = 1
@@ -204,11 +232,14 @@ func (r *runner) beginStep(ph *phaseSpec) *Step {
 		st.skip, st.cc = true, nil
 		return st
 	}
-	st.offs = make([]int, len(st.cc)+1)
-	st.outs = make([][]edgeOutcome, len(st.cc))
+	st.offs = pool.Grow(st.offs, len(st.cc)+1)
+	st.outs = pool.Grow(st.outs, len(st.cc))
+	st.offs[0] = 0
 	for i, c := range st.cc {
 		st.offs[i+1] = st.offs[i] + len(c.marks)
-		st.outs[i] = make([]edgeOutcome, len(c.marks))
+		sc := &r.scratch.cores[i]
+		sc.outs = pool.GrowZeroed(sc.outs, len(c.marks))
+		st.outs[i] = sc.outs
 	}
 	if st.timed {
 		st.applyStart = time.Now()
@@ -278,14 +309,13 @@ func (st *Step) stitch() []*system.Agent {
 	if st.timed {
 		t0 = time.Now()
 	}
-	par.For(r.opt.Workers, len(st.cc), func(i int) {
-		coreAgent := st.cc[i].agents[len(st.cc[i].agents)-1]
-		coreAgent.Ops = stitchOps(ph, st.cc[i].coreOps, st.cc[i].marks, st.outs[i], maintainNext)
-	})
-	var agents []*system.Agent
+	r.curPh, r.curMaintain = ph, maintainNext
+	par.For(r.opt.Workers, len(st.cc), r.stitchBody)
+	agents := r.scratch.agents[:0]
 	for _, c := range st.cc {
 		agents = append(agents, c.agents...)
 	}
+	r.scratch.agents = agents
 	if st.timed {
 		r.hostStitch = time.Since(t0)
 	}

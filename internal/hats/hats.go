@@ -60,6 +60,13 @@ type Input struct {
 // in [Lo, Hi) exactly once, in bounded-DFS order over 2-hop bipartite
 // adjacency.
 func Generate(in Input, v Visitor) []uint32 {
+	return GenerateInto(nil, in, v)
+}
+
+// GenerateInto is Generate appending into sched[:0], reusing its backing
+// array across iterations. The schedule produced is bit-identical to
+// Generate's.
+func GenerateInto(sched []uint32, in Input, v Visitor) []uint32 {
 	if v == nil {
 		v = nopVisitor{}
 	}
@@ -67,7 +74,7 @@ func Generate(in Input, v Visitor) []uint32 {
 	if dMax < 1 {
 		dMax = 1
 	}
-	var sched []uint32
+	sched = sched[:0]
 	cursor := in.Lo
 	for {
 		root := in.Active.NextSet(cursor, in.Hi, v.RootScan)

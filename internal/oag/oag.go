@@ -16,6 +16,7 @@ package oag
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"chgraph/internal/hypergraph"
 	"chgraph/internal/par"
@@ -111,8 +112,8 @@ func BuildCapped(g *hypergraph.Bipartite, side Side, wMin uint32, maxDeg int, ch
 	// Counting pass per node: for node a, walk a's incidence lists two
 	// hops to find every b>a sharing at least one incidence, accumulating
 	// exact overlap counts in a scatter array.
-	count := make([]uint32, n)
-	touched := make([]uint32, 0, 256)
+	scr := getScratch(n)
+	count, touched := scr.count, scr.touched
 	adjTmp := make([][]wedge, n)
 
 	for a := uint32(0); a < n; a++ {
@@ -148,6 +149,9 @@ func BuildCapped(g *hypergraph.Bipartite, side Side, wMin uint32, maxDeg int, ch
 		}
 	}
 
+	scr.touched = touched[:0]
+	scratchPool.Put(scr)
+
 	for a := uint32(0); a < n; a++ {
 		o.buildOps += sortAndCap(adjTmp, a, maxDeg)
 	}
@@ -157,6 +161,29 @@ func BuildCapped(g *hypergraph.Bipartite, side Side, wMin uint32, maxDeg int, ch
 
 // wedge is one weighted adjacency entry during construction.
 type wedge struct{ b, w uint32 }
+
+// buildScratch is the counting-pass scatter state. The count array is
+// length n but provably all-zero between nodes (the flush loop resets every
+// touched entry), so a recycled one needs no clearing — only growth.
+type buildScratch struct {
+	count   []uint32
+	touched []uint32
+}
+
+// scratchPool recycles counting-pass scratch across chunks and across
+// builds; without it BuildParallel allocated an n-element scatter array per
+// chunk.
+var scratchPool = sync.Pool{New: func() any { return &buildScratch{} }}
+
+func getScratch(n uint32) *buildScratch {
+	s := scratchPool.Get().(*buildScratch)
+	if uint32(cap(s.count)) < n {
+		s.count = make([]uint32, n)
+	} else {
+		s.count = s.count[:n]
+	}
+	return s
+}
 
 // sortAndCap orders node a's temporary adjacency (descending weight,
 // ascending id on ties: the hardware chain generator reads neighbors in
@@ -234,9 +261,10 @@ func BuildParallelCapped(g *hypergraph.Bipartite, side Side, wMin uint32, maxDeg
 		ch := chunks[ci]
 		// The counting pass is the serial one restricted to this chunk's
 		// node range; within-chunk peers are b in (a, ch.Hi), so all writes
-		// to adjTmp land inside [ch.Lo, ch.Hi) and never race.
-		count := make([]uint32, n)
-		touched := make([]uint32, 0, 256)
+		// to adjTmp land inside [ch.Lo, ch.Hi) and never race. The scatter
+		// scratch is pooled per worker instead of allocated per chunk.
+		scr := getScratch(n)
+		count, touched := scr.count, scr.touched
 		var ops uint64
 		for a := ch.Lo; a < ch.Hi && a < n; a++ {
 			touched = touched[:0]
@@ -270,6 +298,8 @@ func BuildParallelCapped(g *hypergraph.Bipartite, side Side, wMin uint32, maxDeg
 				adjTmp[b] = append(adjTmp[b], wedge{a, w})
 			}
 		}
+		scr.touched = touched[:0]
+		scratchPool.Put(scr)
 		// Both endpoints of every surviving edge live in this chunk, so once
 		// the chunk's counting pass completes its adjacency is final: sort
 		// and cap here, inside the worker.

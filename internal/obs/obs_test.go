@@ -70,16 +70,25 @@ func TestTimelineRecords(t *testing.T) {
 	if run.Phases != 4 || run.Engine != "ChGraph" {
 		t.Fatalf("run snapshot %+v", run)
 	}
-	// Sum must fold every counter.
+	// Sum must fold every counter, including the per-phase host timings —
+	// dropping any of the four segments would silently under-report HostWall.
 	sum := tl.Sum()
 	var wantCycles, wantEdges uint64
+	var wantHost time.Duration
 	for i := 0; i < 4; i++ {
 		p := samplePhase(i)
 		wantCycles += p.Cycles
 		wantEdges += p.EdgesProcessed
+		wantHost += p.HostCompile + p.HostApply + p.HostStitch + p.HostSim
 	}
 	if sum.Cycles != wantCycles || sum.EdgesProcessed != wantEdges {
 		t.Fatalf("Sum cycles=%d edges=%d, want %d/%d", sum.Cycles, sum.EdgesProcessed, wantCycles, wantEdges)
+	}
+	if wantHost == 0 {
+		t.Fatal("sample phases carry no host timings; the HostWall assertion is vacuous")
+	}
+	if sum.HostWall != wantHost {
+		t.Fatalf("Sum host wall = %v, want %v (compile+apply+stitch+sim over all phases)", sum.HostWall, wantHost)
 	}
 	if sum.MemTotal() == 0 {
 		t.Fatal("Sum lost the per-array mem counters")
@@ -272,6 +281,15 @@ func TestSessionMetrics(t *testing.T) {
 	m.Observe("FS/PR/0")
 	if got := m.Summary().Runs; got != 3 {
 		t.Errorf("unfinished run counted: %d", got)
+	}
+
+	// Host allocation count is carried into the summary verbatim.
+	if sum.HostAllocs != 0 {
+		t.Errorf("HostAllocs before RecordHostAllocs: %d", sum.HostAllocs)
+	}
+	m.RecordHostAllocs(12345)
+	if got := m.Summary().HostAllocs; got != 12345 {
+		t.Errorf("HostAllocs=%d, want 12345", got)
 	}
 
 	var buf bytes.Buffer

@@ -13,8 +13,9 @@ import (
 // simulated cell; cached cells never re-run, so each key appears exactly
 // once per execution (the singleflight test relies on this).
 type SessionMetrics struct {
-	mu   sync.Mutex
-	runs map[string][]*Timeline
+	mu         sync.Mutex
+	runs       map[string][]*Timeline
+	hostAllocs uint64
 }
 
 // NewSessionMetrics builds an empty aggregator.
@@ -63,6 +64,16 @@ func (m *SessionMetrics) Timeline(key string) *Timeline {
 	return ts[0]
 }
 
+// RecordHostAllocs sets the session's host allocation count — the driver
+// measures a runtime.MemStats.Mallocs delta over the whole session and
+// records it once at the end. Zero means "not measured" and keeps the field
+// out of consumers' way (the bench gate skips an absent baseline).
+func (m *SessionMetrics) RecordHostAllocs(n uint64) {
+	m.mu.Lock()
+	m.hostAllocs = n
+	m.mu.Unlock()
+}
+
 // SessionSummary is the session-level rollup across all recorded runs.
 type SessionSummary struct {
 	Runs            int           `json:"runs"`
@@ -71,13 +82,17 @@ type SessionSummary struct {
 	MemAccesses     uint64        `json:"mem_accesses"`
 	EdgesProcessed  uint64        `json:"edges_processed"`
 	HostWall        time.Duration `json:"host_wall_ns"`
+	// HostAllocs is the heap objects allocated on the host over the whole
+	// session (a Mallocs delta, see RecordHostAllocs); the allocation gate
+	// in scripts/benchgate.sh ratchets it.
+	HostAllocs uint64 `json:"host_allocs,omitempty"`
 }
 
 // Summary aggregates across every completed run.
 func (m *SessionMetrics) Summary() SessionSummary {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	var s SessionSummary
+	s := SessionSummary{HostAllocs: m.hostAllocs}
 	for _, ts := range m.runs {
 		for _, t := range ts {
 			run, done := t.Run()

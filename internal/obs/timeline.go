@@ -178,6 +178,12 @@ func (t *Timeline) Sum() RunSnapshot {
 		out.ChainNodes += p.ChainNodes
 		out.ChainGenCount += p.ChainGenCount
 		out.ChainGenNodes += p.ChainGenNodes
+		// The per-phase host timings fold into the aggregate's host wall:
+		// the four segments are disjoint slices of the run's host time, so
+		// their sum is the timeline's account of HostWall (bounded above by
+		// the run snapshot's wall clock, which also covers prep and the
+		// apply-loop glue between phases).
+		out.HostWall += p.HostCompile + p.HostApply + p.HostStitch + p.HostSim
 		out.Phases++
 	}
 	return out

@@ -1,0 +1,30 @@
+// Package pool holds the small slice-recycling helpers behind the
+// zero-allocation steady state (DESIGN.md §13). The discipline is
+// truncate-and-reuse: hot paths never build a fresh slice when a prior
+// iteration's backing array can be rewound to length zero and refilled.
+// These helpers centralise the only allocating step — growing a backing
+// array the first time a larger length is needed — so call sites stay
+// branch-free and the ownership rules stay auditable.
+package pool
+
+// Grow returns a slice of exactly length n backed by buf's array when
+// cap(buf) >= n, allocating a larger array otherwise. Contents are NOT
+// zeroed: callers either overwrite every element or use GrowZeroed.
+func Grow[T any](buf []T, n int) []T {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]T, n)
+}
+
+// GrowZeroed is Grow with every element reset to the zero value, for
+// buffers whose stale contents must not leak into the next iteration
+// (e.g. per-mark outcome tables).
+func GrowZeroed[T any](buf []T, n int) []T {
+	buf = Grow(buf, n)
+	var zero T
+	for i := range buf {
+		buf[i] = zero
+	}
+	return buf
+}

@@ -1,0 +1,61 @@
+package pool
+
+import "testing"
+
+func TestGrowReusesCapacity(t *testing.T) {
+	buf := make([]int, 0, 8)
+	s := Grow(buf, 5)
+	if len(s) != 5 {
+		t.Fatalf("len = %d, want 5", len(s))
+	}
+	if &s[0] != &buf[:1][0] {
+		t.Fatal("Grow reallocated despite sufficient capacity")
+	}
+	s2 := Grow(s, 8)
+	if &s2[0] != &s[0] {
+		t.Fatal("Grow to cap boundary reallocated")
+	}
+}
+
+func TestGrowAllocatesWhenNeeded(t *testing.T) {
+	s := Grow[int](nil, 3)
+	if len(s) != 3 {
+		t.Fatalf("len = %d, want 3", len(s))
+	}
+	s[0], s[1], s[2] = 1, 2, 3
+	g := Grow(s, 16)
+	if len(g) != 16 {
+		t.Fatalf("len = %d, want 16", len(g))
+	}
+}
+
+func TestGrowPreservesNothing(t *testing.T) {
+	// Grow's contract is "contents unspecified": shrinking then growing
+	// within capacity exposes stale elements, which is fine for callers
+	// that overwrite, and exactly what GrowZeroed exists to prevent.
+	s := []int{7, 8, 9, 10}
+	z := GrowZeroed(s[:0], 4)
+	for i, v := range z {
+		if v != 0 {
+			t.Fatalf("z[%d] = %d, want 0", i, v)
+		}
+	}
+}
+
+func TestGrowZeroedFresh(t *testing.T) {
+	z := GrowZeroed[string](nil, 2)
+	if len(z) != 2 || z[0] != "" || z[1] != "" {
+		t.Fatalf("unexpected fresh GrowZeroed result: %#v", z)
+	}
+}
+
+func TestGrowSteadyStateAllocs(t *testing.T) {
+	buf := make([]uint32, 0, 64)
+	allocs := testing.AllocsPerRun(100, func() {
+		s := Grow(buf, 64)
+		s[63] = 1
+	})
+	if allocs != 0 {
+		t.Fatalf("Grow within capacity allocated %v times per run", allocs)
+	}
+}

@@ -40,6 +40,11 @@ type cacheEntry struct {
 }
 
 func newPrepCache(capacity int, met *metrics) *prepCache {
+	if capacity < 1 {
+		// A zero or negative capacity would evict every insert immediately
+		// (or loop forever evicting an empty list); clamp to a single slot.
+		capacity = 1
+	}
 	return &prepCache{
 		cap:    capacity,
 		ll:     list.New(),
@@ -62,12 +67,21 @@ func (c *prepCache) get(ctx context.Context, key string, build func(context.Cont
 		return el.Value.(*cacheEntry).art, true, nil
 	}
 	c.mu.Unlock()
-	c.met.cacheMisses.Add(1)
 
-	art, err, _ = c.builds.Do(ctx, key, func(bctx context.Context) (*artifact, error) {
+	var shared bool
+	art, err, shared = c.builds.Do(ctx, key, func(bctx context.Context) (*artifact, error) {
 		c.met.cacheBuilds.Add(1)
 		return build(bctx)
 	})
+	// Only the flight leader took a true miss; callers that joined its
+	// in-flight build are coalesced waiters — hit-like for accounting (the
+	// artifact existed in flight, no extra build ran on their behalf), but
+	// still not `hit` to the caller, who did wait on a build.
+	if shared {
+		c.met.cacheCoalesced.Add(1)
+	} else {
+		c.met.cacheMisses.Add(1)
+	}
 	if err != nil {
 		return nil, false, err
 	}

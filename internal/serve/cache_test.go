@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPrepCacheCoalescedAccounting: waiters that join a leader's in-flight
+// build are counted as coalesced (hit-like), never as misses — only the
+// leader, which actually runs the build, takes the miss.
+func TestPrepCacheCoalescedAccounting(t *testing.T) {
+	var met metrics
+	c := newPrepCache(4, &met)
+	art := &artifact{}
+
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	build := func(context.Context) (*artifact, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-release
+		return art, nil
+	}
+
+	const callers = 8
+	var wg sync.WaitGroup
+	got := make([]*artifact, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a, hit, err := c.get(context.Background(), "k", build)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			if hit {
+				t.Errorf("caller %d reported a cache hit during the build", i)
+			}
+			got[i] = a
+		}(i)
+		if i == 0 {
+			<-started // the leader's build is running; the rest must join it
+		}
+	}
+	// Give the spawned callers time to block inside the flight group before
+	// letting the build finish; a caller that somehow arrived later would
+	// run a build of its own, which the builds==1 assertion below catches.
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	for i, a := range got {
+		if a != art {
+			t.Fatalf("caller %d got %p, want the shared artifact %p", i, a, art)
+		}
+	}
+	snap := met.snapshot()
+	if snap.CacheBuilds != 1 {
+		t.Fatalf("builds = %d, want 1", snap.CacheBuilds)
+	}
+	// Every caller is either the one leader (miss) or a coalesced waiter;
+	// with the leader's build held open until all callers were dispatched,
+	// no caller can take a second miss without a second build.
+	if snap.CacheMisses+snap.CacheCoalesced != callers {
+		t.Fatalf("misses %d + coalesced %d = %d, want %d",
+			snap.CacheMisses, snap.CacheCoalesced, snap.CacheMisses+snap.CacheCoalesced, callers)
+	}
+	if snap.CacheMisses != uint64(snap.CacheBuilds) {
+		t.Fatalf("misses %d, want one per build (%d)", snap.CacheMisses, snap.CacheBuilds)
+	}
+	if snap.CacheCoalesced == 0 {
+		t.Fatalf("coalesced = 0, want the non-leader callers counted as waiters")
+	}
+	if snap.CacheHits != 0 {
+		t.Fatalf("hits = %d during the build, want 0", snap.CacheHits)
+	}
+
+	// After the build lands, the artifact is in the LRU: a fresh get is a
+	// plain hit, touching neither misses nor coalesced.
+	if _, hit, err := c.get(context.Background(), "k", build); err != nil || !hit {
+		t.Fatalf("post-build get: hit=%v err=%v, want hit", hit, err)
+	}
+	snap = met.snapshot()
+	if snap.CacheHits != 1 || snap.CacheMisses != 1 {
+		t.Fatalf("after hit: hits %d misses %d, want 1/1", snap.CacheHits, snap.CacheMisses)
+	}
+	wantRatio := float64(snap.CacheHits+snap.CacheCoalesced) / float64(snap.CacheHits+snap.CacheCoalesced+snap.CacheMisses)
+	if snap.CacheHitRatio != wantRatio {
+		t.Fatalf("hit ratio %v, want %v (coalesced waiters are hit-like)", snap.CacheHitRatio, wantRatio)
+	}
+}
+
+// TestPrepCacheCapacityClamp: capacities below one are clamped to a single
+// slot — inserts must not be evicted immediately (or spin evicting an empty
+// list).
+func TestPrepCacheCapacityClamp(t *testing.T) {
+	for _, capacity := range []int{-3, 0, 1} {
+		var met metrics
+		c := newPrepCache(capacity, &met)
+		mk := func(k string) {
+			if _, _, err := c.get(context.Background(), k, func(context.Context) (*artifact, error) {
+				return &artifact{}, nil
+			}); err != nil {
+				t.Fatalf("cap %d: get %s: %v", capacity, k, err)
+			}
+		}
+		mk("a")
+		if c.len() != 1 {
+			t.Fatalf("cap %d: len = %d after one insert, want 1", capacity, c.len())
+		}
+		if _, hit, _ := c.get(context.Background(), "a", nil); !hit {
+			t.Fatalf("cap %d: re-get of the only entry missed", capacity)
+		}
+		mk("b")
+		if c.len() != 1 {
+			t.Fatalf("cap %d: len = %d after eviction, want 1", capacity, c.len())
+		}
+		if met.cacheEvictions.Load() != 1 {
+			t.Fatalf("cap %d: evictions = %d, want 1", capacity, met.cacheEvictions.Load())
+		}
+	}
+}

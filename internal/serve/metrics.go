@@ -24,7 +24,8 @@ type metrics struct {
 	inFlight  atomic.Int64  // admitted, not yet responded
 
 	cacheHits      atomic.Uint64
-	cacheMisses    atomic.Uint64
+	cacheMisses    atomic.Uint64 // flight leaders only: lookups that ran a build
+	cacheCoalesced atomic.Uint64 // waiters that joined a leader's in-flight build
 	cacheBuilds    atomic.Uint64 // artifact builds actually executed
 	cacheEvictions atomic.Uint64
 
@@ -67,6 +68,7 @@ type Snapshot struct {
 	CacheCapacity  int     `json:"cache_capacity"`
 	CacheHits      uint64  `json:"cache_hits"`
 	CacheMisses    uint64  `json:"cache_misses"`
+	CacheCoalesced uint64  `json:"cache_coalesced"`
 	CacheBuilds    uint64  `json:"cache_builds"`
 	CacheEvictions uint64  `json:"cache_evictions"`
 	CacheHitRatio  float64 `json:"cache_hit_ratio"`
@@ -89,11 +91,14 @@ func (m *metrics) snapshot() Snapshot {
 		InFlight:       m.inFlight.Load(),
 		CacheHits:      m.cacheHits.Load(),
 		CacheMisses:    m.cacheMisses.Load(),
+		CacheCoalesced: m.cacheCoalesced.Load(),
 		CacheBuilds:    m.cacheBuilds.Load(),
 		CacheEvictions: m.cacheEvictions.Load(),
 	}
-	if looked := s.CacheHits + s.CacheMisses; looked > 0 {
-		s.CacheHitRatio = float64(s.CacheHits) / float64(looked)
+	// Coalesced waiters count as hit-like: they were served without a build
+	// of their own, so the ratio measures builds avoided per lookup.
+	if looked := s.CacheHits + s.CacheCoalesced + s.CacheMisses; looked > 0 {
+		s.CacheHitRatio = float64(s.CacheHits+s.CacheCoalesced) / float64(looked)
 	}
 	s.Latency = make([]LatencyBucket, len(m.latency))
 	for i := range latencyBucketsMS {

@@ -192,6 +192,20 @@ func RunCtx(ctx context.Context, g *hypergraph.Bipartite, alg algorithms.Algorit
 
 	steps := make([]*engine.Step, k)
 	durs := make([]uint64, k)
+	// Per-iteration frontier bitmaps, allocated once and recycled: the
+	// shard-local frontiers and next-frontiers are zeroed at their use
+	// points, and the global vertex frontier double-buffers with nextV.
+	// Contents are identical to the historical fresh-allocation per phase.
+	localFront := make([]bitset.Bitmap, k)
+	localNextE := make([]bitset.Bitmap, k)
+	localNextV := make([]bitset.Bitmap, k)
+	for i := 0; i < k; i++ {
+		sh := p.Shards[i]
+		localFront[i] = bitset.New(sh.G.NumVertices())
+		localNextE[i] = bitset.New(sh.G.NumHyperedges())
+		localNextV[i] = bitset.New(sh.G.NumVertices())
+	}
+	nextV := bitset.New(g.NumVertices())
 	maxIter := alg.MaxIterations()
 	iterations := 0
 	for {
@@ -211,16 +225,16 @@ func RunCtx(ctx context.Context, g *hypergraph.Bipartite, alg algorithms.Algorit
 		// each of its incident hyperedges is owned by exactly one shard,
 		// and the union covers each bipartite edge exactly once.
 		alg.BeforeHyperedgePhase(s)
-		localNextE := make([]bitset.Bitmap, k)
 		par.For(workers, k, func(i int) {
 			sh := p.Shards[i]
-			lf := bitset.New(sh.G.NumVertices())
+			lf := localFront[i]
+			lf.Reset()
 			for lv, gv := range sh.Vertices {
 				if frontierV.Get(gv) {
 					lf.Set(uint32(lv))
 				}
 			}
-			localNextE[i] = bitset.New(sh.G.NumHyperedges())
+			localNextE[i].Reset()
 			steps[i] = ins[i].BeginHyperedgeComputation(lf, localNextE[i])
 		})
 		if err := ctx.Err(); err != nil {
@@ -237,9 +251,8 @@ func RunCtx(ctx context.Context, g *hypergraph.Bipartite, alg algorithms.Algorit
 		// Vertex computation: active hyperedges scatter via VF. Hyperedge
 		// frontiers are shard-local by construction (single ownership).
 		alg.BeforeVertexPhase(s)
-		localNextV := make([]bitset.Bitmap, k)
 		par.For(workers, k, func(i int) {
-			localNextV[i] = bitset.New(p.Shards[i].G.NumVertices())
+			localNextV[i].Reset()
 			steps[i] = ins[i].BeginVertexComputation(localNextE[i], localNextV[i])
 		})
 		if err := ctx.Err(); err != nil {
@@ -255,7 +268,7 @@ func RunCtx(ctx context.Context, g *hypergraph.Bipartite, alg algorithms.Algorit
 
 		// Frontier merge barrier: OR the shard-local vertex activations
 		// into the global next frontier.
-		nextV := bitset.New(g.NumVertices())
+		nextV.Reset()
 		for i := 0; i < k; i++ {
 			sh := p.Shards[i]
 			localNextV[i].ForEachSet(0, sh.G.NumVertices(), func(lv uint32) {
@@ -269,7 +282,7 @@ func RunCtx(ctx context.Context, g *hypergraph.Bipartite, alg algorithms.Algorit
 			in.AdvanceIteration()
 		}
 		done := alg.AfterVertexPhase(s, nextV)
-		frontierV = nextV
+		frontierV, nextV = nextV, frontierV
 		if userObs != nil {
 			var edges uint64
 			for _, in := range ins {

@@ -105,6 +105,25 @@ func New(cfg Config, directory bool) *Cache {
 	return c
 }
 
+// Reset returns the cache to its post-New state — every way Invalid, LRU
+// clock and hit/miss counters zeroed — without reallocating the tag arrays,
+// so a recycled simulated system replays a run bit-identically to a fresh
+// one.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.state[i] = Invalid
+		c.arr[i] = 0
+		c.lru[i] = 0
+	}
+	for i := range c.sharers {
+		c.sharers[i] = 0
+		c.owner[i] = 0
+	}
+	c.tick = 0
+	c.Hits, c.Misses = 0, 0
+}
+
 // Latency returns the configured access latency.
 func (c *Cache) Latency() uint64 { return c.cfg.Latency }
 

@@ -51,6 +51,15 @@ type Hierarchy struct {
 	mesh *noc.Mesh
 	mem  *mem.Memory
 
+	// slab and free back the directory's entry storage: entries are carved
+	// from fixed-capacity chunks (a full chunk is abandoned to the entries
+	// that still point into it and a fresh one started, so pointers never
+	// move) and recycled through the free list when the directory drops
+	// them. Steady-state simulation allocates one chunk per ~thousand
+	// distinct lines instead of one object per line.
+	slab []dirEntry
+	free []*dirEntry
+
 	// InvalidationsSent counts coherence invalidations delivered to
 	// private caches; PeerTransfers counts cache-to-cache data transfers.
 	InvalidationsSent uint64
@@ -99,10 +108,22 @@ func (h *Hierarchy) bankOf(line uint64) int {
 	return int((line * 0x9E3779B97F4A7C15 >> 17) % uint64(len(h.l3)))
 }
 
+const dirSlabSize = 1024
+
 func (h *Hierarchy) entry(line uint64) *dirEntry {
 	e := h.dir[line]
 	if e == nil {
-		e = &dirEntry{owner: -1}
+		if n := len(h.free); n > 0 {
+			e = h.free[n-1]
+			h.free = h.free[:n-1]
+			*e = dirEntry{owner: -1}
+		} else {
+			if len(h.slab) == cap(h.slab) {
+				h.slab = make([]dirEntry, 0, dirSlabSize)
+			}
+			h.slab = append(h.slab, dirEntry{owner: -1})
+			e = &h.slab[len(h.slab)-1]
+		}
 		h.dir[line] = e
 	}
 	return e
@@ -112,7 +133,30 @@ func (h *Hierarchy) entry(line uint64) *dirEntry {
 func (h *Hierarchy) maybeDrop(line uint64, e *dirEntry) {
 	if e.sharers == 0 && e.owner < 0 && !h.l3[h.bankOf(line)].Contains(line) {
 		delete(h.dir, line)
+		h.free = append(h.free, e)
 	}
+}
+
+// Reset returns the hierarchy to its post-New state without reallocating:
+// caches emptied, the directory cleared (entries recycled through the free
+// list, map buckets kept), DRAM queues and every counter zeroed. A reset
+// hierarchy replays any op sequence bit-identically to a freshly built one.
+func (h *Hierarchy) Reset() {
+	for _, c := range h.l1 {
+		c.Reset()
+	}
+	for _, c := range h.l2 {
+		c.Reset()
+	}
+	for _, c := range h.l3 {
+		c.Reset()
+	}
+	for line, e := range h.dir {
+		delete(h.dir, line)
+		h.free = append(h.free, e)
+	}
+	h.mem.Reset()
+	h.InvalidationsSent, h.PeerTransfers = 0, 0
 }
 
 // invalidatePrivate removes line from core's L1 and L2, returning whether a

@@ -35,6 +35,19 @@ func NewFIFO(name string, capacity int) *FIFO {
 // Len returns the current occupancy.
 func (f *FIFO) Len() int { return len(f.ready) - f.head }
 
+// Reset empties the FIFO and re-labels it, keeping the ready ring's backing
+// array so a recycled FIFO replays the next phase without allocating.
+func (f *FIFO) Reset(name string, capacity int) {
+	f.Name = name
+	f.Cap = capacity
+	f.ready = f.ready[:0]
+	f.head = 0
+	f.lastPopAt = 0
+	f.waitPush = f.waitPush[:0]
+	f.waitPop = f.waitPop[:0]
+	f.MaxOccupancy = 0
+}
+
 func (f *FIFO) push(t uint64) {
 	f.ready = append(f.ready, t)
 	if n := f.Len(); n > f.MaxOccupancy {
@@ -117,11 +130,26 @@ type System struct {
 	CoreCycles      uint64 // sum over core agents of busy time
 	MemStallCycles  uint64 // core-agent cycles stalled on DRAM accesses
 	FifoStallCycles uint64
+
+	// runq is the runnable-agent heap, recycled across RunPhase calls so
+	// steady-state phases do not grow a fresh heap each time.
+	runq agentHeap
 }
 
 // New builds a simulated system.
 func New(cfg Config) *System {
 	return &System{Cfg: cfg, Hier: NewHierarchy(cfg)}
+}
+
+// Reset returns the system to its post-New state — clock, phase count and
+// stall counters zeroed, hierarchy emptied — without reallocating, so a
+// recycled system replays a run bit-identically to a freshly built one.
+func (s *System) Reset() {
+	s.elapsed = 0
+	s.Phases = 0
+	s.CoreCycles, s.MemStallCycles, s.FifoStallCycles = 0, 0, 0
+	s.runq = s.runq[:0]
+	s.Hier.Reset()
 }
 
 // Elapsed returns the global cycle count (sum of phase critical paths).
@@ -136,13 +164,16 @@ func (s *System) AddCycles(c uint64) { s.elapsed += c }
 // barrier per computation phase, as in Hygra and ChGraph).
 func (s *System) RunPhase(agents []*Agent) uint64 {
 	start := s.elapsed
-	h := agentHeap{}
+	// The heap lives in s.runq and is manipulated through &s.runq: a local
+	// copy whose address is handed to container/heap would escape and cost
+	// one allocation per phase.
+	s.runq = s.runq[:0]
 	for _, a := range agents {
 		a.pc = 0
 		a.clock = start
 		a.blocked = false
 		if len(a.Ops) > 0 {
-			h = append(h, a)
+			s.runq = append(s.runq, a)
 		} else {
 			a.Finish = start
 		}
@@ -150,14 +181,14 @@ func (s *System) RunPhase(agents []*Agent) uint64 {
 			a.MLP = 1
 		}
 	}
-	heap.Init(&h)
+	heap.Init(&s.runq)
 
-	running := len(h)
+	running := len(s.runq)
 	for running > 0 {
-		if h.Len() == 0 {
+		if s.runq.Len() == 0 {
 			panic(fmt.Sprintf("system: deadlock, %d agents blocked (%s)", running, describeBlocked(agents)))
 		}
-		a := heap.Pop(&h).(*Agent)
+		a := heap.Pop(&s.runq).(*Agent)
 		op := a.Ops[a.pc]
 
 		// Pop precondition.
@@ -172,7 +203,7 @@ func (s *System) RunPhase(agents []*Agent) uint64 {
 				a.clock = rt
 			}
 			a.In.pop(a.clock)
-			wake(&h, &a.In.waitPush, a.clock)
+			wake(&s.runq, &a.In.waitPush, a.clock)
 		}
 		// Push precondition.
 		if op.Flags&pushMask != 0 && a.Out.Len() >= a.Out.Cap {
@@ -212,12 +243,12 @@ func (s *System) RunPhase(agents []*Agent) uint64 {
 
 		if op.Flags&pushMask != 0 {
 			a.Out.push(a.clock)
-			wake(&h, &a.Out.waitPop, a.clock)
+			wake(&s.runq, &a.Out.waitPop, a.clock)
 		}
 
 		a.pc++
 		if a.pc < len(a.Ops) {
-			heap.Push(&h, a)
+			heap.Push(&s.runq, a)
 		} else {
 			a.Finish = a.clock
 			running--

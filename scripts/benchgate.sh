@@ -4,10 +4,13 @@
 # against the committed baseline (BENCH_baseline.json) and fails when the
 # session-level totals regress:
 #
-#   simulated_cycles  > CYCLE_TOL % worse (default 5)  -- deterministic model
+#   simulated_cycles  > CYCLE_TOL % worse (default 3)  -- deterministic model
 #                       output, so any growth is a real behavioural change
 #   host_wall_ns      > WALL_TOL  % worse (default 10) -- host-side speed,
 #                       noisier, so the tolerance is looser
+#   host_allocs       > ALLOC_TOL % worse (default 10) -- heap objects the
+#                       whole session allocates; the hot paths are pooled, so
+#                       growth here means a reuse path regressed to rebuilding
 #
 # Usage: sh scripts/benchgate.sh [baseline.json] [fresh.json]
 # Tolerances are env-overridable (CYCLE_TOL=8 WALL_TOL=25 sh scripts/benchgate.sh).
@@ -19,8 +22,9 @@ cd "$(dirname "$0")/.."
 
 base=${1:-BENCH_baseline.json}
 fresh=${2:-bench-metrics.json}
-cycle_tol=${CYCLE_TOL:-5}
+cycle_tol=${CYCLE_TOL:-3}
 wall_tol=${WALL_TOL:-10}
+alloc_tol=${ALLOC_TOL:-10}
 
 for f in "$base" "$fresh"; do
     if [ ! -f "$f" ]; then
@@ -61,6 +65,16 @@ gate() {
 
 gate simulated_cycles "$cycle_tol" "$(field "$base" simulated_cycles)" "$(field "$fresh" simulated_cycles)"
 gate host_wall_ns "$wall_tol" "$(field "$base" host_wall_ns)" "$(field "$fresh" host_wall_ns)"
+
+# host_allocs is omitempty in the summary, so a baseline captured before the
+# allocation gate existed may not carry it; skip (don't fail) in that case so
+# the gate phases in with the next `make bench-baseline`.
+base_allocs=$(field "$base" host_allocs)
+if [ -z "$base_allocs" ]; then
+    echo "skip  host_allocs: baseline has no host_allocs field (refresh with 'make bench-baseline' to arm this gate)"
+else
+    gate host_allocs "$alloc_tol" "$base_allocs" "$(field "$fresh" host_allocs)"
+fi
 
 if [ "$fail" = 1 ]; then
     echo "benchgate: regression against $base (refresh with 'make bench-baseline' only if intended)" >&2
