@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race bench bench-smoke bench-baseline benchgate cover fuzz
+.PHONY: tier1 build vet test race bench bench-smoke bench-baseline benchgate mutate-smoke cover fuzz
 
 # tier1 is the gate every change must pass: clean build, vet, and the full
 # test suite. The race detector runs as its own CI job (`make race`) so a
@@ -45,6 +45,14 @@ bench-baseline:
 	$(MAKE) bench-smoke
 	cp bench-metrics.json BENCH_baseline.json
 
+# mutate-smoke measures the dynamic-hypergraph path: incremental artifact
+# update (engine.UpdatePrep) vs full rebuild on WEB with a ~1% batch. The
+# incremental OAGs are verified equal to a rebuild, the speedup is merged
+# into bench-metrics.json ("mutate_smoke"), and the run fails if the
+# incremental path is not faster.
+mutate-smoke:
+	$(GO) run ./cmd/chgraph-bench -mutate-smoke -scale 0.05 -metrics-out bench-metrics.json
+
 # cover enforces per-package statement-coverage floors (engine, obs,
 # hypergraph); see scripts/cover.sh for the thresholds.
 cover:
@@ -58,3 +66,4 @@ fuzz:
 		$(GO) test ./internal/hypergraph/ -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
 	done
 	$(GO) test ./internal/shard/ -run '^$$' -fuzz '^FuzzPartition$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/oag/ -run '^$$' -fuzz '^FuzzMutationSequence$$' -fuzztime $(FUZZTIME)

@@ -258,11 +258,67 @@ type Prepared struct {
 	shards int             // >1 when prepared for a sharded spec
 	policy shard.Policy    // sharded only
 	sh     *shard.Prepared // sharded artifacts
+
+	// generation counts the Apply steps since the from-scratch Prepare that
+	// started this artifact's lineage (0 for a fresh Prepare).
+	generation uint64
 }
 
 // Shards returns the shard count the artifacts were built for (<=1 when
 // prepared for an unsharded run).
 func (p *Prepared) Shards() int { return p.shards }
+
+// Generation returns how many mutation batches were applied to derive this
+// artifact from its original from-scratch Prepare. Serving layers use it to
+// tag runs with the artifact version they executed on.
+func (p *Prepared) Generation() uint64 { return p.generation }
+
+// Batch is one atomic set of hypergraph mutations: whole hyperedges are
+// removed by pre-batch id and new ones appended (compacting the id space —
+// survivors keep their relative order, additions take the ids past the last
+// survivor). The vertex set is fixed. Stage mutations via AddHyperedges /
+// RemoveHyperedges or fill the fields directly.
+type Batch = hypergraph.Batch
+
+// Apply derives a new hypergraph version and its prepared artifacts from one
+// mutation batch, updating the overlap-aware abstraction graphs
+// incrementally (oag.Update) instead of re-running the full counting pass —
+// for sharded artifacts the mutated hypergraph is also re-partitioned with
+// the original policy, and only shards whose sub-hypergraph changed rebuild
+// anything. The result is copy-on-write: p and the hypergraph it was built
+// from are untouched and remain fully usable, so in-flight runs on the old
+// version finish undisturbed while new runs adopt the returned pair.
+//
+// The correctness contract (pinned by the differential tests) is that the
+// returned artifact is bit-identical — state checksums, simulated cycles —
+// to a from-scratch Prepare on the returned hypergraph.
+func (p *Prepared) Apply(ctx context.Context, batch Batch) (*Hypergraph, *Prepared, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	d, err := p.b.ApplyBatch(batch)
+	if err != nil {
+		return nil, nil, err
+	}
+	np := &Prepared{
+		b: d.New, cores: p.cores, wMin: p.wMin,
+		shards: p.shards, policy: p.policy,
+		generation: p.generation + 1,
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	if p.sh != nil {
+		sh, err := shard.Update(ctx, p.sh, d, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		np.sh = sh
+	} else {
+		np.prep = engine.UpdatePrep(p.prep, d)
+	}
+	return &Hypergraph{b: d.New}, np, nil
+}
 
 // Prepare builds the reusable preprocessing artifacts for running cfg-shaped
 // requests on g: chunks and both OAGs at cfg's core count and W_min, and —

@@ -1,0 +1,148 @@
+package chgraph
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func randomAPIBatch(rng *rand.Rand, g *Hypergraph) Batch {
+	var b Batch
+	for h := uint32(0); h < g.NumHyperedges(); h++ {
+		if rng.Float64() < 0.02 {
+			b.RemoveHyperedges(h)
+		}
+	}
+	for i, adds := 0, rng.Intn(6)+2; i < adds; i++ {
+		var pins []uint32
+		for k, sz := 0, rng.Intn(5)+1; k < sz; k++ {
+			pins = append(pins, uint32(rng.Intn(int(g.NumVertices()))))
+		}
+		b.AddHyperedges(pins)
+	}
+	return b
+}
+
+// TestApplyBitIdenticalToFreshPrepare is the tentpole's acceptance
+// invariant at the public surface: chained Apply calls must produce runs —
+// state bits and simulated cycles — identical to a from-scratch Prepare on
+// the mutated hypergraph, for every engine kind, multiple host worker
+// counts, and shard counts K ∈ {1, 4}.
+func TestApplyBitIdenticalToFreshPrepare(t *testing.T) {
+	kinds := []Engine{Hygra, GLA, ChGraph, ChGraphHCG, HATSV, HygraPF}
+	for _, shards := range []int{0, 4} {
+		for _, workers := range []int{1, 4} {
+			rng := rand.New(rand.NewSource(int64(7 + shards + workers)))
+			g := prepareTestHG(t)
+			cfg := RunConfig{Engine: ChGraph, Cores: 4, Iterations: 3,
+				Workers: workers, Shards: shards, ShardPolicy: ""}
+			if shards > 1 {
+				cfg.ShardPolicy = "greedy"
+			}
+			pre, err := Prepare(context.Background(), g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pre.Generation() != 0 {
+				t.Fatalf("fresh Prepared generation = %d, want 0", pre.Generation())
+			}
+
+			for step := 1; step <= 2; step++ {
+				g, pre, err = pre.Apply(context.Background(), randomAPIBatch(rng, g))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if pre.Generation() != uint64(step) {
+					t.Fatalf("generation after %d applies = %d", step, pre.Generation())
+				}
+			}
+
+			fresh, err := Prepare(context.Background(), g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, kind := range kinds {
+				c := cfg
+				c.Engine = kind
+				c.Prepared = pre
+				got, err := Run(g, "PR", c)
+				if err != nil {
+					t.Fatalf("shards=%d workers=%d %v on applied artifacts: %v", shards, workers, kind, err)
+				}
+				c.Prepared = fresh
+				want, err := Run(g, "PR", c)
+				if err != nil {
+					t.Fatalf("shards=%d workers=%d %v on fresh artifacts: %v", shards, workers, kind, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("shards=%d workers=%d %v: Apply-derived run differs from fresh-Prepare run\n got: %+v\nwant: %+v",
+						shards, workers, kind, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestApplyCopyOnWrite: applying a batch must leave the old hypergraph and
+// artifacts fully usable — the serving layer's in-flight runs depend on it.
+func TestApplyCopyOnWrite(t *testing.T) {
+	g := prepareTestHG(t)
+	cfg := RunConfig{Engine: ChGraph, Cores: 4, Iterations: 3}
+	pre, err := Prepare(context.Background(), g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Prepared = pre
+	before, err := Run(g, "PR", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var b Batch
+	b.RemoveHyperedges(0, 1)
+	b.AddHyperedges([]uint32{0, 1, 2})
+	ng, npre, err := pre.Apply(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ng.NumHyperedges() != g.NumHyperedges()-1 {
+		t.Fatalf("numH = %d after -2/+1 on %d", ng.NumHyperedges(), g.NumHyperedges())
+	}
+	if npre == pre || ng == g {
+		t.Fatal("Apply must return fresh objects")
+	}
+
+	// The old pair still runs, bit-identically to before the mutation.
+	after, err := Run(g, "PR", cfg)
+	if err != nil {
+		t.Fatalf("old artifacts unusable after Apply: %v", err)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("run on old artifacts changed after Apply")
+	}
+	// And the old artifact still refuses the new graph (they are distinct
+	// versions, not interchangeable).
+	if _, err := Run(ng, "PR", cfg); err == nil {
+		t.Fatal("old Prepared accepted for the mutated hypergraph")
+	}
+}
+
+// TestApplyErrors: invalid batches fail cleanly and return nothing.
+func TestApplyErrors(t *testing.T) {
+	g := prepareTestHG(t)
+	pre, err := Prepare(context.Background(), g, RunConfig{Engine: ChGraph, Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Batch
+	b.RemoveHyperedges(g.NumHyperedges() + 3)
+	if _, _, err := pre.Apply(context.Background(), b); err == nil {
+		t.Fatal("remove of nonexistent hyperedge accepted")
+	}
+	b = Batch{}
+	b.AddHyperedges([]uint32{g.NumVertices() + 1})
+	if _, _, err := pre.Apply(context.Background(), b); err == nil {
+		t.Fatal("add with out-of-range pin accepted")
+	}
+}

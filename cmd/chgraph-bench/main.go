@@ -15,6 +15,8 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +42,8 @@ func main() {
 		verbose  = flag.Bool("v", false, "log every simulated cell")
 		logLevel = flag.Int("loglevel", 0, "telemetry log level on stderr: 0 silent, 1 run, 2 +iterations, 3 +phases (implies -v)")
 
+		mutSmoke = flag.Bool("mutate-smoke", false, "measure incremental artifact update vs full rebuild on WEB (~1% hyperedge batch); merged into -metrics-out as \"mutate_smoke\"; fails if the incremental path is not faster")
+
 		metricsOut = flag.String("metrics-out", "", "write session metrics (per-cell timelines + summary) to this JSON file")
 		cpuProfile = flag.String("cpuprofile", "", "write a host CPU profile (pprof) to this file")
 		traceOut   = flag.String("trace", "", "write a host runtime/trace to this file")
@@ -52,8 +56,8 @@ func main() {
 		}
 		return
 	}
-	if *fig == "" {
-		fmt.Fprintln(os.Stderr, "usage: chgraph-bench -fig <id>[,<id>...] | -fig all | -list")
+	if *fig == "" && !*mutSmoke {
+		fmt.Fprintln(os.Stderr, "usage: chgraph-bench -fig <id>[,<id>...] | -fig all | -mutate-smoke | -list")
 		os.Exit(2)
 	}
 
@@ -96,7 +100,7 @@ func main() {
 	if level > obs.LevelSilent {
 		cfg.Log = obs.NewLogger(os.Stderr, level)
 	}
-	if *metricsOut != "" {
+	if *metricsOut != "" && *fig != "" {
 		cfg.Metrics = obs.NewSessionMetrics()
 	}
 	session := bench.NewSession(cfg)
@@ -109,7 +113,7 @@ func main() {
 	var runners []bench.Runner
 	if *fig == "all" {
 		runners = bench.Runners()
-	} else {
+	} else if *fig != "" {
 		for _, id := range strings.Split(*fig, ",") {
 			r, ok := bench.RunnerByID(strings.TrimSpace(id))
 			if !ok {
@@ -148,4 +152,53 @@ func main() {
 		fmt.Fprintf(os.Stderr, "session metrics written to %s (%d runs, %d phases, %d simulated cycles)\n",
 			*metricsOut, sum.Runs, sum.Phases, sum.SimulatedCycles)
 	}
+
+	if *mutSmoke {
+		res, err := bench.MutateSmoke(*scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("mutate-smoke: %s scale %g, batch -%d/+%d of %d hyperedges\n",
+			res.Dataset, res.Scale, res.BatchRemoved, res.BatchAdded, res.NumHyperedges)
+		fmt.Printf("  rebuild: %v  incremental update: %v  speedup: %.2fx\n",
+			time.Duration(res.RebuildNS), time.Duration(res.UpdateNS), res.Speedup)
+		if res.Speedup < 1.0 {
+			fmt.Fprintf(os.Stderr, "mutate-smoke: incremental update (%.2fx) is not faster than a rebuild\n", res.Speedup)
+			os.Exit(1)
+		}
+		if *metricsOut != "" {
+			if err := mergeMutateSmoke(*metricsOut, res); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "mutate-smoke result merged into %s\n", *metricsOut)
+		}
+	}
+}
+
+// mergeMutateSmoke adds the mutate-smoke result to the metrics document
+// under "mutate_smoke", preserving the summary-before-runs field order the
+// bench gate's first-occurrence parsing relies on. A missing file yields a
+// document holding only the smoke result.
+func mergeMutateSmoke(path string, res bench.MutateSmokeResult) error {
+	var doc struct {
+		Arrays      json.RawMessage          `json:"arrays,omitempty"`
+		Summary     json.RawMessage          `json:"summary,omitempty"`
+		Runs        json.RawMessage          `json:"runs,omitempty"`
+		MutateSmoke *bench.MutateSmokeResult `json:"mutate_smoke,omitempty"`
+	}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("merging mutate-smoke into %s: %v", path, err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	doc.MutateSmoke = &res
+	out, err := json.MarshalIndent(&doc, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }

@@ -6,6 +6,12 @@
 //	chgraph-run -dataset WEB -algo PR -engine chgraph
 //	chgraph-run -dataset WEB -algo PR -engine hygra
 //	chgraph-run -dataset WEB -algo PR -metrics-out run.json -loglevel 2
+//	chgraph-run -dataset OK -algo PR -mutate "remove=0,5;add=0-1-2,3-4"
+//
+// -mutate applies a hyperedge batch (remove ids, add dash-separated pin
+// lists) to the prepared artifacts incrementally before running, exercising
+// the dynamic-hypergraph path: the run executes on the generation-1 artifact
+// derived by oag.Update rather than a from-scratch rebuild.
 //
 // Observability: -metrics-out writes the run's full per-phase timeline as
 // JSON (or CSV when the path ends in .csv); -loglevel 1..3 streams run /
@@ -21,6 +27,7 @@ import (
 	"os/signal"
 	"runtime/pprof"
 	rtrace "runtime/trace"
+	"strconv"
 	"strings"
 	"syscall"
 
@@ -41,6 +48,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "host worker threads for prep/compile (0 = all CPUs, 1 = serial); results are identical for every value")
 		shards   = flag.Int("shards", 1, "shard count: >1 partitions the hypergraph and runs one engine per shard with a merge barrier between iterations")
 		shardPol = flag.String("shard-policy", "range", "partition policy: range (contiguous hyperedge ranges) or greedy (streaming replication-minimizing)")
+		mutate   = flag.String("mutate", "", `hyperedge batch to apply incrementally before running, e.g. "remove=0,5;add=0-1-2,3-4"`)
 
 		metricsOut = flag.String("metrics-out", "", "write the per-phase timeline to this file (JSON, or CSV if the path ends in .csv)")
 		logLevel   = flag.Int("loglevel", 0, "telemetry log level on stderr: 0 silent, 1 run, 2 +iterations, 3 +phases")
@@ -122,11 +130,34 @@ func main() {
 		observer = chgraph.MultiObserver(observers...)
 	}
 
-	res, err := chgraph.RunContext(ctx, g, *algo, chgraph.RunConfig{
+	cfg := chgraph.RunConfig{
 		Engine: kind, Cores: *cores, DMax: *dmax, WMin: uint32(*wmin),
 		IncludePreprocessing: *prep, Source: uint32(*source), Workers: *workers,
 		Observer: observer, Shards: *shards, ShardPolicy: *shardPol,
-	})
+	}
+
+	if *mutate != "" {
+		batch, err := parseMutation(*mutate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		pre, err := chgraph.Prepare(ctx, g, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		g, pre, err = pre.Apply(ctx, batch)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.Prepared = pre
+		fmt.Printf("mutated: generation %d, %d hyperedges (+%d/-%d, artifacts updated incrementally)\n",
+			pre.Generation(), g.NumHyperedges(), len(batch.Add), len(batch.Remove))
+	}
+
+	res, err := chgraph.RunContext(ctx, g, *algo, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -158,6 +189,51 @@ func main() {
 	if res.Chains > 0 {
 		fmt.Printf("  chains:            %d (avg length %.2f)\n", res.Chains, float64(res.ChainNodes)/float64(res.Chains))
 	}
+}
+
+// parseMutation decodes the -mutate spec: semicolon-separated clauses of
+// "remove=<id>,<id>,..." and "add=<pins>,<pins>,..." where each pin list is
+// dash-separated vertex ids.
+func parseMutation(spec string) (chgraph.Batch, error) {
+	var b chgraph.Batch
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return b, fmt.Errorf("-mutate: clause %q is not key=value", clause)
+		}
+		switch key {
+		case "remove":
+			for _, tok := range strings.Split(val, ",") {
+				id, err := strconv.ParseUint(strings.TrimSpace(tok), 10, 32)
+				if err != nil {
+					return b, fmt.Errorf("-mutate: bad hyperedge id %q: %v", tok, err)
+				}
+				b.RemoveHyperedges(uint32(id))
+			}
+		case "add":
+			for _, tok := range strings.Split(val, ",") {
+				var pins []uint32
+				for _, p := range strings.Split(strings.TrimSpace(tok), "-") {
+					v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 32)
+					if err != nil {
+						return b, fmt.Errorf("-mutate: bad pin %q in %q: %v", p, tok, err)
+					}
+					pins = append(pins, uint32(v))
+				}
+				b.AddHyperedges(pins)
+			}
+		default:
+			return b, fmt.Errorf("-mutate: unknown clause %q (want remove= or add=)", key)
+		}
+	}
+	if b.Empty() {
+		return b, fmt.Errorf("-mutate: spec %q stages no mutations", spec)
+	}
+	return b, nil
 }
 
 // writeTimeline exports the recorded timeline, choosing CSV for .csv paths

@@ -140,6 +140,35 @@ func TestCLIErrorExits(t *testing.T) {
 	}
 }
 
+func TestCLIMutateRun(t *testing.T) {
+	stdout, _, err := run(t, "-dataset", "OK", "-scale", "0.02", "-algo", "PR", "-engine", "chgraph",
+		"-cores", "4", "-mutate", "remove=0,5;add=0-1-2,3-4")
+	if err != nil {
+		t.Fatalf("mutate run failed: %v\n%s", err, stdout)
+	}
+	if !strings.Contains(stdout, "mutated: generation 1") {
+		t.Fatalf("output missing mutation summary:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "simulated cycles:") {
+		t.Fatalf("output missing cycle count:\n%s", stdout)
+	}
+}
+
+func TestParseMutation(t *testing.T) {
+	b, err := parseMutation("remove=0,5;add=0-1-2,3-4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Remove) != 2 || len(b.Add) != 2 || len(b.Add[0]) != 3 || b.Add[1][1] != 4 {
+		t.Fatalf("parsed %+v", b)
+	}
+	for _, bad := range []string{"", "remove", "grow=1", "remove=x", "add=1-y", "  ;  "} {
+		if _, err := parseMutation(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}
+
 func TestCLIGraphDataset(t *testing.T) {
 	stdout, _, err := run(t, "-dataset", "AZ", "-scale", "0.02", "-algo", "SSSP", "-engine", "chgraph", "-cores", "4")
 	if err != nil {

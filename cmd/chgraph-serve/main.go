@@ -7,7 +7,12 @@
 //
 //	chgraph-serve -addr :8080 -workers 4 -cache 32
 //	curl -s localhost:8080/run -d '{"dataset":"WEB","scale":0.1,"algorithm":"PR","engine":"chgraph"}'
+//	curl -s localhost:8080/mutate -d '{"dataset":"WEB","scale":0.1,"remove":[0],"add":[[0,1,2]]}'
 //	curl -s localhost:8080/metrics
+//
+// POST /mutate applies a hyperedge batch to a prepared spec and swaps a new
+// artifact version into the cache (copy-on-write): in-flight runs finish on
+// the version they resolved, later runs execute the mutated hypergraph.
 //
 // SIGINT/SIGTERM starts a graceful drain: /healthz flips to draining, new
 // runs are refused with 503, and in-flight runs get -drain to finish.

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"chgraph/internal/engine"
+	"chgraph/internal/hypergraph"
+)
+
+// MutateSmokeResult is the mutate-smoke measurement: the cost of deriving a
+// mutated dataset's prepared artifacts incrementally (engine.UpdatePrep)
+// versus rebuilding them from scratch, with the incremental result verified
+// equal to the rebuild before any number is reported.
+type MutateSmokeResult struct {
+	Dataset       string  `json:"dataset"`
+	Scale         float64 `json:"scale"`
+	NumHyperedges uint32  `json:"num_hyperedges"`
+	BatchRemoved  int     `json:"batch_removed"`
+	BatchAdded    int     `json:"batch_added"`
+	// RebuildNS and UpdateNS are best-of-3 wall times; Speedup is their
+	// ratio (rebuild / update — higher is better for the incremental path).
+	RebuildNS int64   `json:"rebuild_ns"`
+	UpdateNS  int64   `json:"update_ns"`
+	Speedup   float64 `json:"speedup"`
+}
+
+// MutateSmoke measures incremental-update speedup on WEB at the given scale
+// with a ~1% mutation batch: every 200th hyperedge is removed and an equal
+// number re-added with the same pins. It fails if the incrementally updated
+// OAGs are not byte-equal to freshly rebuilt ones — the number is only worth
+// recording for a correct artifact.
+func MutateSmoke(scale float64) (MutateSmokeResult, error) {
+	const (
+		dataset = "WEB"
+		cores   = 16
+		wMin    = uint32(3)
+		workers = 1
+		stride  = 200
+	)
+	s := NewSession(Config{Scale: scale, Cores: cores, Workers: workers})
+	g := s.Dataset(dataset)
+
+	var batch hypergraph.Batch
+	for h := uint32(0); h < g.NumHyperedges(); h += stride {
+		batch.RemoveHyperedges(h)
+		batch.AddHyperedges(g.IncidentVertices(h))
+	}
+	if batch.Empty() {
+		return MutateSmokeResult{}, fmt.Errorf("mutate-smoke: %s at scale %g has no hyperedges", dataset, scale)
+	}
+
+	old := engine.PrepareParallel(g, cores, wMin, workers)
+	d, err := g.ApplyBatch(batch)
+	if err != nil {
+		return MutateSmokeResult{}, fmt.Errorf("mutate-smoke: %v", err)
+	}
+
+	res := MutateSmokeResult{
+		Dataset: dataset, Scale: scale, NumHyperedges: g.NumHyperedges(),
+		BatchRemoved: len(batch.Remove), BatchAdded: len(batch.Add),
+	}
+	var fresh, upd *engine.Prep
+	for i := 0; i < 3; i++ {
+		t0 := time.Now()
+		fresh = engine.PrepareParallel(d.New, cores, wMin, workers)
+		rebuild := time.Since(t0).Nanoseconds()
+		t0 = time.Now()
+		upd = engine.UpdatePrep(old, d)
+		update := time.Since(t0).Nanoseconds()
+		if i == 0 || rebuild < res.RebuildNS {
+			res.RebuildNS = rebuild
+		}
+		if i == 0 || update < res.UpdateNS {
+			res.UpdateNS = update
+		}
+	}
+	if !upd.HOAG.Equal(fresh.HOAG) || !upd.VOAG.Equal(fresh.VOAG) {
+		return res, fmt.Errorf("mutate-smoke: incrementally updated OAGs differ from a fresh rebuild")
+	}
+	if res.UpdateNS > 0 {
+		res.Speedup = float64(res.RebuildNS) / float64(res.UpdateNS)
+	}
+	return res, nil
+}

@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"chgraph/internal/hypergraph"
+	"chgraph/internal/oag"
+)
+
+// UpdatePrep derives the Prep for d.New from the Prep built for d.Old,
+// incrementally updating both per-chunk OAGs (oag.Update) instead of
+// re-running the full overlap counting pass. The returned Prep is
+// structurally identical — chunking, OAG adjacency and weights — to a fresh
+// PrepareParallel on d.New with the same cores and wMin, so every engine
+// kind produces bit-identical runs on either; only the OAG BuildOps
+// accounting differs (the update charges its own work, which is the point).
+//
+// old must be the Prep built for d.Old; the api layer's artifact pairing
+// enforces this.
+//
+// Idle reuse arenas migrate from old's scratch pool to the new Prep's so
+// steady-state serve traffic stays allocation-free across artifact
+// versions. Migration goes through the pool's put, which invalidates the
+// arenas' chain memoization entries — the only sound granularity for "chains
+// affected by a mutation": chain schedules derive from the OAGs, and cache
+// validity never crosses runs anyway (see runScratch), so a post-mutation
+// run always regenerates chains from the updated OAGs. Arenas still
+// borrowed by in-flight runs on the old artifact simply retire with it.
+func UpdatePrep(old *Prep, d *hypergraph.Delta) *Prep {
+	g := d.New
+	p := &Prep{
+		Cores:   old.Cores,
+		WMin:    old.WMin,
+		VChunks: hypergraph.Chunks(g.NumVertices(), old.Cores),
+		HChunks: hypergraph.Chunks(g.NumHyperedges(), old.Cores),
+	}
+	p.HOAG = oag.Update(old.HOAG, old.WMin, oag.Rewire{
+		OldG: d.Old, NewG: g,
+		NodeRemap: d.HRemap, AddedNodes: d.AddedH,
+		MidRemap: d.VRemap, AddedMids: d.AddedV,
+		OldChunks: old.HChunks, NewChunks: p.HChunks,
+	})
+	p.VOAG = oag.Update(old.VOAG, old.WMin, oag.Rewire{
+		OldG: d.Old, NewG: g,
+		NodeRemap: d.VRemap, AddedNodes: d.AddedV,
+		MidRemap: d.HRemap, AddedMids: d.AddedH,
+		OldChunks: old.VChunks, NewChunks: p.VChunks,
+	})
+
+	// Drain up to a handful of idle arenas into the new Prep's pool. The raw
+	// pool Get (not scratchPool.get) returns nil when empty rather than
+	// fabricating fresh arenas.
+	for i := 0; i < 8; i++ {
+		s, _ := old.scratch.p.Get().(*runScratch)
+		if s == nil {
+			break
+		}
+		p.scratch.put(s)
+	}
+	return p
+}

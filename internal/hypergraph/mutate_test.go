@@ -1,0 +1,140 @@
+package hypergraph
+
+import (
+	"strings"
+	"testing"
+)
+
+func mutateFixture() *Bipartite {
+	return MustBuild(7, [][]uint32{
+		{0, 4, 6},    // h0
+		{1, 2, 3, 5}, // h1
+		{0, 2, 4},    // h2
+		{1, 3, 6},    // h3
+	})
+}
+
+func TestApplyBatchRemoveAndAdd(t *testing.T) {
+	g := mutateFixture()
+	d, err := g.ApplyBatch(Batch{
+		Remove: []uint32{1},
+		Add:    [][]uint32{{0, 1, 2}, {5, 6}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Old != g {
+		t.Fatal("Delta.Old must alias the input graph")
+	}
+	if got, want := d.New.NumHyperedges(), uint32(5); got != want {
+		t.Fatalf("new numH = %d, want %d", got, want)
+	}
+	if d.New.NumVertices() != g.NumVertices() {
+		t.Fatalf("vertex count changed: %d -> %d", g.NumVertices(), d.New.NumVertices())
+	}
+	wantRemap := []uint32{0, Gone, 1, 2}
+	for h, want := range wantRemap {
+		if d.HRemap[h] != want {
+			t.Fatalf("HRemap[%d] = %d, want %d", h, d.HRemap[h], want)
+		}
+	}
+	if len(d.AddedH) != 2 || d.AddedH[0] != 3 || d.AddedH[1] != 4 {
+		t.Fatalf("AddedH = %v, want [3 4]", d.AddedH)
+	}
+	if len(d.RemovedH) != 1 || d.RemovedH[0] != 1 {
+		t.Fatalf("RemovedH = %v, want [1]", d.RemovedH)
+	}
+	if d.VRemap != nil || d.AddedV != nil || d.RemovedV != nil {
+		t.Fatal("global batch must leave the vertex remap as the identity (nil)")
+	}
+	if err := d.New.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Survivors keep their pins; additions land past the last survivor. The
+	// result must be byte-identical to a from-scratch Build on the same
+	// lists — the contract oag.Update's differential tests lean on.
+	ref := MustBuild(7, [][]uint32{
+		{0, 4, 6}, {0, 2, 4}, {1, 3, 6}, {0, 1, 2}, {5, 6},
+	})
+	if !structurallyEqual(d.New, ref) {
+		t.Fatal("mutated graph differs from from-scratch Build on the same pin lists")
+	}
+}
+
+func TestApplyBatchEmpty(t *testing.T) {
+	g := mutateFixture()
+	b := Batch{}
+	if !b.Empty() {
+		t.Fatal("zero Batch should be Empty")
+	}
+	d, err := g.ApplyBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !structurallyEqual(d.New, g) {
+		t.Fatal("empty batch must reproduce the graph byte for byte")
+	}
+	for h := uint32(0); h < g.NumHyperedges(); h++ {
+		if d.HRemap[h] != h {
+			t.Fatalf("HRemap[%d] = %d, want identity", h, d.HRemap[h])
+		}
+	}
+	if len(d.AddedH) != 0 || len(d.RemovedH) != 0 {
+		t.Fatalf("AddedH %v / RemovedH %v, want empty", d.AddedH, d.RemovedH)
+	}
+}
+
+func TestApplyBatchDuplicateRemoves(t *testing.T) {
+	g := mutateFixture()
+	d, err := g.ApplyBatch(Batch{Remove: []uint32{2, 2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.New.NumHyperedges(); got != 3 {
+		t.Fatalf("numH = %d, want 3 (duplicate removes collapse)", got)
+	}
+	if len(d.RemovedH) != 1 || d.RemovedH[0] != 2 {
+		t.Fatalf("RemovedH = %v, want [2]", d.RemovedH)
+	}
+}
+
+func TestApplyBatchErrors(t *testing.T) {
+	g := mutateFixture()
+	if _, err := g.ApplyBatch(Batch{Remove: []uint32{4}}); err == nil ||
+		!strings.Contains(err.Error(), "nonexistent") {
+		t.Fatalf("remove of nonexistent id: got %v, want error", err)
+	}
+	if _, err := g.ApplyBatch(Batch{Add: [][]uint32{{0, 99}}}); err == nil {
+		t.Fatal("add with out-of-range pin must fail")
+	}
+
+	dg, err := BuildDirected(3, [][]uint32{{0}}, [][]uint32{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dg.ApplyBatch(Batch{}); err == nil {
+		t.Fatal("mutation of a directed hypergraph must fail")
+	}
+}
+
+func TestApplyBatchRemoveThenReadd(t *testing.T) {
+	g := mutateFixture()
+	pins := append([]uint32(nil), g.IncidentVertices(1)...)
+	d1, err := g.ApplyBatch(Batch{Remove: []uint32{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := d1.New.ApplyBatch(Batch{Add: [][]uint32{pins}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same edge set, but ids compact: the re-added hyperedge takes the last
+	// id rather than its old slot.
+	ref := MustBuild(7, [][]uint32{
+		{0, 4, 6}, {0, 2, 4}, {1, 3, 6}, {1, 2, 3, 5},
+	})
+	if !structurallyEqual(d2.New, ref) {
+		t.Fatal("remove-then-readd result differs from reference Build")
+	}
+}

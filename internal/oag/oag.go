@@ -149,8 +149,8 @@ func BuildCapped(g *hypergraph.Bipartite, side Side, wMin uint32, maxDeg int, ch
 		}
 	}
 
-	scr.touched = touched[:0]
-	scratchPool.Put(scr)
+	scr.touched = touched
+	putScratch(scr)
 
 	for a := uint32(0); a < n; a++ {
 		o.buildOps += sortAndCap(adjTmp, a, maxDeg)
@@ -175,6 +175,12 @@ type buildScratch struct {
 // chunk.
 var scratchPool = sync.Pool{New: func() any { return &buildScratch{} }}
 
+// getScratch borrows a scratch sized for n nodes. Reuse is keyed only by
+// capacity: a recycled count array is resliced, not reallocated, so its
+// contents carry over between builds of different-shaped graphs. That is
+// sound solely because of the all-zero invariant putScratch documents — the
+// regression test TestScratchReuseAcrossShapes pins it for shrinking,
+// regrowing and update-interleaved sequences.
 func getScratch(n uint32) *buildScratch {
 	s := scratchPool.Get().(*buildScratch)
 	if uint32(cap(s.count)) < n {
@@ -183,6 +189,17 @@ func getScratch(n uint32) *buildScratch {
 		s.count = s.count[:n]
 	}
 	return s
+}
+
+// putScratch returns a scratch to the pool. The caller must have restored
+// the all-zero count invariant (every counting loop's flush resets each
+// touched entry); touched is truncated here so no stale node ids leak into
+// the next borrow. All return paths — serial build, parallel per-chunk
+// build, incremental update — go through this one helper so a new caller
+// cannot silently skip the invariant.
+func putScratch(s *buildScratch) {
+	s.touched = s.touched[:0]
+	scratchPool.Put(s)
 }
 
 // sortAndCap orders node a's temporary adjacency (descending weight,
@@ -298,8 +315,8 @@ func BuildParallelCapped(g *hypergraph.Bipartite, side Side, wMin uint32, maxDeg
 				adjTmp[b] = append(adjTmp[b], wedge{a, w})
 			}
 		}
-		scr.touched = touched[:0]
-		scratchPool.Put(scr)
+		scr.touched = touched
+		putScratch(scr)
 		// Both endpoints of every surviving edge live in this chunk, so once
 		// the chunk's counting pass completes its adjacency is final: sort
 		// and cap here, inside the worker.
@@ -425,10 +442,37 @@ func (o *OAG) Validate(g *hypergraph.Bipartite, wMin uint32) error {
 	// edge weights are validated, against the hypergraph itself.
 	for k, w := range seen {
 		if o.side == Hyperedges && g != nil {
-			if got := g.OverlapSize(k.a, k.b); got != w {
+			if got := countedOverlap(g, k.a, k.b); got != w {
 				return fmt.Errorf("oag: edge (%d,%d) weight %d != overlap %d", k.a, k.b, w, got)
 			}
 		}
 	}
 	return nil
+}
+
+// countedOverlap returns the overlap between hyperedges a and b as the
+// counting pass measures it: shared vertices incident to more than
+// HubSkipThreshold hyperedges contribute nothing, mirroring the hub skip in
+// Build. OverlapSize (the exact intersection) over-counts on dense graphs
+// where shared vertices cross the threshold.
+func countedOverlap(g *hypergraph.Bipartite, a, b uint32) uint32 {
+	na, nb := g.IncidentVertices(a), g.IncidentVertices(b)
+	if len(na) > len(nb) {
+		na, nb = nb, na
+	}
+	set := make(map[uint32]struct{}, len(na))
+	for _, v := range na {
+		set[v] = struct{}{}
+	}
+	var n uint32
+	for _, v := range nb {
+		if _, ok := set[v]; !ok {
+			continue
+		}
+		if len(g.IncidentHyperedges(v)) > HubSkipThreshold {
+			continue
+		}
+		n++
+	}
+	return n
 }

@@ -1,0 +1,277 @@
+package oag
+
+import (
+	"math/rand"
+	"testing"
+
+	"chgraph/internal/hypergraph"
+)
+
+// diffState carries one evolving hypergraph plus its incrementally
+// maintained OAGs through a sequence of batches, checking after every step
+// that each updated OAG is byte-equal to a fresh build on the mutated graph
+// — the heuristic-with-oracle contract: Update is never trusted by
+// construction.
+type diffState struct {
+	g          *hypergraph.Bipartite
+	hoag, voag *OAG
+	wMin       uint32
+	maxDeg     int
+	parts      int
+}
+
+func chunksFor(n uint32, parts int) []hypergraph.Chunk {
+	if parts <= 0 {
+		return nil
+	}
+	return hypergraph.Chunks(n, parts)
+}
+
+func newDiffState(g *hypergraph.Bipartite, wMin uint32, maxDeg, parts int) *diffState {
+	s := &diffState{g: g, wMin: wMin, maxDeg: maxDeg, parts: parts}
+	s.hoag = BuildCapped(g, Hyperedges, wMin, maxDeg, chunksFor(g.NumHyperedges(), parts))
+	s.voag = BuildCapped(g, Vertices, wMin, maxDeg, chunksFor(g.NumVertices(), parts))
+	return s
+}
+
+// apply mutates the graph and incrementally updates both OAGs, failing the
+// test if either diverges from a from-scratch build.
+func (s *diffState) apply(t *testing.T, b hypergraph.Batch) {
+	t.Helper()
+	d, err := s.g.ApplyBatch(b)
+	if err != nil {
+		t.Fatalf("ApplyBatch: %v", err)
+	}
+	oldH := chunksFor(s.g.NumHyperedges(), s.parts)
+	newH := chunksFor(d.New.NumHyperedges(), s.parts)
+	vCh := chunksFor(d.New.NumVertices(), s.parts) // numV never changes
+
+	gotH := UpdateCapped(s.hoag, s.wMin, s.maxDeg, Rewire{
+		OldG: s.g, NewG: d.New,
+		NodeRemap: d.HRemap, AddedNodes: d.AddedH,
+		OldChunks: oldH, NewChunks: newH,
+	})
+	gotV := UpdateCapped(s.voag, s.wMin, s.maxDeg, Rewire{
+		OldG: s.g, NewG: d.New,
+		MidRemap: d.HRemap, AddedMids: d.AddedH,
+		OldChunks: vCh, NewChunks: vCh,
+	})
+	wantH := BuildCapped(d.New, Hyperedges, s.wMin, s.maxDeg, newH)
+	wantV := BuildCapped(d.New, Vertices, s.wMin, s.maxDeg, vCh)
+	if !gotH.Equal(wantH) {
+		t.Fatalf("incremental H-OAG differs from fresh build (wMin=%d maxDeg=%d parts=%d, -%d/+%d hyperedges)",
+			s.wMin, s.maxDeg, s.parts, len(d.RemovedH), len(d.AddedH))
+	}
+	if !gotV.Equal(wantV) {
+		t.Fatalf("incremental V-OAG differs from fresh build (wMin=%d maxDeg=%d parts=%d, -%d/+%d hyperedges)",
+			s.wMin, s.maxDeg, s.parts, len(d.RemovedH), len(d.AddedH))
+	}
+	if err := gotH.Validate(d.New, s.wMin); err != nil {
+		t.Fatalf("updated H-OAG invalid: %v", err)
+	}
+	s.g, s.hoag, s.voag = d.New, gotH, gotV
+}
+
+// randomBatch removes ~frac of the hyperedges and adds a comparable number
+// of random new ones.
+func randomBatch(rng *rand.Rand, g *hypergraph.Bipartite, frac float64) hypergraph.Batch {
+	var b hypergraph.Batch
+	numH := int(g.NumHyperedges())
+	numV := int(g.NumVertices())
+	for h := 0; h < numH; h++ {
+		if rng.Float64() < frac {
+			b.Remove = append(b.Remove, uint32(h))
+		}
+	}
+	adds := rng.Intn(len(b.Remove) + 3)
+	for i := 0; i < adds; i++ {
+		sz := rng.Intn(7)
+		var pins []uint32
+		for k := 0; k < sz; k++ {
+			pins = append(pins, uint32(rng.Intn(numV)))
+		}
+		b.Add = append(b.Add, pins)
+	}
+	return b
+}
+
+// TestUpdateDifferentialRandom is the satellite-1 harness: random batch
+// sequences across wMin, degree cap and chunking settings, every step
+// checked against a fresh build on both OAG sides.
+func TestUpdateDifferentialRandom(t *testing.T) {
+	cfgs := []struct {
+		wMin   uint32
+		maxDeg int
+		parts  int
+	}{
+		{1, 0, 0}, {1, 8, 0}, {2, 8, 1}, {1, 4, 3}, {3, 8, 3}, {2, 0, 4},
+	}
+	for seed := int64(1); seed <= 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := cfgs[int(seed)%len(cfgs)]
+		s := newDiffState(randomHG(seed), cfg.wMin, cfg.maxDeg, cfg.parts)
+		for step := 0; step < 4; step++ {
+			s.apply(t, randomBatch(rng, s.g, 0.15))
+		}
+	}
+}
+
+// TestUpdateEmptyBatch pins the no-op path: identity remaps, nothing dirty,
+// pure copy-through.
+func TestUpdateEmptyBatch(t *testing.T) {
+	s := newDiffState(randomHG(7), 1, 8, 3)
+	s.apply(t, hypergraph.Batch{})
+}
+
+// TestUpdateRemoveThenReadd covers the id-compaction corner: the re-added
+// hyperedge returns with a different id, so its neighbors' capped lists must
+// re-sort around the new tie-break position.
+func TestUpdateRemoveThenReadd(t *testing.T) {
+	s := newDiffState(randomHG(3), 1, 2, 0)
+	pins := append([]uint32(nil), s.g.IncidentVertices(1)...)
+	s.apply(t, hypergraph.Batch{Remove: []uint32{1}})
+	s.apply(t, hypergraph.Batch{Add: [][]uint32{pins}})
+}
+
+// TestUpdateLargeBatchFallsBack drives the dirty-majority rebuild path:
+// removing most hyperedges must still yield a byte-equal OAG.
+func TestUpdateLargeBatchFallsBack(t *testing.T) {
+	s := newDiffState(randomHG(11), 1, 8, 2)
+	var rm []uint32
+	for h := uint32(0); h+1 < s.g.NumHyperedges(); h++ {
+		rm = append(rm, h)
+	}
+	s.apply(t, hypergraph.Batch{Remove: rm})
+}
+
+// TestUpdateRemoveAll shrinks the node side to zero and grows it back.
+func TestUpdateRemoveAll(t *testing.T) {
+	s := newDiffState(hypergraph.MustBuild(5, [][]uint32{{0, 1, 2}, {1, 2, 3}}), 1, 8, 2)
+	s.apply(t, hypergraph.Batch{Remove: []uint32{0, 1}})
+	s.apply(t, hypergraph.Batch{Add: [][]uint32{{0, 1, 4}, {1, 2, 4}}})
+}
+
+// TestScratchReuseAcrossShapes is the satellite-4 regression: the pooled
+// counting scratch is keyed only by capacity, so back-to-back builds of
+// different-shaped graphs reuse one scatter array resliced to each graph's
+// node count. Correctness rides entirely on the all-zero invariant putScratch
+// documents; this test drives shrink → regrow → update sequences through the
+// pool and checks every result against the scratch-free brute-force oracle.
+func TestScratchReuseAcrossShapes(t *testing.T) {
+	check := func(g *hypergraph.Bipartite, o *OAG) {
+		t.Helper()
+		want := bruteOverlaps(g, 1)
+		var got int
+		for a := uint32(0); a < o.NumNodes(); a++ {
+			for i, nb := range o.Neighbors(a) {
+				key := [2]uint32{a, nb}
+				if a > nb {
+					key = [2]uint32{nb, a}
+				}
+				if w, ok := want[key]; !ok || w != o.Weights(a)[i] {
+					t.Fatalf("node %d neighbor %d: weight %d, brute force says %d (present %v)",
+						a, nb, o.Weights(a)[i], want[key], ok)
+				}
+				got++
+			}
+		}
+		if got != 2*len(want) {
+			t.Fatalf("OAG has %d directed edges, brute force says %d", got, 2*len(want))
+		}
+	}
+
+	big := randomHG(21)    // ~dozens of nodes: grows the pooled scatter array
+	small := mutateSmall() // a handful of nodes: reslices it shorter
+	for i := 0; i < 3; i++ {
+		check(big, BuildCapped(big, Hyperedges, 1, 0, nil))
+		check(small, BuildCapped(small, Hyperedges, 1, 0, nil))
+		// Interleave the update path so its recount loop also inherits a
+		// differently-shaped recycled scratch.
+		d, err := small.ApplyBatch(hypergraph.Batch{Add: [][]uint32{{0, 1, 2}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := BuildCapped(small, Hyperedges, 1, 0, nil)
+		up := UpdateCapped(o, 1, 0, Rewire{OldG: small, NewG: d.New, AddedNodes: d.AddedH})
+		check(d.New, up)
+		check(big, BuildCapped(big, Hyperedges, 1, 0, nil))
+	}
+}
+
+func mutateSmall() *hypergraph.Bipartite {
+	return hypergraph.MustBuild(4, [][]uint32{{0, 1, 2}, {1, 2, 3}, {0, 3}})
+}
+
+// TestUpdateMatchesAllBuildPaths pins the convenience wrappers against each
+// other: Build / BuildCapped / BuildParallel(Capped) and the Update wrapper
+// must all agree on every chunking layout, including tiled chunk indices.
+func TestUpdateMatchesAllBuildPaths(t *testing.T) {
+	g := randomHG(17)
+	for _, parts := range []int{0, 1, 3} {
+		ch := chunksFor(g.NumHyperedges(), parts)
+		want := Build(g, Hyperedges, 2, ch)
+		for i, got := range []*OAG{
+			BuildCapped(g, Hyperedges, 2, DefaultMaxDegree, ch),
+			BuildParallel(g, Hyperedges, 2, ch, 4),
+			BuildParallelCapped(g, Hyperedges, 2, DefaultMaxDegree, ch, 4),
+		} {
+			if !got.Equal(want) {
+				t.Fatalf("parts=%d: build path %d disagrees with Build", parts, i)
+			}
+		}
+
+		d, err := g.ApplyBatch(hypergraph.Batch{Remove: []uint32{2}, Add: [][]uint32{{0, 1, 2}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		newCh := chunksFor(d.New.NumHyperedges(), parts)
+		rw := Rewire{OldG: g, NewG: d.New, NodeRemap: d.HRemap, AddedNodes: d.AddedH,
+			OldChunks: ch, NewChunks: newCh}
+		if got, fresh := Update(want, 2, rw), Build(d.New, Hyperedges, 2, newCh); !got.Equal(fresh) {
+			t.Fatalf("parts=%d: Update wrapper disagrees with fresh Build", parts)
+		}
+	}
+
+	// Accessor smoke on a known fixture: side spellings, offsets, weights.
+	o := Build(g, Vertices, 1, nil)
+	if Hyperedges.String() == Vertices.String() || o.Side() != Vertices {
+		t.Fatalf("side accessors broken: %q %q %v", Hyperedges, Vertices, o.Side())
+	}
+	for a := uint32(0); a < o.NumNodes(); a++ {
+		if o.Offset(a)+o.Degree(a) != o.Offset(a+1) {
+			t.Fatalf("node %d: offset %d + degree %d misses next offset", a, o.Offset(a), o.Degree(a))
+		}
+		for i, w := range o.Weights(a) {
+			if o.Weight(o.Offset(a)+uint32(i)) != w {
+				t.Fatalf("node %d edge %d: Weight accessor disagrees with Weights slice", a, i)
+			}
+		}
+	}
+}
+
+// TestUpdateHubCrossing forces a mid across HubSkipThreshold in both
+// directions: overlaps through the mid appear and disappear wholesale, which
+// only the hub-flip dirty rule catches.
+func TestUpdateHubCrossing(t *testing.T) {
+	// Vertex 0 is shared by exactly HubSkipThreshold hyperedges {0,k}; they
+	// also pairwise-overlap through nothing else, so each pair's weight is 1
+	// via vertex 0 alone.
+	numH := HubSkipThreshold
+	pins := make([][]uint32, numH)
+	for i := range pins {
+		pins[i] = []uint32{0, uint32(i + 1)}
+	}
+	g := hypergraph.MustBuild(uint32(numH+2), pins)
+	s := newDiffState(g, 1, 0, 0)
+	// Adding one more hyperedge on vertex 0 pushes its degree past the
+	// threshold: every pair loses its overlap edge.
+	s.apply(t, hypergraph.Batch{Add: [][]uint32{{0, uint32(numH + 1)}}})
+	if s.hoag.NumEdges() != 0 {
+		t.Fatalf("hub crossing should have dropped all OAG edges, have %d", s.hoag.NumEdges())
+	}
+	// Removing it drops the degree back below: the edges all return.
+	s.apply(t, hypergraph.Batch{Remove: []uint32{uint32(numH)}})
+	if s.hoag.NumEdges() == 0 {
+		t.Fatal("hub un-crossing should have restored the OAG edges")
+	}
+}

@@ -157,6 +157,12 @@ type RunSnapshot struct {
 	ChainGenNodes  uint64 `json:"chain_gen_nodes"`
 
 	HostWall time.Duration `json:"host_wall_ns"`
+
+	// Generation tags the prepared-artifact version the run executed on: 0
+	// for a from-scratch artifact, incremented once per applied mutation
+	// batch. Serving layers stamp it via TagGeneration so trajectories
+	// spanning a mutation are attributable to the exact hypergraph version.
+	Generation uint64 `json:"generation,omitempty"`
 }
 
 // MemTotal returns the run's total off-chip line transfers.
@@ -224,6 +230,28 @@ func (m multi) RunDone(s RunSnapshot) {
 	for _, o := range m {
 		o.RunDone(s)
 	}
+}
+
+// TagGeneration wraps o so every RunDone snapshot carries the given
+// prepared-artifact generation. Phase and iteration snapshots pass through
+// untouched; a nil o yields nil.
+func TagGeneration(o Observer, gen uint64) Observer {
+	if o == nil {
+		return nil
+	}
+	return genTagger{o: o, gen: gen}
+}
+
+type genTagger struct {
+	o   Observer
+	gen uint64
+}
+
+func (g genTagger) PhaseDone(s PhaseSnapshot)         { g.o.PhaseDone(s) }
+func (g genTagger) IterationDone(s IterationSnapshot) { g.o.IterationDone(s) }
+func (g genTagger) RunDone(s RunSnapshot) {
+	s.Generation = g.gen
+	g.o.RunDone(s)
 }
 
 // ArrayNames returns the trace array legend, indexed like the MemReads and

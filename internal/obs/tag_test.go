@@ -1,0 +1,48 @@
+package obs
+
+import "testing"
+
+type tagRecorder struct {
+	phases []PhaseSnapshot
+	iters  []IterationSnapshot
+	runs   []RunSnapshot
+}
+
+func (r *tagRecorder) PhaseDone(s PhaseSnapshot)         { r.phases = append(r.phases, s) }
+func (r *tagRecorder) IterationDone(s IterationSnapshot) { r.iters = append(r.iters, s) }
+func (r *tagRecorder) RunDone(s RunSnapshot)             { r.runs = append(r.runs, s) }
+
+// TestTagGeneration: the wrapper stamps exactly the run snapshot with the
+// artifact generation and passes phase/iteration snapshots through untouched.
+func TestTagGeneration(t *testing.T) {
+	if TagGeneration(nil, 3) != nil {
+		t.Fatal("TagGeneration(nil) must stay nil")
+	}
+	rec := &tagRecorder{}
+	o := TagGeneration(rec, 7)
+	o.PhaseDone(PhaseSnapshot{Seq: 4})
+	o.IterationDone(IterationSnapshot{Iteration: 2})
+	o.RunDone(RunSnapshot{Engine: "chgraph"})
+	if len(rec.phases) != 1 || rec.phases[0].Seq != 4 {
+		t.Fatalf("phase snapshot not passed through: %+v", rec.phases)
+	}
+	if len(rec.iters) != 1 || rec.iters[0].Iteration != 2 {
+		t.Fatalf("iteration snapshot not passed through: %+v", rec.iters)
+	}
+	if len(rec.runs) != 1 || rec.runs[0].Generation != 7 || rec.runs[0].Engine != "chgraph" {
+		t.Fatalf("run snapshot not stamped: %+v", rec.runs)
+	}
+	// A zero generation stamps explicitly too (fresh artifacts are gen 0).
+	o0 := TagGeneration(rec, 0)
+	o0.RunDone(RunSnapshot{Generation: 9})
+	if rec.runs[1].Generation != 0 {
+		t.Fatalf("generation not overwritten to 0: %+v", rec.runs[1])
+	}
+
+	// Null satisfies Observer and discards everything.
+	var n Null
+	n.PhaseDone(PhaseSnapshot{})
+	n.IterationDone(IterationSnapshot{})
+	n.RunDone(RunSnapshot{})
+	TagGeneration(n, 1).RunDone(RunSnapshot{})
+}

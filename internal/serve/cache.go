@@ -13,10 +13,16 @@ import (
 // preprocessing bundle built from it. Prepared validates pointer identity
 // against the hypergraph it was built from, so the two must travel together.
 // Both are immutable and safe to hand to any number of concurrent runs —
-// eviction never invalidates an artifact a run is still holding.
+// eviction never invalidates an artifact a run is still holding, and
+// mutation never modifies one: POST /mutate swaps in a freshly derived
+// (hypergraph, Prepared) pair (copy-on-write versioning), so runs that
+// already resolved the old pair finish on it undisturbed.
 type artifact struct {
 	g   *chgraph.Hypergraph
 	pre *chgraph.Prepared
+	// gen echoes pre.Generation(): 0 for a from-scratch build, +1 per
+	// applied mutation batch.
+	gen uint64
 }
 
 // prepCache is the LRU of prepared artifacts, keyed by the preparation spec
@@ -37,6 +43,12 @@ type prepCache struct {
 type cacheEntry struct {
 	key string
 	art *artifact
+	// mutated marks an entry whose artifact was derived by POST /mutate.
+	// Eviction prefers unmutated victims: a rebuilt unmutated spec is
+	// identical to what was evicted, while evicting a mutated entry loses
+	// its generations — the next build of that spec starts over at the
+	// dataset's generation-0 contents.
+	mutated bool
 }
 
 func newPrepCache(capacity int, met *metrics) *prepCache {
@@ -100,12 +112,66 @@ func (c *prepCache) add(key string, art *artifact) {
 		return
 	}
 	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, art: art})
+	c.evictLocked()
+}
+
+// evictLocked trims the LRU beyond capacity, preferring unmutated victims
+// (walking from the LRU tail); only when every entry carries mutations does
+// it fall back to evicting the coldest one.
+func (c *prepCache) evictLocked() {
 	for c.ll.Len() > c.cap {
-		tail := c.ll.Back()
-		c.ll.Remove(tail)
-		delete(c.items, tail.Value.(*cacheEntry).key)
+		victim := c.ll.Back()
+		for el := victim; el != nil; el = el.Prev() {
+			if !el.Value.(*cacheEntry).mutated {
+				victim = el
+				break
+			}
+		}
+		c.ll.Remove(victim)
+		delete(c.items, victim.Value.(*cacheEntry).key)
 		c.met.cacheEvictions.Add(1)
 	}
+}
+
+// swap atomically replaces (or inserts) key's artifact with a new version —
+// the copy-on-write step of a mutation. The old artifact pointer is simply
+// dropped: in-flight runs holding it finish on the old version, while every
+// subsequent get resolves the new one.
+func (c *prepCache) swap(key string, art *artifact) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*cacheEntry)
+		e.art, e.mutated = art, true
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, art: art, mutated: true})
+	c.evictLocked()
+}
+
+// peek returns key's current artifact without counting a cache hit,
+// refreshing its recency (a mutation is a use).
+func (c *prepCache) peek(key string) (*artifact, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).art, true
+}
+
+// peekGen returns the generation of key's current artifact (0 when absent),
+// without touching recency — the run path folds it into the coalescing key.
+func (c *prepCache) peekGen(key string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		return el.Value.(*cacheEntry).art.gen
+	}
+	return 0
 }
 
 // len returns the current entry count.

@@ -124,3 +124,51 @@ func TestPrepCacheCapacityClamp(t *testing.T) {
 		}
 	}
 }
+
+// TestPrepCacheSwapAndEvictionPreference: swap installs new versions
+// copy-on-write (insert or replace), and eviction sacrifices unmutated
+// entries before mutated ones — falling back to plain LRU only when every
+// entry carries mutations.
+func TestPrepCacheSwapAndEvictionPreference(t *testing.T) {
+	var met metrics
+	c := newPrepCache(2, &met)
+
+	// swap on an absent key inserts (first mutation may precede any run).
+	c.swap("k1", &artifact{gen: 1})
+	if g := c.peekGen("k1"); g != 1 {
+		t.Fatalf("peekGen after insert-swap = %d, want 1", g)
+	}
+	if g := c.peekGen("absent"); g != 0 {
+		t.Fatalf("peekGen on absent key = %d, want 0", g)
+	}
+	// swap on a present key replaces the pointer in place.
+	v2 := &artifact{gen: 2}
+	c.swap("k1", v2)
+	if art, ok := c.peek("k1"); !ok || art != v2 {
+		t.Fatalf("peek after replace-swap: %v %v", art, ok)
+	}
+	if _, ok := c.peek("absent"); ok {
+		t.Fatal("peek invented an entry")
+	}
+
+	// Two unmutated entries arrive; capacity 2 forces one eviction and the
+	// victim must be the unmutated k2, not the colder mutated k1.
+	c.add("k2", &artifact{})
+	c.add("k3", &artifact{})
+	if _, ok := c.peek("k2"); ok {
+		t.Fatal("unmutated k2 should have been evicted in preference to mutated k1")
+	}
+	if g := c.peekGen("k1"); g != 2 {
+		t.Fatalf("mutated k1 evicted: gen %d, want 2", g)
+	}
+
+	// When everything is mutated, plain LRU applies: k1 is coldest.
+	c.swap("k3", &artifact{gen: 1})
+	c.swap("k4", &artifact{gen: 1})
+	if _, ok := c.peek("k1"); ok {
+		t.Fatal("all-mutated fallback should evict the LRU tail")
+	}
+	if c.len() != 2 || met.cacheEvictions.Load() != 2 {
+		t.Fatalf("len %d evictions %d, want 2/2", c.len(), met.cacheEvictions.Load())
+	}
+}

@@ -29,6 +29,11 @@ type metrics struct {
 	cacheBuilds    atomic.Uint64 // artifact builds actually executed
 	cacheEvictions atomic.Uint64
 
+	mutations         atomic.Uint64 // /mutate batches applied
+	mutationsFailed   atomic.Uint64 // /mutate 4xx/5xx after decoding
+	hyperedgesAdded   atomic.Uint64 // hyperedges appended across applied batches
+	hyperedgesRemoved atomic.Uint64 // hyperedges deleted across applied batches
+
 	latency [numLatencyBuckets]atomic.Uint64
 }
 
@@ -73,6 +78,11 @@ type Snapshot struct {
 	CacheEvictions uint64  `json:"cache_evictions"`
 	CacheHitRatio  float64 `json:"cache_hit_ratio"`
 
+	Mutations         uint64 `json:"mutations"`
+	MutationsFailed   uint64 `json:"mutations_failed"`
+	HyperedgesAdded   uint64 `json:"hyperedges_added"`
+	HyperedgesRemoved uint64 `json:"hyperedges_removed"`
+
 	Latency []LatencyBucket `json:"latency_ms"`
 
 	Draining bool `json:"draining"`
@@ -94,6 +104,11 @@ func (m *metrics) snapshot() Snapshot {
 		CacheCoalesced: m.cacheCoalesced.Load(),
 		CacheBuilds:    m.cacheBuilds.Load(),
 		CacheEvictions: m.cacheEvictions.Load(),
+
+		Mutations:         m.mutations.Load(),
+		MutationsFailed:   m.mutationsFailed.Load(),
+		HyperedgesAdded:   m.hyperedgesAdded.Load(),
+		HyperedgesRemoved: m.hyperedgesRemoved.Load(),
 	}
 	// Coalesced waiters count as hit-like: they were served without a build
 	// of their own, so the ratio measures builds avoided per lookup.

@@ -6,13 +6,16 @@
 // partitions), so a steady-state request stream pays the preprocessing cost
 // of §IV-A once per spec instead of once per request.
 //
-// Three endpoints:
+// Four endpoints:
 //
 //   - POST /run — execute one simulation (JSON request/response);
+//   - POST /mutate — apply a hyperedge mutation batch to a prepared spec,
+//     swapping a new artifact version into the cache (copy-on-write: runs
+//     already executing finish on the version they resolved);
 //   - GET /healthz — liveness and drain state;
 //   - GET /metrics — JSON counters: queue depth, cache hit ratio, in-flight,
-//     latency histogram, plus the run-telemetry session rollup when one is
-//     attached.
+//     mutation totals, latency histogram, plus the run-telemetry session
+//     rollup when one is attached.
 //
 // Cancellation rides the request context end to end: a client that
 // disconnects detaches from its (possibly shared) run immediately, and the
@@ -145,6 +148,9 @@ type RunResponse struct {
 	// PrepCache reports whether the prepared artifacts came from the LRU
 	// ("hit") or were built for this run ("miss").
 	PrepCache string `json:"prep_cache"`
+	// Generation is the prepared-artifact version the run executed on: 0
+	// for a from-scratch build, +1 per /mutate batch applied to the spec.
+	Generation uint64 `json:"generation"`
 	// Coalesced reports that this request shared an execution another
 	// in-flight request started.
 	Coalesced bool `json:"coalesced"`
@@ -182,6 +188,11 @@ type Server struct {
 	drainMu  sync.Mutex
 	draining bool
 	inflight sync.WaitGroup
+
+	// mutateMu serializes /mutate batches so each derives its successor
+	// from the version the previous one installed — concurrent batches
+	// would both branch off one parent and silently drop one of the two.
+	mutateMu sync.Mutex
 }
 
 // NewServer builds a Server.
@@ -196,6 +207,7 @@ func NewServer(opt Options) *Server {
 	}
 	s.cache = newPrepCache(opt.CacheEntries, &s.met)
 	s.mux.HandleFunc("/run", s.handleRun)
+	s.mux.HandleFunc("/mutate", s.handleMutate)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
@@ -317,7 +329,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	defer s.met.inFlight.Add(-1)
 	start := time.Now()
 
-	out, err, shared := s.runs.Do(r.Context(), req.runKey(), func(ctx context.Context) (*runOutcome, error) {
+	// The coalescing key carries the spec's current artifact generation so a
+	// request arriving after a mutation never piggybacks on a pre-mutation
+	// run still in flight. A mutation landing between this peek and the
+	// cache lookup inside execute only shifts which version the whole
+	// coalesced group observes — every sharer still gets one consistent
+	// artifact, and the response reports the generation actually run.
+	flightKey := fmt.Sprintf("%s/g%d", req.runKey(), s.cache.peekGen(req.prepKey()))
+	out, err, shared := s.runs.Do(r.Context(), flightKey, func(ctx context.Context) (*runOutcome, error) {
 		return s.execute(ctx, req)
 	})
 	if shared {
@@ -353,6 +372,158 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 // statusClientClosedRequest is nginx's conventional code for a client that
 // disconnected before the response; net/http never sends it anywhere.
 const statusClientClosedRequest = 499
+
+// MutateRequest is the /mutate request body: the preparation spec selecting
+// which cached artifact to mutate (the same fields that form a /run request's
+// prep key) plus the hyperedge batch to apply.
+type MutateRequest struct {
+	Dataset     string  `json:"dataset"`
+	Scale       float64 `json:"scale,omitempty"`
+	Cores       int     `json:"cores,omitempty"`
+	WMin        uint32  `json:"wmin,omitempty"`
+	Shards      int     `json:"shards,omitempty"`
+	ShardPolicy string  `json:"shard_policy,omitempty"`
+
+	// Add lists pin lists of hyperedges to append; Remove lists hyperedge
+	// ids (in the current version's id space) to delete.
+	Add    [][]uint32 `json:"add,omitempty"`
+	Remove []uint32   `json:"remove,omitempty"`
+}
+
+// asRun projects the mutation's spec fields onto a RunRequest so prep-key
+// derivation and artifact building share one code path with /run.
+func (m MutateRequest) asRun() RunRequest {
+	return RunRequest{
+		Dataset: m.Dataset, Scale: m.Scale, Cores: m.Cores, WMin: m.WMin,
+		Shards: m.Shards, ShardPolicy: m.ShardPolicy,
+	}
+}
+
+// MutateResponse is the /mutate response body.
+type MutateResponse struct {
+	// Generation is the new artifact version now canonical for the spec.
+	Generation uint64 `json:"generation"`
+	// NumVertices / NumHyperedges describe the mutated hypergraph.
+	NumVertices   uint32 `json:"num_vertices"`
+	NumHyperedges uint32 `json:"num_hyperedges"`
+	// Added and Removed echo the batch sizes applied.
+	Added   int `json:"added"`
+	Removed int `json:"removed"`
+}
+
+// handleMutate applies one mutation batch: resolve the spec's current
+// artifact (building generation 0 on first touch), derive its successor
+// incrementally via Apply, and swap the new version into the cache.
+// Copy-on-write does the concurrency work — in-flight runs keep the artifact
+// pointer they already resolved and finish on it; only subsequent lookups see
+// the new version.
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req MutateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	spec := req.asRun()
+	if err := func() error {
+		if req.Dataset == "" {
+			return errors.New("dataset is required")
+		}
+		_, _, err := datasetSide(req.Dataset)
+		return err
+	}(); err != nil {
+		s.met.mutationsFailed.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !s.enter() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	defer s.inflight.Done()
+
+	// Mutations pass through the same bounded admission as runs: applying a
+	// batch does real preprocessing work.
+	select {
+	case s.queue <- struct{}{}:
+		defer func() { <-s.queue }()
+	default:
+		s.met.rejected.Add(1)
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+		return
+	}
+
+	// Serialize batches so each one derives from the version the previous
+	// one installed; /run traffic is never blocked by this lock — it reads
+	// whichever artifact pointer is canonical at lookup time.
+	s.mutateMu.Lock()
+	defer s.mutateMu.Unlock()
+
+	key := spec.prepKey()
+	art, ok := s.cache.peek(key)
+	if !ok {
+		cfg, err := config(spec)
+		if err != nil {
+			s.met.mutationsFailed.Add(1)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if art, _, err = s.cache.get(r.Context(), key, func(bctx context.Context) (*artifact, error) {
+			return buildArtifact(bctx, spec, cfg)
+		}); err != nil {
+			s.met.mutationsFailed.Add(1)
+			writeError(w, classify(err))
+			return
+		}
+		// A /run build racing ours may own the canonical entry (add keeps
+		// the first artifact); mutate from the canonical pointer.
+		if canonical, ok := s.cache.peek(key); ok {
+			art = canonical
+		}
+	}
+
+	ng, npre, err := art.pre.Apply(r.Context(), chgraph.Batch{Add: req.Add, Remove: req.Remove})
+	if err != nil {
+		s.met.mutationsFailed.Add(1)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.met.cancelled.Add(1)
+			w.WriteHeader(statusClientClosedRequest)
+			return
+		}
+		// Apply errors describe the batch (nonexistent id, out-of-range
+		// pin): the requester's fault.
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.cache.swap(key, &artifact{g: ng, pre: npre, gen: npre.Generation()})
+	s.met.mutations.Add(1)
+	s.met.hyperedgesAdded.Add(uint64(len(req.Add)))
+	s.met.hyperedgesRemoved.Add(uint64(len(req.Remove)))
+
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(MutateResponse{
+		Generation:    npre.Generation(),
+		NumVertices:   ng.NumVertices(),
+		NumHyperedges: ng.NumHyperedges(),
+		Added:         len(req.Add),
+		Removed:       len(req.Remove),
+	})
+}
+
+// writeError maps a classified error to its HTTP status.
+func writeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		w.WriteHeader(statusClientClosedRequest)
+	case errors.Is(err, errBadSpec):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
 
 // validate pre-checks the parts of a spec that are cheap to check before
 // admission; everything else (algorithm names, shard bounds) surfaces from
@@ -433,7 +604,7 @@ func (s *Server) execute(ctx context.Context, req RunRequest) (*runOutcome, erro
 	runCfg := cfg
 	runCfg.Prepared = art.pre
 	if s.opt.Session != nil {
-		runCfg.Observer = s.opt.Session.Observe(req.runKey())
+		runCfg.Observer = obs.TagGeneration(s.opt.Session.Observe(req.runKey()), art.gen)
 	}
 	res, err := chgraph.RunContext(ctx, art.g, req.Algorithm, runCfg)
 	if err != nil {
@@ -448,6 +619,7 @@ func (s *Server) execute(ctx context.Context, req RunRequest) (*runOutcome, erro
 			Shards:            res.Shards,
 			ReplicationFactor: res.ReplicationFactor,
 			PrepCache:         map[bool]string{true: "hit", false: "miss"}[hit],
+			Generation:        art.gen,
 		},
 		vv: res.VertexValues, hv: res.HyperedgeValues,
 		prepHit: hit,

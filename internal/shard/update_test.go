@@ -1,0 +1,147 @@
+package shard
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"chgraph/internal/algorithms"
+	"chgraph/internal/engine"
+	"chgraph/internal/hypergraph"
+)
+
+func randomShardBatch(rng *rand.Rand, g *hypergraph.Bipartite) hypergraph.Batch {
+	var b hypergraph.Batch
+	for h := uint32(0); h < g.NumHyperedges(); h++ {
+		if rng.Float64() < 0.15 {
+			b.Remove = append(b.Remove, h)
+		}
+	}
+	for i, adds := 0, rng.Intn(4)+1; i < adds; i++ {
+		var pins []uint32
+		for k, sz := 0, rng.Intn(6); k < sz; k++ {
+			pins = append(pins, uint32(rng.Intn(int(g.NumVertices()))))
+		}
+		b.Add = append(b.Add, pins)
+	}
+	return b
+}
+
+// TestShardUpdateDifferential: updating sharded artifacts across a random
+// batch must reproduce a fresh Prepare on the mutated graph — same
+// assignment, byte-equal per-shard OAGs — and runs on either artifact must
+// be bit-identical for every engine kind, at K ∈ {1, 4}, for both policies.
+func TestShardUpdateDifferential(t *testing.T) {
+	ctx := context.Background()
+	for _, seed := range []int64{3, 9} {
+		for _, k := range []int{1, 4} {
+			for _, pol := range allPolicies {
+				rng := rand.New(rand.NewSource(seed))
+				g := smallHG(seed)
+				opt := Options{
+					Shards: k, Policy: pol,
+					Engine: engine.Options{Kind: engine.ChGraph, Sys: testSys(), WMin: 1, Workers: 2},
+				}
+				pre, err := Prepare(ctx, g, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				d, err := g.ApplyBatch(randomShardBatch(rng, g))
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				up, err := Update(ctx, pre, d, 2)
+				if err != nil {
+					t.Fatalf("seed %d K=%d %s: Update: %v", seed, k, pol, err)
+				}
+				fresh, err := Prepare(ctx, d.New, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				if !reflect.DeepEqual(up.P.Assign.Owner, fresh.P.Assign.Owner) {
+					t.Fatalf("seed %d K=%d %s: re-partition assignment differs from fresh Prepare", seed, k, pol)
+				}
+				for i := range up.Preps {
+					if !reflect.DeepEqual(up.P.Shards[i].Hyperedges, fresh.P.Shards[i].Hyperedges) ||
+						!reflect.DeepEqual(up.P.Shards[i].Vertices, fresh.P.Shards[i].Vertices) {
+						t.Fatalf("seed %d K=%d %s shard %d: materialized id sets differ", seed, k, pol, i)
+					}
+					if !up.Preps[i].VOAG.Equal(fresh.Preps[i].VOAG) || !up.Preps[i].HOAG.Equal(fresh.Preps[i].HOAG) {
+						t.Fatalf("seed %d K=%d %s shard %d: updated OAGs differ from fresh build", seed, k, pol, i)
+					}
+				}
+
+				for _, kind := range allKinds {
+					ro := opt
+					ro.Engine.Kind = kind
+					ro.Pre = up
+					got, err := Run(d.New, algorithms.NewPageRank(4), ro)
+					if err != nil {
+						t.Fatalf("%v on updated artifacts: %v", kind, err)
+					}
+					ro.Pre = fresh
+					want, err := Run(d.New, algorithms.NewPageRank(4), ro)
+					if err != nil {
+						t.Fatalf("%v on fresh artifacts: %v", kind, err)
+					}
+					if got.Cycles != want.Cycles || stateChecksum(got.State) != stateChecksum(want.State) {
+						t.Fatalf("seed %d K=%d %s %v: run on updated artifacts diverged (cycles %d vs %d)",
+							seed, k, pol, kind, got.Cycles, want.Cycles)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardUpdatePrepReuse pins the wholesale-reuse fast path: a batch whose
+// mutations all land in one range-partitioned shard must leave every other
+// shard's Prep shared by pointer with the old artifact.
+func TestShardUpdatePrepReuse(t *testing.T) {
+	// Disjoint pin blocks so range shards don't share vertices: shard i owns
+	// hyperedges {2i, 2i+1} over vertices {4i..4i+3}.
+	pins := make([][]uint32, 8)
+	for i := range pins {
+		blk := uint32(i / 2 * 4)
+		pins[i] = []uint32{blk, blk + 1, blk + 2, blk + uint32(i%2)}
+	}
+	g := hypergraph.MustBuild(16, pins)
+	opt := Options{
+		Shards: 4, Policy: PolicyRange,
+		Engine: engine.Options{Kind: engine.ChGraph, Sys: testSys(), WMin: 1, Workers: 1},
+	}
+	pre, err := Prepare(context.Background(), g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap the pins of the LAST hyperedge only: with range partitioning and
+	// an unchanged hyperedge count, shards 0..2 keep identical id sets.
+	d, err := g.ApplyBatch(hypergraph.Batch{Remove: []uint32{7}, Add: [][]uint32{{12, 13, 14, 15}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := Update(context.Background(), pre, d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if up.Preps[i] != pre.Preps[i] {
+			t.Errorf("shard %d untouched by the batch should reuse its Prep pointer", i)
+		}
+	}
+	if up.Preps[3] == pre.Preps[3] {
+		t.Error("mutated shard 3 must not share the old Prep")
+	}
+	fresh, err := Prepare(context.Background(), d.New, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range up.Preps {
+		if !up.Preps[i].VOAG.Equal(fresh.Preps[i].VOAG) || !up.Preps[i].HOAG.Equal(fresh.Preps[i].HOAG) {
+			t.Fatalf("shard %d: OAGs differ from fresh Prepare", i)
+		}
+	}
+}

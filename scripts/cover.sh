@@ -43,6 +43,7 @@ check() {
 check internal/engine     96
 check internal/obs        97
 check internal/hypergraph 87
+check internal/oag        90
 check internal/shard      90
 check internal/serve      90
 check internal/flight     90
