@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race bench bench-smoke bench-baseline benchgate mutate-smoke cover fuzz
+.PHONY: tier1 build vet test race bench bench-smoke bench-baseline benchgate mutate-smoke cover fuzz loadtest loadtest-smoke slogate slo-baseline
 
 # tier1 is the gate every change must pass: clean build, vet, and the full
 # test suite. The race detector runs as its own CI job (`make race`) so a
@@ -52,6 +52,27 @@ bench-baseline:
 # incremental path is not faster.
 mutate-smoke:
 	$(GO) run ./cmd/chgraph-bench -mutate-smoke -scale 0.05 -metrics-out bench-metrics.json
+
+# loadtest drives thousands of concurrent /run requests across mixed
+# tenants against a self-hosted server and writes slo-report.json
+# (latency percentiles, error/429 rates, goodput, cross-checked response
+# checksums). loadtest-smoke is the scaled-down CI pass; slogate fails it
+# on errors, checksum mismatches, 429s at nominal load, or a p99
+# regression against the committed SLO_baseline.json (see
+# scripts/slogate.sh for tolerances). slo-baseline refreshes the
+# committed baseline after an intentional serving-latency change.
+loadtest:
+	$(GO) run ./cmd/chgraph-load -n 5000 -c 128 -out slo-report.json
+
+loadtest-smoke:
+	$(GO) run ./cmd/chgraph-load -n 600 -c 32 -scale 0.02 -out slo-report.json
+
+slogate:
+	sh scripts/slogate.sh
+
+slo-baseline:
+	$(MAKE) loadtest-smoke
+	cp slo-report.json SLO_baseline.json
 
 # cover enforces per-package statement-coverage floors (engine, obs,
 # hypergraph); see scripts/cover.sh for the thresholds.

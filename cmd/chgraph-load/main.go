@@ -1,0 +1,96 @@
+// Command chgraph-load load-tests a chgraph serve endpoint and writes a
+// latency-SLO report (JSON) for scripts/slogate.sh to gate on.
+//
+// With -url it targets a running chgraph-serve; without it, it self-hosts
+// an in-process server on a loopback port, so CI needs no service
+// orchestration:
+//
+//	chgraph-load -n 5000 -c 128 -out slo-report.json
+//	chgraph-load -url http://localhost:8080 -n 1000 -c 64 -tenants 8
+//
+// The workload is a deterministic mix: every tenant runs PR/BFS/CC over
+// the built-in OK and WEB datasets across both engines, plus (with
+// -upload, the default) a private registered dataset per tenant. Checksums
+// are cross-checked per spec, so the exit also witnesses bit-identical
+// results under concurrency. Exit status is non-zero on transport
+// failures, HTTP 5xx, or any checksum mismatch; 429s are reported but do
+// not fail the run (the gate script decides whether they are acceptable).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"chgraph/internal/loadtest"
+	"chgraph/internal/serve"
+)
+
+func main() {
+	var (
+		url     = flag.String("url", "", "target serve endpoint (empty = self-host in-process)")
+		n       = flag.Int("n", 1000, "total requests")
+		c       = flag.Int("c", 64, "concurrent workers")
+		tenants = flag.Int("tenants", 4, "synthetic tenant count")
+		scale   = flag.Float64("scale", 0.02, "built-in dataset scale")
+		iters   = flag.Int("iters", 3, "iterations per run")
+		upload  = flag.Bool("upload", true, "register a private dataset per tenant")
+		warm    = flag.Bool("warm", true, "prime every unique spec before measuring")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		out     = flag.String("out", "", "write the JSON report here (default stdout only)")
+
+		queue   = flag.Int("queue", 256, "self-host: admission queue depth")
+		workers = flag.Int("workers", 0, "self-host: concurrent runs (0 = all CPUs)")
+		cache   = flag.Int("cache", 64, "self-host: prepared-artifact LRU capacity")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	base := *url
+	if base == "" {
+		var shutdown func() error
+		var err error
+		base, shutdown, err = loadtest.SelfHost(serve.Options{
+			QueueDepth: *queue, Workers: *workers, CacheEntries: *cache,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chgraph-load: self-host: %v\n", err)
+			os.Exit(1)
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "chgraph-load: self-hosted server at %s\n", base)
+	}
+
+	rep, err := loadtest.Run(ctx, loadtest.Config{
+		BaseURL: base, Requests: *n, Concurrency: *c, Tenants: *tenants,
+		Scale: *scale, Iterations: *iters, Upload: *upload, Warm: *warm,
+		Timeout: *timeout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chgraph-load: %v\n", err)
+		os.Exit(1)
+	}
+
+	enc, _ := json.MarshalIndent(rep, "", "  ")
+	enc = append(enc, '\n')
+	os.Stdout.Write(enc)
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "chgraph-load: write %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+
+	if rep.Errors > 0 || rep.ChecksumMismatches > 0 {
+		fmt.Fprintf(os.Stderr, "chgraph-load: %d errors, %d checksum mismatches\n",
+			rep.Errors, rep.ChecksumMismatches)
+		os.Exit(1)
+	}
+}

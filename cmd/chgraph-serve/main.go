@@ -5,14 +5,23 @@
 //
 // Example:
 //
-//	chgraph-serve -addr :8080 -workers 4 -cache 32
+//	chgraph-serve -addr :8080 -workers 4 -cache 32 -tenant-rps 50 -tenant-inflight 16
 //	curl -s localhost:8080/run -d '{"dataset":"WEB","scale":0.1,"algorithm":"PR","engine":"chgraph"}'
 //	curl -s localhost:8080/mutate -d '{"dataset":"WEB","scale":0.1,"remove":[0],"add":[[0,1,2]]}'
 //	curl -s localhost:8080/metrics
+//	curl -s -H 'Accept: application/openmetrics-text' localhost:8080/metrics
+//	curl -s -X PUT --data-binary @graph.hgr -H 'X-Tenant: acme' localhost:8080/datasets/acme/web
+//	curl -s -H 'X-Tenant: acme' localhost:8080/run -d '{"dataset":"web","algorithm":"PR"}'
 //
 // POST /mutate applies a hyperedge batch to a prepared spec and swaps a new
 // artifact version into the cache (copy-on-write): in-flight runs finish on
 // the version they resolved, later runs execute the mutated hypergraph.
+//
+// Requests belong to the tenant named by the X-Tenant header ("default"
+// when absent). Tenants register their own hypergraphs under
+// /datasets/{tenant}/{name} and are individually bounded by a token-bucket
+// rate limit, an in-flight cap, and registry byte/count quotas; refusals
+// are 429 with Retry-After (runs) or 413 (uploads over quota).
 //
 // SIGINT/SIGTERM starts a graceful drain: /healthz flips to draining, new
 // runs are refused with 503, and in-flight runs get -drain to finish.
@@ -40,6 +49,13 @@ func main() {
 		workers = flag.Int("workers", 0, "concurrently executing runs (0 = all CPUs)")
 		cache   = flag.Int("cache", 16, "prepared-artifact LRU capacity (specs)")
 		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+
+		tenantRPS      = flag.Float64("tenant-rps", 0, "per-tenant request rate limit, req/s (0 = unlimited)")
+		tenantBurst    = flag.Int("tenant-burst", 0, "per-tenant rate-limit burst (0 = rate rounded up)")
+		tenantInflight = flag.Int("tenant-inflight", 0, "per-tenant in-flight request cap (0 = unlimited)")
+		tenantDatasets = flag.Int("tenant-datasets", 64, "per-tenant registered-dataset cap (0 = unlimited)")
+		tenantBytes    = flag.Int64("tenant-bytes", 1<<30, "per-tenant registry byte quota (0 = unlimited)")
+		maxUpload      = flag.Int64("max-upload", 64<<20, "max bytes of one dataset upload body")
 	)
 	flag.Parse()
 
@@ -49,6 +65,14 @@ func main() {
 		CacheEntries: *cache,
 		DrainTimeout: *drain,
 		Session:      obs.NewSessionMetrics(),
+		Limits: serve.TenantLimits{
+			RatePerSec:  *tenantRPS,
+			Burst:       *tenantBurst,
+			MaxInFlight: *tenantInflight,
+			MaxDatasets: *tenantDatasets,
+			MaxBytes:    *tenantBytes,
+		},
+		MaxUploadBytes: *maxUpload,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv}
 

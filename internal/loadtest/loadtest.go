@@ -1,0 +1,374 @@
+// Package loadtest drives a chgraph serve endpoint with a deterministic
+// multi-tenant workload and reduces the outcome to a latency-SLO report.
+//
+// The generator is closed-loop: Concurrency workers each issue one request
+// at a time, drawn from a fixed mix of tenants, datasets (built-in and
+// per-tenant registered), and algorithms. Every response checksum is
+// compared against the first answer seen for the same spec, so the report
+// also witnesses bit-identity under concurrency — a load test that passes
+// with ChecksumMismatches > 0 found a real correctness bug, not a slow
+// server.
+//
+// The report is flat JSON (one scalar per line when pretty-printed) so the
+// CI gate (scripts/slogate.sh) can extract fields with sed instead of a
+// JSON dependency.
+package loadtest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chgraph/internal/serve"
+)
+
+// Config selects the workload. Zero values take the documented defaults.
+type Config struct {
+	// BaseURL is the serve endpoint (http://host:port). Required; use
+	// SelfHost to stand up an in-process server first.
+	BaseURL string
+	// Requests is the total request count (default 200).
+	Requests int
+	// Concurrency is the closed-loop worker count (default 16).
+	Concurrency int
+	// Tenants is how many synthetic tenants share the mix (default 4).
+	// Tenant i is named "lt-<i>".
+	Tenants int
+	// Scale scales the built-in synthetic datasets (default 0.02).
+	Scale float64
+	// Iterations bounds each run (default 3).
+	Iterations int
+	// Upload registers one private dataset per tenant before the run and
+	// includes it in the mix, exercising the registry path under load.
+	Upload bool
+	// Warm primes every unique spec once, serially, before the measured
+	// window, so the report reflects steady-state latency rather than
+	// first-build cost.
+	Warm bool
+	// Timeout bounds one request (default 30s).
+	Timeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Requests <= 0 {
+		c.Requests = 200
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 16
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 4
+	}
+	if c.Scale <= 0 {
+		c.Scale = 0.02
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 3
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return c
+}
+
+// Report is the SLO document: counts, latency percentiles over completed
+// requests, and goodput (completed requests per wall-clock second). Field
+// names are part of the CI contract with scripts/slogate.sh.
+type Report struct {
+	Requests           int `json:"requests"`
+	Completed          int `json:"completed"`
+	Errors             int `json:"errors"`
+	Rejected429        int `json:"rejected_429"`
+	ChecksumMismatches int `json:"checksum_mismatches"`
+
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MeanMS float64 `json:"mean_ms"`
+	MaxMS  float64 `json:"max_ms"`
+
+	GoodputRPS  float64 `json:"goodput_rps"`
+	WallSeconds float64 `json:"wall_seconds"`
+
+	Tenants     int `json:"tenants"`
+	Concurrency int `json:"concurrency"`
+}
+
+// spec is one entry of the workload mix.
+type spec struct {
+	tenant string
+	req    serve.RunRequest
+}
+
+// key identifies the deterministic outcome class of the spec: identical
+// keys must yield identical checksums. Registered datasets are per-tenant
+// (same name, different contents), so the tenant is part of the key for
+// them and not for built-ins.
+func (s spec) key() string {
+	scope := ""
+	if s.req.Dataset == uploadedName {
+		scope = s.tenant + "/"
+	}
+	return fmt.Sprintf("%s%s/%s/%s/%g/%d", scope, s.req.Dataset, s.req.Algorithm, s.req.Engine, s.req.Scale, s.req.Iterations)
+}
+
+const uploadedName = "lt-private"
+
+// mix builds the request mix: built-in hypergraph datasets across two
+// engines and algorithms, plus (with Upload) each tenant's registered
+// dataset. Request i of the run uses mix[i % len(mix)] — fully
+// deterministic, no RNG.
+func mix(cfg Config) []spec {
+	tenants := make([]string, cfg.Tenants)
+	for i := range tenants {
+		tenants[i] = fmt.Sprintf("lt-%d", i)
+	}
+	type shape struct {
+		dataset, algorithm, engine string
+	}
+	shapes := []shape{
+		{"OK", "PR", "chgraph"},
+		{"WEB", "PR", "chgraph"},
+		{"OK", "BFS", "chgraph"},
+		{"WEB", "CC", "hygra"},
+	}
+	var specs []spec
+	for i, tn := range tenants {
+		for j := range shapes {
+			// Stagger shapes across tenants so concurrent workers mostly
+			// touch different cache entries.
+			sh := shapes[(i+j)%len(shapes)]
+			req := serve.RunRequest{
+				Dataset: sh.dataset, Scale: cfg.Scale,
+				Algorithm: sh.algorithm, Engine: sh.engine,
+				Iterations: cfg.Iterations,
+			}
+			specs = append(specs, spec{tenant: tn, req: req})
+		}
+		if cfg.Upload {
+			specs = append(specs, spec{tenant: tn, req: serve.RunRequest{
+				Dataset: uploadedName, Algorithm: "PR", Engine: "chgraph",
+				Iterations: cfg.Iterations,
+			}})
+		}
+	}
+	return specs
+}
+
+// genHypergraph writes a small deterministic hypergraph, distinct per
+// seed, in the text format ReadHypergraph accepts ("V H" then one pin
+// list per line). The pin walk is a fixed LCG so the same seed always
+// produces the same graph — and the same checksums.
+func genHypergraph(seed int) []byte {
+	v := 64 + 8*seed
+	h := 96
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%d %d\n", v, h)
+	x := uint32(2*seed + 1)
+	next := func() uint32 {
+		x = x*1664525 + 1013904223
+		return x
+	}
+	for e := 0; e < h; e++ {
+		pins := 2 + int(next()%4)
+		seen := map[uint32]bool{}
+		for len(seen) < pins {
+			seen[next()%uint32(v)] = true
+		}
+		first := true
+		for p := uint32(0); int(p) < v; p++ {
+			if seen[p] {
+				if !first {
+					buf.WriteByte(' ')
+				}
+				fmt.Fprintf(&buf, "%d", p)
+				first = false
+			}
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// Run executes the workload and reduces it to a Report.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BaseURL == "" {
+		return nil, errors.New("loadtest: BaseURL is required (use SelfHost for an in-process target)")
+	}
+	client := &http.Client{Timeout: cfg.Timeout}
+
+	if cfg.Upload {
+		for i := 0; i < cfg.Tenants; i++ {
+			tenant := fmt.Sprintf("lt-%d", i)
+			url := fmt.Sprintf("%s/datasets/%s/%s", cfg.BaseURL, tenant, uploadedName)
+			req, err := http.NewRequestWithContext(ctx, http.MethodPut, url, bytes.NewReader(genHypergraph(i)))
+			if err != nil {
+				return nil, err
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				return nil, fmt.Errorf("loadtest: upload for %s: %w", tenant, err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusCreated {
+				return nil, fmt.Errorf("loadtest: upload for %s: status %d: %s", tenant, resp.StatusCode, body)
+			}
+		}
+	}
+
+	specs := mix(cfg)
+	var (
+		mu        sync.Mutex
+		expect    = map[string]string{} // spec key -> first checksum seen
+		latencies []float64
+		report    Report
+	)
+	issue := func(s spec, record bool) {
+		body, _ := json.Marshal(s.req)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+"/run", bytes.NewReader(body))
+		if err != nil {
+			mu.Lock()
+			report.Errors++
+			mu.Unlock()
+			return
+		}
+		req.Header.Set("X-Tenant", s.tenant)
+		start := time.Now()
+		resp, err := client.Do(req)
+		elapsed := time.Since(start)
+		if err != nil {
+			mu.Lock()
+			report.Errors++
+			mu.Unlock()
+			return
+		}
+		defer resp.Body.Close()
+		var out serve.RunResponse
+		decodeErr := json.NewDecoder(resp.Body).Decode(&out)
+		io.Copy(io.Discard, resp.Body)
+
+		mu.Lock()
+		defer mu.Unlock()
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests:
+			if record {
+				report.Rejected429++
+			}
+		case resp.StatusCode != http.StatusOK || decodeErr != nil || out.Checksum == "":
+			report.Errors++
+		default:
+			k := s.key()
+			if want, ok := expect[k]; !ok {
+				expect[k] = out.Checksum
+			} else if want != out.Checksum {
+				report.ChecksumMismatches++
+			}
+			if record {
+				report.Completed++
+				latencies = append(latencies, float64(elapsed)/float64(time.Millisecond))
+			}
+		}
+	}
+
+	if cfg.Warm {
+		warmed := map[string]bool{}
+		for _, s := range specs {
+			if k := s.key(); !warmed[k] {
+				warmed[k] = true
+				issue(s, false)
+			}
+		}
+		if report.Errors > 0 {
+			return nil, fmt.Errorf("loadtest: %d errors during warmup", report.Errors)
+		}
+	}
+
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.Requests || ctx.Err() != nil {
+					return
+				}
+				issue(specs[i%len(specs)], true)
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	report.Requests = cfg.Requests
+	report.Tenants = cfg.Tenants
+	report.Concurrency = cfg.Concurrency
+	report.WallSeconds = wall.Seconds()
+	if report.WallSeconds > 0 {
+		report.GoodputRPS = float64(report.Completed) / report.WallSeconds
+	}
+	sort.Float64s(latencies)
+	report.P50MS = percentile(latencies, 50)
+	report.P95MS = percentile(latencies, 95)
+	report.P99MS = percentile(latencies, 99)
+	if n := len(latencies); n > 0 {
+		report.MaxMS = latencies[n-1]
+		sum := 0.0
+		for _, v := range latencies {
+			sum += v
+		}
+		report.MeanMS = sum / float64(n)
+	}
+	return &report, ctx.Err()
+}
+
+// percentile returns the p-th percentile (nearest-rank) of sorted values.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p/100*float64(len(sorted))+0.999999) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// SelfHost starts an in-process serve.Server on a loopback port and
+// returns its base URL with a shutdown func. It lets `make loadtest` and
+// the loadtest tests run with no external server or port configuration.
+func SelfHost(opts serve.Options) (string, func() error, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := serve.NewServer(opts)
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	shutdown := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		err := srv.Shutdown(ctx)
+		if cerr := hs.Shutdown(ctx); err == nil {
+			err = cerr
+		}
+		return err
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}

@@ -1,0 +1,123 @@
+package loadtest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	chgraph "chgraph"
+	"chgraph/internal/serve"
+)
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for p, want := range map[float64]float64{50: 5, 95: 10, 99: 10, 100: 10, 10: 1} {
+		if got := percentile(vals, p); got != want {
+			t.Errorf("percentile(%v) = %v, want %v", p, got, want)
+		}
+	}
+	if got := percentile(nil, 99); got != 0 {
+		t.Errorf("percentile(empty) = %v, want 0", got)
+	}
+	if got := percentile([]float64{7}, 99); got != 7 {
+		t.Errorf("percentile(single) = %v, want 7", got)
+	}
+}
+
+func TestGenHypergraphDeterministicAndDistinct(t *testing.T) {
+	a1, a2, b := genHypergraph(0), genHypergraph(0), genHypergraph(1)
+	if !bytes.Equal(a1, a2) {
+		t.Fatalf("genHypergraph not deterministic")
+	}
+	if bytes.Equal(a1, b) {
+		t.Fatalf("genHypergraph(0) == genHypergraph(1): tenants would share contents")
+	}
+	// The output must be a loadable hypergraph.
+	if _, err := chgraph.ReadHypergraph(bytes.NewReader(a1)); err != nil {
+		t.Fatalf("generated hypergraph unreadable: %v", err)
+	}
+}
+
+// TestReportFieldNames pins the JSON keys scripts/slogate.sh extracts
+// with sed. Renaming one of these breaks the CI gate silently, so the
+// contract lives in a test.
+func TestReportFieldNames(t *testing.T) {
+	out, err := json.Marshal(Report{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		`"requests"`, `"completed"`, `"errors"`, `"rejected_429"`,
+		`"checksum_mismatches"`, `"p50_ms"`, `"p95_ms"`, `"p99_ms"`,
+		`"goodput_rps"`, `"wall_seconds"`,
+	} {
+		if !strings.Contains(string(out), key) {
+			t.Errorf("report JSON lacks %s (slogate.sh contract)", key)
+		}
+	}
+}
+
+// TestRunSelfHosted drives a small mixed-tenant load against an
+// in-process server and checks the report is internally consistent:
+// every request accounted for, zero errors and zero checksum mismatches
+// at nominal (unlimited) load, ordered percentiles.
+func TestRunSelfHosted(t *testing.T) {
+	url, shutdown, err := SelfHost(serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL: url, Requests: 48, Concurrency: 8, Tenants: 2,
+		Scale: 0.02, Iterations: 2, Upload: true, Warm: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 48 {
+		t.Fatalf("requests %d, want 48", rep.Requests)
+	}
+	if got := rep.Completed + rep.Errors + rep.Rejected429; got != rep.Requests {
+		t.Fatalf("accounting: completed %d + errors %d + 429 %d != %d",
+			rep.Completed, rep.Errors, rep.Rejected429, rep.Requests)
+	}
+	if rep.Errors != 0 || rep.ChecksumMismatches != 0 || rep.Rejected429 != 0 {
+		t.Fatalf("nominal load not clean: %+v", rep)
+	}
+	if rep.P50MS <= 0 || rep.P50MS > rep.P95MS || rep.P95MS > rep.P99MS || rep.P99MS > rep.MaxMS {
+		t.Fatalf("percentiles disordered: %+v", rep)
+	}
+	if rep.GoodputRPS <= 0 || rep.WallSeconds <= 0 {
+		t.Fatalf("no goodput: %+v", rep)
+	}
+}
+
+// TestRunCountsRateLimits: under a tight per-tenant budget the report
+// surfaces 429s as rejections, not errors, and still has zero checksum
+// mismatches.
+func TestRunCountsRateLimits(t *testing.T) {
+	url, shutdown, err := SelfHost(serve.Options{
+		Limits: serve.TenantLimits{RatePerSec: 2, Burst: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL: url, Requests: 40, Concurrency: 8, Tenants: 2,
+		Scale: 0.02, Iterations: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rejected429 == 0 {
+		t.Fatalf("expected 429s under a 2 rps budget: %+v", rep)
+	}
+	if rep.Errors != 0 || rep.ChecksumMismatches != 0 {
+		t.Fatalf("429s leaked into errors/mismatches: %+v", rep)
+	}
+}

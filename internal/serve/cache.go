@@ -3,6 +3,7 @@ package serve
 import (
 	"container/list"
 	"context"
+	"strings"
 	"sync"
 
 	"chgraph"
@@ -172,6 +173,25 @@ func (c *prepCache) peekGen(key string) uint64 {
 		return el.Value.(*cacheEntry).art.gen
 	}
 	return 0
+}
+
+// purgePrefix drops every entry whose key starts with prefix — the
+// registry's eviction hook (prep keys of registered datasets start with
+// "reg/<tenant>/<name>@"). Dropped pointers stay valid for runs already
+// holding them; only future lookups are affected.
+func (c *prepCache) purgePrefix(prefix string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for key, el := range c.items {
+		if strings.HasPrefix(key, prefix) {
+			c.ll.Remove(el)
+			delete(c.items, key)
+			c.met.cacheEvictions.Add(1)
+			n++
+		}
+	}
+	return n
 }
 
 // len returns the current entry count.

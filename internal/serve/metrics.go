@@ -34,10 +34,17 @@ type metrics struct {
 	hyperedgesAdded   atomic.Uint64 // hyperedges appended across applied batches
 	hyperedgesRemoved atomic.Uint64 // hyperedges deleted across applied batches
 
-	latency [numLatencyBuckets]atomic.Uint64
+	rateLimited     atomic.Uint64 // 429s from per-tenant rate/in-flight limits
+	uploads         atomic.Uint64 // datasets registered (PUT /datasets)
+	uploadsRejected atomic.Uint64 // uploads refused by a registry quota
+	evictionsReg    atomic.Uint64 // datasets evicted (DELETE /datasets)
+
+	latency          [numLatencyBuckets]atomic.Uint64
+	latencySumMicros atomic.Uint64 // total observed latency, for the histogram _sum
 }
 
 func (m *metrics) observeLatencyMS(ms float64) {
+	m.latencySumMicros.Add(uint64(ms * 1000))
 	for i, ub := range latencyBucketsMS[:] {
 		if ms <= ub {
 			m.latency[i].Add(1)
@@ -83,9 +90,23 @@ type Snapshot struct {
 	HyperedgesAdded   uint64 `json:"hyperedges_added"`
 	HyperedgesRemoved uint64 `json:"hyperedges_removed"`
 
+	// Multi-tenant additions (absent pre-registry fields keep their JSON
+	// names and positions, so existing consumers are unaffected).
+	RateLimited      uint64 `json:"rate_limited"`
+	Uploads          uint64 `json:"uploads"`
+	UploadsRejected  uint64 `json:"uploads_rejected"`
+	RegistryEvicted  uint64 `json:"registry_evicted"`
+	RegistryDatasets int    `json:"registry_datasets"`
+	RegistryBytes    int64  `json:"registry_bytes"`
+
 	Latency []LatencyBucket `json:"latency_ms"`
+	// LatencySumMS is the sum of every observed request latency — with the
+	// histogram count it gives the mean, and it feeds the OpenMetrics _sum.
+	LatencySumMS float64 `json:"latency_sum_ms"`
 
 	Draining bool `json:"draining"`
+
+	Tenants []TenantSnapshot `json:"tenants,omitempty"`
 
 	Session *obs.SessionSummary `json:"session,omitempty"`
 }
@@ -109,12 +130,18 @@ func (m *metrics) snapshot() Snapshot {
 		MutationsFailed:   m.mutationsFailed.Load(),
 		HyperedgesAdded:   m.hyperedgesAdded.Load(),
 		HyperedgesRemoved: m.hyperedgesRemoved.Load(),
+
+		RateLimited:     m.rateLimited.Load(),
+		Uploads:         m.uploads.Load(),
+		UploadsRejected: m.uploadsRejected.Load(),
+		RegistryEvicted: m.evictionsReg.Load(),
 	}
 	// Coalesced waiters count as hit-like: they were served without a build
 	// of their own, so the ratio measures builds avoided per lookup.
 	if looked := s.CacheHits + s.CacheCoalesced + s.CacheMisses; looked > 0 {
 		s.CacheHitRatio = float64(s.CacheHits+s.CacheCoalesced) / float64(looked)
 	}
+	s.LatencySumMS = float64(m.latencySumMicros.Load()) / 1000
 	s.Latency = make([]LatencyBucket, len(m.latency))
 	for i := range latencyBucketsMS {
 		s.Latency[i] = LatencyBucket{UpperMS: latencyBucketsMS[i], Count: m.latency[i].Load()}

@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// OpenMetrics text exposition of the /metrics counters, so real scrapers
+// (Prometheus and anything speaking the OpenMetrics wire format) can
+// consume the server without a JSON shim. The JSON document stays the
+// default — the exposition is selected by content negotiation
+// (Accept: application/openmetrics-text or text/plain) or explicitly with
+// ?format=openmetrics.
+//
+// Format obligations honoured here (the exposition-parse test pins them):
+// counter sample names carry the _total suffix while the TYPE line names
+// the bare family; histogram buckets are cumulative with canonical-float
+// `le` values ending in +Inf; every line group for one family is
+// contiguous; the body ends with `# EOF`.
+
+// openMetricsContentType is the negotiated content type of the exposition.
+const openMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// wantsOpenMetrics decides between the JSON document and the text
+// exposition: explicit ?format= wins, then the Accept header. A bare
+// browser Accept (text/html, */*) keeps the JSON default.
+func wantsOpenMetrics(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "openmetrics", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "application/openmetrics-text") ||
+		strings.Contains(accept, "text/plain")
+}
+
+// omFloat renders a float in the canonical OpenMetrics spelling: integral
+// values get a ".0" suffix ("1.0", not "1").
+func omFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'f', -1, 64)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+// omEscape escapes a label value (tenant names are charset-restricted, but
+// the writer stays correct for any input).
+func omEscape(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// omWriter accumulates one exposition.
+type omWriter struct {
+	w *bufio.Writer
+}
+
+func (o *omWriter) family(name, typ, help string) {
+	fmt.Fprintf(o.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (o *omWriter) sample(name, labels string, value string) {
+	if labels != "" {
+		fmt.Fprintf(o.w, "%s{%s} %s\n", name, labels, value)
+	} else {
+		fmt.Fprintf(o.w, "%s %s\n", name, value)
+	}
+}
+
+func (o *omWriter) counter(name, help string, value uint64, labeled ...[2]string) {
+	o.family(name, "counter", help)
+	if len(labeled) == 0 {
+		o.sample(name+"_total", "", strconv.FormatUint(value, 10))
+		return
+	}
+	for _, lv := range labeled {
+		o.sample(name+"_total", lv[0], lv[1])
+	}
+}
+
+func (o *omWriter) gauge(name, help string, value float64, labeled ...[2]string) {
+	o.family(name, "gauge", help)
+	if len(labeled) == 0 {
+		o.sample(name, "", omFloat(value))
+		return
+	}
+	for _, lv := range labeled {
+		o.sample(name, lv[0], lv[1])
+	}
+}
+
+// writeOpenMetrics renders the full exposition from one consistent
+// Snapshot (plus per-tenant rows already embedded in it).
+func writeOpenMetrics(w io.Writer, snap Snapshot) error {
+	o := &omWriter{w: bufio.NewWriter(w)}
+	const p = "chgraph_"
+
+	o.counter(p+"requests", "/run requests admitted past decoding.", snap.Requests)
+	o.counter(p+"completed", "Requests answered 200.", snap.Completed)
+	o.counter(p+"failed", "Requests answered 4xx/5xx after admission.", snap.Failed)
+	o.counter(p+"cancelled", "Requests whose client disconnected before the result.", snap.Cancelled)
+	o.counter(p+"coalesced", "Requests that joined another request's in-flight run.", snap.Coalesced)
+	o.counter(p+"rejected", "429s from the shared bounded admission queue.", snap.Rejected)
+	o.counter(p+"rate_limited", "429s from per-tenant rate or in-flight limits.", snap.RateLimited)
+
+	o.gauge(p+"in_flight", "Requests admitted and not yet answered.", float64(snap.InFlight))
+	o.gauge(p+"queue_depth", "Occupied admission-queue slots.", float64(snap.QueueDepth))
+	o.gauge(p+"queue_capacity", "Admission-queue capacity.", float64(snap.QueueCapacity))
+	draining := 0.0
+	if snap.Draining {
+		draining = 1
+	}
+	o.gauge(p+"draining", "1 while the server refuses new work to drain.", draining)
+
+	o.counter(p+"prep_cache_hits", "Prepared-artifact lookups served from the LRU.", snap.CacheHits)
+	o.counter(p+"prep_cache_misses", "Lookups whose flight leader ran a build.", snap.CacheMisses)
+	o.counter(p+"prep_cache_coalesced", "Lookups that joined a leader's in-flight build.", snap.CacheCoalesced)
+	o.counter(p+"prep_cache_builds", "Artifact builds executed.", snap.CacheBuilds)
+	o.counter(p+"prep_cache_evictions", "Artifacts dropped from the LRU or purged.", snap.CacheEvictions)
+	o.gauge(p+"prep_cache_entries", "Artifacts resident in the LRU.", float64(snap.CacheEntries))
+	o.gauge(p+"prep_cache_capacity", "LRU capacity.", float64(snap.CacheCapacity))
+
+	o.counter(p+"mutations", "/mutate batches applied.", snap.Mutations)
+	o.counter(p+"mutations_failed", "/mutate requests refused after decoding.", snap.MutationsFailed)
+	o.counter(p+"hyperedges_added", "Hyperedges appended across applied batches.", snap.HyperedgesAdded)
+	o.counter(p+"hyperedges_removed", "Hyperedges deleted across applied batches.", snap.HyperedgesRemoved)
+
+	o.counter(p+"registry_uploads", "Datasets registered via PUT /datasets.", snap.Uploads)
+	o.counter(p+"registry_uploads_rejected", "Uploads refused by a registry quota.", snap.UploadsRejected)
+	o.counter(p+"registry_evictions", "Datasets evicted via DELETE /datasets.", snap.RegistryEvicted)
+	o.gauge(p+"registry_datasets", "Datasets currently registered.", float64(snap.RegistryDatasets))
+	o.gauge(p+"registry_bytes", "Approximate resident bytes of registered datasets.", float64(snap.RegistryBytes))
+
+	// Request-latency histogram: cumulative buckets per the exposition
+	// format (the JSON document keeps its per-bucket counts).
+	name := p + "request_latency_milliseconds"
+	o.family(name, "histogram", "End-to-end /run latency.")
+	var cum uint64
+	for _, b := range snap.Latency {
+		cum += b.Count
+		le := "+Inf"
+		if b.UpperMS != 0 {
+			le = omFloat(b.UpperMS)
+		}
+		o.sample(name+"_bucket", fmt.Sprintf("le=%q", le), strconv.FormatUint(cum, 10))
+	}
+	o.sample(name+"_count", "", strconv.FormatUint(cum, 10))
+	o.sample(name+"_sum", "", omFloat(snap.LatencySumMS))
+
+	// Per-tenant series: one contiguous family per metric, one labelled
+	// sample per tenant, tenants in sorted order.
+	perTenant := func(name, help, typ string, val func(TenantSnapshot) string) {
+		o.family(p+name, typ, help)
+		sample := p + name
+		if typ == "counter" {
+			sample += "_total"
+		}
+		for _, t := range snap.Tenants {
+			o.sample(sample, fmt.Sprintf("tenant=%q", omEscape(t.Name)), val(t))
+		}
+	}
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	perTenant("tenant_requests", "Requests attributed to the tenant.", "counter",
+		func(t TenantSnapshot) string { return u(t.Requests) })
+	perTenant("tenant_completed", "Tenant requests answered 200.", "counter",
+		func(t TenantSnapshot) string { return u(t.Completed) })
+	perTenant("tenant_failed", "Tenant requests answered 4xx/5xx after admission.", "counter",
+		func(t TenantSnapshot) string { return u(t.Failed) })
+	perTenant("tenant_coalesced", "Tenant requests that joined a shared run.", "counter",
+		func(t TenantSnapshot) string { return u(t.Coalesced) })
+	perTenant("tenant_rejected_queue_full", "Tenant 429s from the shared queue.", "counter",
+		func(t TenantSnapshot) string { return u(t.RejectedQueueFull) })
+	perTenant("tenant_rejected_rate_limit", "Tenant 429s from its token bucket.", "counter",
+		func(t TenantSnapshot) string { return u(t.RejectedRateLimit) })
+	perTenant("tenant_rejected_in_flight_cap", "Tenant 429s from its in-flight cap.", "counter",
+		func(t TenantSnapshot) string { return u(t.RejectedInFlightCap) })
+	perTenant("tenant_in_flight", "Tenant requests admitted and not yet answered.", "gauge",
+		func(t TenantSnapshot) string { return omFloat(float64(t.InFlight)) })
+	perTenant("tenant_registry_datasets", "Datasets the tenant has registered.", "gauge",
+		func(t TenantSnapshot) string { return omFloat(float64(t.Datasets)) })
+	perTenant("tenant_registry_bytes", "Approximate resident bytes of the tenant's datasets.", "gauge",
+		func(t TenantSnapshot) string { return omFloat(float64(t.DatasetBytes)) })
+
+	fmt.Fprintln(o.w, "# EOF")
+	return o.w.Flush()
+}

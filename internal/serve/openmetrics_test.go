@@ -1,0 +1,314 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestOMFloatCanonical(t *testing.T) {
+	for v, want := range map[float64]string{
+		1: "1.0", 5: "5.0", 0: "0.0", 0.5: "0.5", 1000: "1000.0", 12.25: "12.25",
+	} {
+		if got := omFloat(v); got != want {
+			t.Errorf("omFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestMetricsNegotiation(t *testing.T) {
+	srv := NewServer(Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	get := func(accept, query string) (string, string) {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/metrics"+query, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("GET /metrics: %v", err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.Header.Get("Content-Type"), string(b)
+	}
+
+	// Default stays JSON — the pre-multi-tenant wire contract.
+	if ct, body := get("", ""); !strings.Contains(ct, "application/json") || !json.Valid([]byte(body)) {
+		t.Fatalf("default: content-type %q, json valid %v", ct, json.Valid([]byte(body)))
+	}
+	// Browsers (text/html, */*) keep JSON too.
+	if ct, _ := get("text/html,application/xhtml+xml,*/*;q=0.8", ""); !strings.Contains(ct, "application/json") {
+		t.Fatalf("browser accept: content-type %q", ct)
+	}
+	// Scrapers negotiate the exposition.
+	for _, sel := range []struct{ accept, query string }{
+		{"application/openmetrics-text; version=1.0.0", ""},
+		{"text/plain;version=0.0.4", ""},
+		{"", "?format=openmetrics"},
+	} {
+		ct, body := get(sel.accept, sel.query)
+		if !strings.Contains(ct, "application/openmetrics-text") {
+			t.Fatalf("accept=%q query=%q: content-type %q", sel.accept, sel.query, ct)
+		}
+		if !strings.HasSuffix(strings.TrimRight(body, "\n"), "# EOF") {
+			t.Fatalf("exposition does not end with # EOF:\n...%s", body[max(0, len(body)-80):])
+		}
+	}
+	// Explicit format=json overrides a text Accept.
+	if ct, _ := get("text/plain", "?format=json"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("format=json: content-type %q", ct)
+	}
+}
+
+// omFamily is one parsed metric family of the exposition.
+type omFamily struct {
+	typ     string
+	samples map[string]float64 // full sample line key (name{labels}) -> value
+}
+
+// parseOpenMetrics is a strict-enough parser for the subset the server
+// emits: HELP/TYPE meta lines, sample lines, a final # EOF. It fails the
+// test on any structural violation (sample without family, counter sample
+// not suffixed _total, non-contiguous families, unparsable values).
+func parseOpenMetrics(t *testing.T, text string) map[string]*omFamily {
+	t.Helper()
+	fams := map[string]*omFamily{}
+	var cur string
+	sawEOF := false
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if sawEOF {
+			t.Fatalf("line %d: content after # EOF: %q", ln+1, line)
+		}
+		if line == "# EOF" {
+			sawEOF = true
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# TYPE "), " ", 2)
+			if len(parts) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			name, typ := parts[0], parts[1]
+			if _, dup := fams[name]; dup {
+				t.Fatalf("line %d: family %q declared twice (non-contiguous?)", ln+1, name)
+			}
+			fams[name] = &omFamily{typ: typ, samples: map[string]float64{}}
+			cur = name
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unexpected comment %q", ln+1, line)
+		}
+		// Sample line: name{labels} value
+		sp := strings.LastIndex(line, " ")
+		if sp < 0 {
+			t.Fatalf("line %d: malformed sample %q", ln+1, line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, valStr, err)
+		}
+		name := key
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Fatalf("line %d: unterminated labels: %q", ln+1, line)
+			}
+			name = name[:i]
+		}
+		if cur == "" {
+			t.Fatalf("line %d: sample before any TYPE: %q", ln+1, line)
+		}
+		fam := fams[cur]
+		base := name
+		for _, suf := range []string{"_total", "_bucket", "_count", "_sum"} {
+			if b, ok := strings.CutSuffix(name, suf); ok && b == cur {
+				base = b
+				break
+			}
+		}
+		if base != cur && name != cur {
+			t.Fatalf("line %d: sample %q outside its family %q", ln+1, name, cur)
+		}
+		switch fam.typ {
+		case "counter":
+			if !strings.HasSuffix(name, "_total") {
+				t.Fatalf("line %d: counter sample %q lacks _total", ln+1, name)
+			}
+			if val < 0 {
+				t.Fatalf("line %d: negative counter %q", ln+1, line)
+			}
+		case "gauge":
+			if name != cur {
+				t.Fatalf("line %d: gauge sample %q != family %q", ln+1, name, cur)
+			}
+		case "histogram":
+			// bucket/count/sum handled below.
+		default:
+			t.Fatalf("family %q has unknown type %q", cur, fam.typ)
+		}
+		if _, dup := fam.samples[key]; dup {
+			t.Fatalf("line %d: duplicate sample %q", ln+1, key)
+		}
+		fam.samples[key] = val
+	}
+	if !sawEOF {
+		t.Fatalf("exposition does not end with # EOF")
+	}
+	return fams
+}
+
+func TestOpenMetricsExposition(t *testing.T) {
+	srv := NewServer(Options{Limits: TenantLimits{RatePerSec: 1000, Burst: 100}})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Traffic across two tenants, a registry upload, and a mutation, so the
+	// exposition has non-zero per-tenant and registry series.
+	if code, out := doReq(t, http.MethodPut, ts.URL+"/datasets/acme/mine", "", []byte(tinyHGR)); code != http.StatusCreated {
+		t.Fatalf("PUT: %d %s", code, out)
+	}
+	runChecksum(t, ts.URL, "acme", "mine")
+	runChecksum(t, ts.URL, "", "OK") // default tenant, built-in dataset
+	mut, _ := json.Marshal(MutateRequest{Dataset: "mine", Add: [][]uint32{{0, 5}}})
+	if code, out := doReq(t, http.MethodPost, ts.URL+"/mutate", "acme", mut); code != http.StatusOK {
+		t.Fatalf("mutate: %d %s", code, out)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	fams := parseOpenMetrics(t, string(raw))
+
+	// Families the server must expose, with their types.
+	for name, typ := range map[string]string{
+		"chgraph_requests":                     "counter",
+		"chgraph_completed":                    "counter",
+		"chgraph_rate_limited":                 "counter",
+		"chgraph_in_flight":                    "gauge",
+		"chgraph_queue_capacity":               "gauge",
+		"chgraph_prep_cache_hits":              "counter",
+		"chgraph_mutations":                    "counter",
+		"chgraph_registry_uploads":             "counter",
+		"chgraph_registry_datasets":            "gauge",
+		"chgraph_request_latency_milliseconds": "histogram",
+		"chgraph_tenant_requests":              "counter",
+		"chgraph_tenant_completed":             "counter",
+		"chgraph_tenant_registry_bytes":        "gauge",
+	} {
+		fam, ok := fams[name]
+		if !ok {
+			t.Fatalf("family %q missing", name)
+		}
+		if fam.typ != typ {
+			t.Fatalf("family %q type %q, want %q", name, fam.typ, typ)
+		}
+	}
+
+	// Per-tenant labels: both tenants appear on the requests family.
+	reqs := fams["chgraph_tenant_requests"].samples
+	for _, tenant := range []string{"acme", "default"} {
+		key := fmt.Sprintf("chgraph_tenant_requests_total{tenant=%q}", tenant)
+		if v, ok := reqs[key]; !ok || v < 1 {
+			keys := make([]string, 0, len(reqs))
+			for k := range reqs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			t.Fatalf("missing/zero %s (have %v)", key, keys)
+		}
+	}
+
+	// Histogram: cumulative non-decreasing buckets ending at +Inf, with
+	// _count equal to the +Inf bucket and a consistent _sum.
+	hist := fams["chgraph_request_latency_milliseconds"].samples
+	type bucket struct {
+		le  float64
+		val float64
+	}
+	var buckets []bucket
+	var inf float64
+	haveInf := false
+	for k, v := range hist {
+		if !strings.Contains(k, "_bucket{") {
+			continue
+		}
+		le := k[strings.Index(k, `le="`)+4 : strings.LastIndex(k, `"`)]
+		if le == "+Inf" {
+			inf, haveInf = v, true
+			continue
+		}
+		f, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			t.Fatalf("bucket le %q: %v", le, err)
+		}
+		if !strings.Contains(le, ".") {
+			t.Fatalf("bucket le %q is not a canonical float", le)
+		}
+		buckets = append(buckets, bucket{f, v})
+	}
+	if !haveInf {
+		t.Fatalf("histogram lacks a +Inf bucket")
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	prev := 0.0
+	for _, b := range buckets {
+		if b.val < prev {
+			t.Fatalf("bucket le=%v count %v below previous %v (not cumulative)", b.le, b.val, prev)
+		}
+		prev = b.val
+	}
+	if inf < prev {
+		t.Fatalf("+Inf bucket %v below last bounded bucket %v", inf, prev)
+	}
+	count := hist["chgraph_request_latency_milliseconds_count"]
+	sum := hist["chgraph_request_latency_milliseconds_sum"]
+	if count != inf {
+		t.Fatalf("_count %v != +Inf bucket %v", count, inf)
+	}
+	if count < 2 { // at least the two completed /run requests
+		t.Fatalf("_count %v, want >= 2", count)
+	}
+	if sum < 0 {
+		t.Fatalf("negative _sum %v", sum)
+	}
+
+	// The JSON document is still intact on the same endpoint.
+	var snap Snapshot
+	if code := func() int {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatalf("GET /metrics json: %v", err)
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			t.Fatalf("decode json metrics: %v", err)
+		}
+		return resp.StatusCode
+	}(); code != http.StatusOK {
+		t.Fatalf("json /metrics: status %d", code)
+	}
+	if snap.Completed < 2 || snap.Mutations != 1 || snap.Uploads != 1 || len(snap.Tenants) < 2 {
+		t.Fatalf("json snapshot inconsistent: %+v", snap)
+	}
+}
+
+var _ = bytes.MinRead // keep bytes imported for doReq users in this file

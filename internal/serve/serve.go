@@ -65,6 +65,14 @@ type Options struct {
 	// rollup is exported under /metrics. Coalesced and cache-served
 	// requests record nothing — one entry per actual engine execution.
 	Session *obs.SessionMetrics
+	// Limits applies to every tenant (zero value: unlimited, the
+	// single-tenant behaviour); LimitOverrides replaces it for named
+	// tenants. Requests select their tenant with the X-Tenant header
+	// ("default" when absent).
+	Limits         TenantLimits
+	LimitOverrides map[string]TenantLimits
+	// MaxUploadBytes bounds one PUT /datasets body (default 64 MiB).
+	MaxUploadBytes int64
 }
 
 func (o Options) withDefaults() Options {
@@ -79,6 +87,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DrainTimeout <= 0 {
 		o.DrainTimeout = 30 * time.Second
+	}
+	if o.MaxUploadBytes <= 0 {
+		o.MaxUploadBytes = 64 << 20
 	}
 	return o
 }
@@ -115,19 +126,50 @@ type RunRequest struct {
 }
 
 // runKey is the coalescing key: every field that shapes the simulated
-// result, and nothing else.
-func (r RunRequest) runKey() string {
+// result, and nothing else. The zero-argument forms assume a built-in
+// dataset; tenant-resolved requests use the *For variants with the
+// resolved dataset key (which carries tenant and upload id for registered
+// datasets, so tenants can never collide on a name).
+func (r RunRequest) runKey() string { return r.runKeyFor(strings.ToUpper(r.Dataset)) }
+
+func (r RunRequest) runKeyFor(ds string) string {
 	return fmt.Sprintf("%s/s%g/%s/%s/c%d/w%d/d%d/i%d/src%d/k%d/%s",
-		strings.ToUpper(r.Dataset), r.Scale, r.Algorithm, strings.ToLower(r.Engine),
+		ds, r.Scale, r.Algorithm, strings.ToLower(r.Engine),
 		r.Cores, r.WMin, r.DMax, r.Iterations, r.Source, r.Shards, r.ShardPolicy)
 }
 
 // prepKey is the artifact-cache key: every field preprocessing depends on.
 // Engine kind, algorithm and D_max are absent — one artifact serves them
 // all.
-func (r RunRequest) prepKey() string {
+func (r RunRequest) prepKey() string { return r.prepKeyFor(strings.ToUpper(r.Dataset)) }
+
+func (r RunRequest) prepKeyFor(ds string) string {
 	return fmt.Sprintf("%s/s%g/c%d/w%d/k%d/%s",
-		strings.ToUpper(r.Dataset), r.Scale, r.Cores, r.WMin, r.Shards, r.ShardPolicy)
+		ds, r.Scale, r.Cores, r.WMin, r.Shards, r.ShardPolicy)
+}
+
+// dsRef is a resolved dataset reference: where a request's data actually
+// comes from. Registered datasets resolve to their in-memory hypergraph
+// (Scale is ignored for them); built-ins keep the lazy generator path.
+type dsRef struct {
+	key     string              // dataset component of prep/flight keys
+	name    string              // canonical built-in name ("" when registered)
+	isGraph bool                // built-in ordinary-graph dataset
+	g       *chgraph.Hypergraph // registered contents (nil for built-ins)
+}
+
+// resolveDataset maps (tenant, name) to a dsRef: the tenant's registry
+// first, then the built-in synthetic datasets. A registered name shadows a
+// built-in of the same name for that tenant only.
+func (s *Server) resolveDataset(tenant, name string) (dsRef, error) {
+	if ds, ok := s.registry.lookup(tenant, name); ok {
+		return dsRef{key: regKey(tenant, name, ds.id), g: ds.g}, nil
+	}
+	canonical, isGraph, err := datasetSide(name)
+	if err != nil {
+		return dsRef{}, err
+	}
+	return dsRef{key: strings.ToUpper(canonical), name: canonical, isGraph: isGraph}, nil
 }
 
 // RunResponse is the /run response body.
@@ -175,10 +217,12 @@ var errBadSpec = errors.New("bad request spec")
 // Server is the serving layer. Construct with NewServer; it implements
 // http.Handler.
 type Server struct {
-	opt   Options
-	mux   *http.ServeMux
-	cache *prepCache
-	runs  *flight.Group[*runOutcome]
+	opt      Options
+	mux      *http.ServeMux
+	cache    *prepCache
+	runs     *flight.Group[*runOutcome]
+	tenants  *tenants
+	registry *registry
 
 	queue   chan struct{} // admission tokens, capacity QueueDepth
 	workers chan struct{} // execution slots, capacity Workers
@@ -199,17 +243,23 @@ type Server struct {
 func NewServer(opt Options) *Server {
 	opt = opt.withDefaults()
 	s := &Server{
-		opt:     opt,
-		mux:     http.NewServeMux(),
-		runs:    flight.NewGroup[*runOutcome](),
-		queue:   make(chan struct{}, opt.QueueDepth),
-		workers: make(chan struct{}, opt.Workers),
+		opt:      opt,
+		mux:      http.NewServeMux(),
+		runs:     flight.NewGroup[*runOutcome](),
+		tenants:  newTenants(opt.Limits, opt.LimitOverrides),
+		registry: newRegistry(),
+		queue:    make(chan struct{}, opt.QueueDepth),
+		workers:  make(chan struct{}, opt.Workers),
 	}
 	s.cache = newPrepCache(opt.CacheEntries, &s.met)
 	s.mux.HandleFunc("/run", s.handleRun)
 	s.mux.HandleFunc("/mutate", s.handleMutate)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("PUT /datasets/{tenant}/{name}", s.handleDatasetPut)
+	s.mux.HandleFunc("GET /datasets/{tenant}/{name}", s.handleDatasetGet)
+	s.mux.HandleFunc("DELETE /datasets/{tenant}/{name}", s.handleDatasetDelete)
+	s.mux.HandleFunc("GET /datasets/{tenant}", s.handleDatasetList)
 	return s
 }
 
@@ -223,6 +273,8 @@ func (s *Server) Metrics() Snapshot {
 	snap.QueueCapacity = cap(s.queue)
 	snap.CacheEntries = s.cache.len()
 	snap.CacheCapacity = s.opt.CacheEntries
+	snap.RegistryDatasets, snap.RegistryBytes = s.registry.totals()
+	snap.Tenants = s.snapshotTenants()
 	s.drainMu.Lock()
 	snap.Draining = s.draining
 	s.drainMu.Unlock()
@@ -285,6 +337,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsOpenMetrics(r) {
+		w.Header().Set("Content-Type", openMetricsContentType)
+		_ = writeOpenMetrics(w, s.Metrics())
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -305,11 +362,34 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	tenantName, err := tenantFrom(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ref, err := s.resolveDataset(tenantName, req.Dataset)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	if !s.enter() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
 	defer s.inflight.Done()
+
+	// Per-tenant fairness first: a tenant over its token-bucket rate or
+	// in-flight cap is refused before it can contend for a shared queue
+	// slot, so one tenant's burst cannot starve the pool.
+	tn := s.tenants.get(tenantName)
+	tn.requests.Add(1)
+	if wait, ok := tn.admit(time.Now()); !ok {
+		s.met.rateLimited.Add(1)
+		retryAfter(w, wait)
+		http.Error(w, "tenant over rate or in-flight limit", http.StatusTooManyRequests)
+		return
+	}
+	defer tn.release()
 
 	// Bounded admission: the token is held for the request's whole
 	// lifetime (queued, waiting on a coalesced run, executing), so
@@ -320,6 +400,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		defer func() { <-s.queue }()
 	default:
 		s.met.rejected.Add(1)
+		tn.rejectedQueueFull.Add(1)
+		retryAfter(w, time.Second)
 		http.Error(w, "queue full", http.StatusTooManyRequests)
 		return
 	}
@@ -335,12 +417,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// cache lookup inside execute only shifts which version the whole
 	// coalesced group observes — every sharer still gets one consistent
 	// artifact, and the response reports the generation actually run.
-	flightKey := fmt.Sprintf("%s/g%d", req.runKey(), s.cache.peekGen(req.prepKey()))
+	flightKey := fmt.Sprintf("%s/g%d", req.runKeyFor(ref.key), s.cache.peekGen(req.prepKeyFor(ref.key)))
 	out, err, shared := s.runs.Do(r.Context(), flightKey, func(ctx context.Context) (*runOutcome, error) {
-		return s.execute(ctx, req)
+		return s.execute(ctx, req, ref)
 	})
 	if shared {
 		s.met.coalesced.Add(1)
+		tn.coalesced.Add(1)
 	}
 	if err != nil {
 		switch {
@@ -350,9 +433,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			w.WriteHeader(statusClientClosedRequest)
 		case errors.Is(err, errBadSpec):
 			s.met.failed.Add(1)
+			tn.failed.Add(1)
 			http.Error(w, err.Error(), http.StatusBadRequest)
 		default:
 			s.met.failed.Add(1)
+			tn.failed.Add(1)
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 		return
@@ -364,6 +449,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		resp.VertexValues, resp.HyperedgeValues = out.vv, out.hv
 	}
 	s.met.completed.Add(1)
+	tn.completed.Add(1)
 	s.met.observeLatencyMS(float64(time.Since(start)) / float64(time.Millisecond))
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(resp)
@@ -428,13 +514,19 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	spec := req.asRun()
-	if err := func() error {
-		if req.Dataset == "" {
-			return errors.New("dataset is required")
-		}
-		_, _, err := datasetSide(req.Dataset)
-		return err
-	}(); err != nil {
+	if req.Dataset == "" {
+		s.met.mutationsFailed.Add(1)
+		http.Error(w, "dataset is required", http.StatusBadRequest)
+		return
+	}
+	tenantName, err := tenantFrom(r)
+	if err != nil {
+		s.met.mutationsFailed.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ref, err := s.resolveDataset(tenantName, req.Dataset)
+	if err != nil {
 		s.met.mutationsFailed.Add(1)
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -445,13 +537,26 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.inflight.Done()
 
-	// Mutations pass through the same bounded admission as runs: applying a
-	// batch does real preprocessing work.
+	// Mutations are attributed to their tenant and pass its limits: a batch
+	// does real preprocessing work.
+	tn := s.tenants.get(tenantName)
+	tn.requests.Add(1)
+	if wait, ok := tn.admit(time.Now()); !ok {
+		s.met.rateLimited.Add(1)
+		retryAfter(w, wait)
+		http.Error(w, "tenant over rate or in-flight limit", http.StatusTooManyRequests)
+		return
+	}
+	defer tn.release()
+
+	// Mutations pass through the same bounded admission as runs.
 	select {
 	case s.queue <- struct{}{}:
 		defer func() { <-s.queue }()
 	default:
 		s.met.rejected.Add(1)
+		tn.rejectedQueueFull.Add(1)
+		retryAfter(w, time.Second)
 		http.Error(w, "queue full", http.StatusTooManyRequests)
 		return
 	}
@@ -462,7 +567,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	s.mutateMu.Lock()
 	defer s.mutateMu.Unlock()
 
-	key := spec.prepKey()
+	key := spec.prepKeyFor(ref.key)
 	art, ok := s.cache.peek(key)
 	if !ok {
 		cfg, err := config(spec)
@@ -472,7 +577,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if art, _, err = s.cache.get(r.Context(), key, func(bctx context.Context) (*artifact, error) {
-			return buildArtifact(bctx, spec, cfg)
+			return buildArtifact(bctx, spec, ref, cfg)
 		}); err != nil {
 			s.met.mutationsFailed.Add(1)
 			writeError(w, classify(err))
@@ -502,6 +607,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	s.met.mutations.Add(1)
 	s.met.hyperedgesAdded.Add(uint64(len(req.Add)))
 	s.met.hyperedgesRemoved.Add(uint64(len(req.Remove)))
+	tn.completed.Add(1)
 
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(MutateResponse{
@@ -526,14 +632,12 @@ func writeError(w http.ResponseWriter, err error) {
 }
 
 // validate pre-checks the parts of a spec that are cheap to check before
-// admission; everything else (algorithm names, shard bounds) surfaces from
-// the run itself and is classified by execute.
+// admission; dataset existence is the tenant-aware resolveDataset's job,
+// and everything else (algorithm names, shard bounds) surfaces from the
+// run itself and is classified by execute.
 func validate(req *RunRequest) error {
 	if req.Dataset == "" {
 		return errors.New("dataset is required")
-	}
-	if _, _, err := datasetSide(req.Dataset); err != nil {
-		return err
 	}
 	if req.Algorithm == "" {
 		return errors.New("algorithm is required")
@@ -582,7 +686,7 @@ func config(req RunRequest) (chgraph.RunConfig, error) {
 // resolve the prepared artifacts through the LRU, and execute under the
 // shared call context (cancelled only when every interested client is
 // gone).
-func (s *Server) execute(ctx context.Context, req RunRequest) (*runOutcome, error) {
+func (s *Server) execute(ctx context.Context, req RunRequest, ref dsRef) (*runOutcome, error) {
 	select {
 	case s.workers <- struct{}{}:
 		defer func() { <-s.workers }()
@@ -594,8 +698,8 @@ func (s *Server) execute(ctx context.Context, req RunRequest) (*runOutcome, erro
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", errBadSpec, err)
 	}
-	art, hit, err := s.cache.get(ctx, req.prepKey(), func(bctx context.Context) (*artifact, error) {
-		return buildArtifact(bctx, req, cfg)
+	art, hit, err := s.cache.get(ctx, req.prepKeyFor(ref.key), func(bctx context.Context) (*artifact, error) {
+		return buildArtifact(bctx, req, ref, cfg)
 	})
 	if err != nil {
 		return nil, classify(err)
@@ -604,7 +708,7 @@ func (s *Server) execute(ctx context.Context, req RunRequest) (*runOutcome, erro
 	runCfg := cfg
 	runCfg.Prepared = art.pre
 	if s.opt.Session != nil {
-		runCfg.Observer = obs.TagGeneration(s.opt.Session.Observe(req.runKey()), art.gen)
+		runCfg.Observer = obs.TagGeneration(s.opt.Session.Observe(req.runKeyFor(ref.key)), art.gen)
 	}
 	res, err := chgraph.RunContext(ctx, art.g, req.Algorithm, runCfg)
 	if err != nil {
@@ -626,21 +730,23 @@ func (s *Server) execute(ctx context.Context, req RunRequest) (*runOutcome, erro
 	}, nil
 }
 
-// buildArtifact loads the dataset and builds its prepared bundle — the
-// cache-miss path.
-func buildArtifact(ctx context.Context, req RunRequest, cfg chgraph.RunConfig) (*artifact, error) {
-	name, isGraph, err := datasetSide(req.Dataset)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", errBadSpec, err)
-	}
-	var g *chgraph.Hypergraph
-	if isGraph {
-		g, err = chgraph.LoadGraphDataset(name, req.Scale)
-	} else {
-		g, err = chgraph.LoadDataset(name, req.Scale)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", errBadSpec, err)
+// buildArtifact loads (or takes, for registered datasets) the hypergraph
+// and builds its prepared bundle — the cache-miss path. A registered
+// dataset's contents are pinned at resolve time: if the upload is replaced
+// or deleted mid-build, this build still completes against the contents the
+// request resolved, under a key no future request will look up.
+func buildArtifact(ctx context.Context, req RunRequest, ref dsRef, cfg chgraph.RunConfig) (*artifact, error) {
+	g := ref.g
+	if g == nil {
+		var err error
+		if ref.isGraph {
+			g, err = chgraph.LoadGraphDataset(ref.name, req.Scale)
+		} else {
+			g, err = chgraph.LoadDataset(ref.name, req.Scale)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errBadSpec, err)
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err

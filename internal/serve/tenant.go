@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TenantLimits bounds what one tenant may do. The zero value means
+// unlimited everywhere — multi-tenant enforcement is opt-in so a bare
+// NewServer keeps the single-tenant behaviour of earlier versions.
+type TenantLimits struct {
+	// RatePerSec refills the tenant's request token bucket (requests per
+	// second across /run and /mutate). 0 disables rate limiting.
+	RatePerSec float64
+	// Burst is the bucket capacity (default: RatePerSec rounded up, min 1).
+	Burst int
+	// MaxInFlight caps the tenant's concurrently admitted requests so one
+	// tenant cannot occupy the whole shared pool. 0 disables the cap.
+	MaxInFlight int
+	// MaxDatasets caps the tenant's registered datasets. 0 disables.
+	MaxDatasets int
+	// MaxBytes caps the approximate resident bytes of the tenant's
+	// registered datasets. 0 disables.
+	MaxBytes int64
+}
+
+func (l TenantLimits) burst() float64 {
+	if l.Burst > 0 {
+		return float64(l.Burst)
+	}
+	return math.Max(1, math.Ceil(l.RatePerSec))
+}
+
+// defaultTenant is the tenant every request without an X-Tenant header
+// belongs to, preserving the pre-multi-tenant wire behaviour.
+const defaultTenant = "default"
+
+// validName reports whether s is acceptable as a tenant or dataset name:
+// 1-64 characters of [A-Za-z0-9._-], starting with an alphanumeric. Names
+// appear in cache keys and metric labels, so the charset is deliberately
+// too boring to need escaping.
+func validName(s string) bool {
+	if len(s) == 0 || len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case i > 0 && (c == '.' || c == '_' || c == '-'):
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// tenantFrom extracts the requesting tenant from the X-Tenant header
+// (defaulting to "default" when absent).
+func tenantFrom(r *http.Request) (string, error) {
+	name := r.Header.Get("X-Tenant")
+	if name == "" {
+		return defaultTenant, nil
+	}
+	if !validName(name) {
+		return "", fmt.Errorf("%w: invalid tenant name %q (want 1-64 of [A-Za-z0-9._-], alphanumeric first)", errBadSpec, name)
+	}
+	return name, nil
+}
+
+// tokenBucket is a classic token bucket: capacity `burst`, refilled at
+// `rate` tokens/second, one token per admitted request. It reports how long
+// until the next token when empty, which becomes the Retry-After header.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func (b *tokenBucket) take(now time.Time) (ok bool, retry time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.last.IsZero() {
+		b.tokens = b.burst
+	} else if dt := now.Sub(b.last); dt > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+b.rate*dt.Seconds())
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+}
+
+// tenant is one tenant's runtime state: its limits, token bucket, in-flight
+// gauge and counters. Counters are atomics — the hot path touches them from
+// many request goroutines.
+type tenant struct {
+	name   string
+	lim    TenantLimits
+	bucket tokenBucket
+
+	inFlight atomic.Int64
+
+	requests          atomic.Uint64 // /run + /mutate requests attributed to the tenant
+	completed         atomic.Uint64
+	failed            atomic.Uint64
+	coalesced         atomic.Uint64
+	rejectedQueueFull atomic.Uint64 // 429s from the shared admission queue
+	rejectedRate      atomic.Uint64 // 429s from the tenant's token bucket
+	rejectedInFlight  atomic.Uint64 // 429s from the tenant's in-flight cap
+}
+
+// admit claims an in-flight slot and a rate token; on refusal it reports the
+// suggested Retry-After. The slot is claimed before the token so a tenant
+// hammering past its cap doesn't also drain its bucket.
+func (t *tenant) admit(now time.Time) (retry time.Duration, ok bool) {
+	if max := t.lim.MaxInFlight; max > 0 && t.inFlight.Add(1) > int64(max) {
+		t.inFlight.Add(-1)
+		t.rejectedInFlight.Add(1)
+		return time.Second, false
+	} else if max <= 0 {
+		t.inFlight.Add(1) // uncapped: still tracked as a gauge
+	}
+	if t.lim.RatePerSec > 0 {
+		if ok, wait := t.bucket.take(now); !ok {
+			t.inFlight.Add(-1)
+			t.rejectedRate.Add(1)
+			return wait, false
+		}
+	}
+	return 0, true
+}
+
+func (t *tenant) release() { t.inFlight.Add(-1) }
+
+// tenants is the lazily populated tenant table. Tenants are created on
+// first contact; limits come from the per-name override when present, the
+// shared default otherwise.
+type tenants struct {
+	mu   sync.Mutex
+	m    map[string]*tenant
+	def  TenantLimits
+	over map[string]TenantLimits
+}
+
+func newTenants(def TenantLimits, over map[string]TenantLimits) *tenants {
+	return &tenants{m: map[string]*tenant{}, def: def, over: over}
+}
+
+func (ts *tenants) get(name string) *tenant {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if t, ok := ts.m[name]; ok {
+		return t
+	}
+	lim := ts.def
+	if o, ok := ts.over[name]; ok {
+		lim = o
+	}
+	t := &tenant{name: name, lim: lim}
+	t.bucket.rate, t.bucket.burst = lim.RatePerSec, lim.burst()
+	ts.m[name] = t
+	return t
+}
+
+// names returns every tenant seen so far, sorted (stable metric output).
+func (ts *tenants) names() []string {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]string, 0, len(ts.m))
+	for n := range ts.m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TenantSnapshot is one tenant's row in the /metrics document.
+type TenantSnapshot struct {
+	Name                string `json:"name"`
+	Requests            uint64 `json:"requests"`
+	Completed           uint64 `json:"completed"`
+	Failed              uint64 `json:"failed"`
+	Coalesced           uint64 `json:"coalesced"`
+	RejectedQueueFull   uint64 `json:"rejected_queue_full"`
+	RejectedRateLimit   uint64 `json:"rejected_rate_limit"`
+	RejectedInFlightCap uint64 `json:"rejected_in_flight_cap"`
+	InFlight            int64  `json:"in_flight"`
+	Datasets            int    `json:"datasets"`
+	DatasetBytes        int64  `json:"dataset_bytes"`
+}
+
+// snapshotTenants collects per-tenant counters merged with registry gauges.
+func (s *Server) snapshotTenants() []TenantSnapshot {
+	names := s.tenants.names()
+	out := make([]TenantSnapshot, 0, len(names))
+	for _, n := range names {
+		t := s.tenants.get(n)
+		count, bytes := s.registry.usage(n)
+		out = append(out, TenantSnapshot{
+			Name:                n,
+			Requests:            t.requests.Load(),
+			Completed:           t.completed.Load(),
+			Failed:              t.failed.Load(),
+			Coalesced:           t.coalesced.Load(),
+			RejectedQueueFull:   t.rejectedQueueFull.Load(),
+			RejectedRateLimit:   t.rejectedRate.Load(),
+			RejectedInFlightCap: t.rejectedInFlight.Load(),
+			InFlight:            t.inFlight.Load(),
+			Datasets:            count,
+			DatasetBytes:        bytes,
+		})
+	}
+	return out
+}
+
+// retryAfter stamps the conventional backoff hint on a 429: whole seconds,
+// rounded up, at least 1.
+func retryAfter(w http.ResponseWriter, wait time.Duration) {
+	secs := int(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+}

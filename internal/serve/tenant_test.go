@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func TestTokenBucket(t *testing.T) {
+	b := &tokenBucket{rate: 2, burst: 2}
+	t0 := time.Unix(1000, 0)
+
+	// A fresh bucket holds its full burst.
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.take(t0); !ok {
+			t.Fatalf("take %d from full bucket refused", i)
+		}
+	}
+	ok, retry := b.take(t0)
+	if ok {
+		t.Fatalf("empty bucket admitted")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retry %v, want (0, 1s] at 2 tokens/s", retry)
+	}
+
+	// Refill: 500ms at 2/s is exactly one token.
+	if ok, _ := b.take(t0.Add(500 * time.Millisecond)); !ok {
+		t.Fatalf("refilled token refused")
+	}
+	// Refill never exceeds the burst.
+	if ok, _ := b.take(t0.Add(time.Hour)); !ok {
+		t.Fatalf("bucket empty after an hour idle")
+	}
+	if ok, _ := b.take(t0.Add(time.Hour)); !ok {
+		t.Fatalf("burst capacity lost")
+	}
+	if ok, _ := b.take(t0.Add(time.Hour)); ok {
+		t.Fatalf("bucket over-refilled past burst")
+	}
+}
+
+func TestValidName(t *testing.T) {
+	for name, want := range map[string]bool{
+		"acme": true, "a": true, "Tenant-7": true, "a.b_c-d": true,
+		"": false, ".dot": false, "-lead": false, "has space": false,
+		"ünï": false, "x/y": false, string(make([]byte, 65)): false,
+	} {
+		if got := validName(name); got != want {
+			t.Errorf("validName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestTenantRateLimit429 pins the token-bucket refusal: after the burst
+// token is spent the next request gets 429 and a Retry-After of at least
+// one second, while a different tenant is untouched. The refill rate is
+// one token per 100s so the first request's duration (notably under
+// -race) can never refill the bucket mid-test.
+func TestTenantRateLimit429(t *testing.T) {
+	srv := NewServer(Options{Limits: TenantLimits{RatePerSec: 0.01, Burst: 1}})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	body, _ := json.Marshal(RunRequest{Dataset: "OK", Scale: 0.02, Algorithm: "PR", Engine: "chgraph", Iterations: 2})
+	do := func(tenant string) (int, http.Header) {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/run", bytes.NewReader(body))
+		req.Header.Set("X-Tenant", tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("POST /run: %v", err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, resp.Header
+	}
+
+	if code, _ := do("alpha"); code != http.StatusOK {
+		t.Fatalf("first request: status %d", code)
+	}
+	code, hdr := do("alpha")
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("second request: status %d, want 429", code)
+	}
+	secs, err := strconv.Atoi(hdr.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After %q, want integer >= 1", hdr.Get("Retry-After"))
+	}
+	// Independent bucket: tenant beta is admitted immediately.
+	if code, _ := do("beta"); code != http.StatusOK {
+		t.Fatalf("other tenant: status %d", code)
+	}
+
+	snap := srv.Metrics()
+	if snap.RateLimited != 1 {
+		t.Fatalf("rate_limited %d, want 1", snap.RateLimited)
+	}
+	for _, tn := range snap.Tenants {
+		switch tn.Name {
+		case "alpha":
+			if tn.RejectedRateLimit != 1 || tn.Completed != 1 {
+				t.Fatalf("alpha: %+v", tn)
+			}
+		case "beta":
+			if tn.RejectedRateLimit != 0 || tn.Completed != 1 {
+				t.Fatalf("beta: %+v", tn)
+			}
+		}
+	}
+}
+
+// TestTenantInFlightCap pins the per-tenant concurrency cap: while one
+// request of a capped tenant is still executing, its second request is
+// refused with 429 + Retry-After, and the cap releases with the request.
+func TestTenantInFlightCap(t *testing.T) {
+	srv := NewServer(Options{QueueDepth: 8, Workers: 1, Limits: TenantLimits{MaxInFlight: 1}})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	slow, _ := json.Marshal(RunRequest{Dataset: "OK", Scale: 0.05, Algorithm: "PR", Engine: "chgraph", Iterations: 60, Cores: 4})
+	done := make(chan int, 1)
+	go func() {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/run", bytes.NewReader(slow))
+		req.Header.Set("X-Tenant", "capped")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			done <- 0
+			return
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		done <- resp.StatusCode
+	}()
+
+	// Wait for the slow run to be admitted, then hit the cap.
+	deadline := time.Now().Add(5 * time.Second)
+	capped := false
+	for time.Now().Before(deadline) {
+		if srv.tenants.get("capped").inFlight.Load() >= 1 {
+			capped = true
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !capped {
+		t.Fatalf("slow request never admitted")
+	}
+	fast, _ := json.Marshal(RunRequest{Dataset: "OK", Scale: 0.02, Algorithm: "PR", Iterations: 1})
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/run", bytes.NewReader(fast))
+	req.Header.Set("X-Tenant", "capped")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("second request: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		// The slow run may have finished between the spin and the request;
+		// that is a legal interleaving, but it must then have answered 200.
+		if code := <-done; code != http.StatusOK {
+			t.Fatalf("slow request: status %d", code)
+		}
+		t.Skipf("slow run finished before the cap could be observed (status %d)", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("429 without Retry-After")
+	}
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("slow request: status %d", code)
+	}
+
+	// Cap released: the tenant is admitted again.
+	req2, _ := http.NewRequest(http.MethodPost, ts.URL+"/run", bytes.NewReader(fast))
+	req2.Header.Set("X-Tenant", "capped")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatalf("post-release request: %v", err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-release request: status %d", resp2.StatusCode)
+	}
+	if tn := srv.tenants.get("capped"); tn.rejectedInFlight.Load() != 1 {
+		t.Fatalf("rejected_in_flight_cap %d, want 1", tn.rejectedInFlight.Load())
+	}
+}
+
+func TestInvalidTenantHeader(t *testing.T) {
+	srv := NewServer(Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	body, _ := json.Marshal(RunRequest{Dataset: "OK", Scale: 0.02, Algorithm: "PR"})
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/run", bytes.NewReader(body))
+	req.Header.Set("X-Tenant", "no/slashes allowed")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST /run: %v", err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+}
+
+// TestQueueFullRetryAfter verifies the shared-queue 429 now carries the
+// backoff hint too.
+func TestQueueFullRetryAfter(t *testing.T) {
+	srv := NewServer(Options{QueueDepth: 1, Workers: 1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	slow, _ := json.Marshal(RunRequest{Dataset: "OK", Scale: 0.05, Algorithm: "PR", Engine: "chgraph", Iterations: 60, Cores: 4})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader(slow))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Metrics().QueueDepth == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	fast, _ := json.Marshal(RunRequest{Dataset: "OK", Scale: 0.02, Algorithm: "PR"})
+	resp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader(fast))
+	if err != nil {
+		t.Fatalf("POST /run: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("queue-full 429 without Retry-After")
+	}
+	<-done
+}

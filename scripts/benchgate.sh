@@ -41,15 +41,24 @@ field() {
 }
 
 fail=0
+rows=""
+row() {
+    # status name baseline fresh verdict -> one markdown table row for the
+    # GitHub Actions step summary (appended at the end of the run).
+    rows="$rows| $1 | $2 | $3 | $4 | $5 |
+"
+}
 gate() {
     name=$1 tol=$2 old=$3 new=$4
     if [ -z "$old" ] || [ -z "$new" ]; then
         echo "FAIL  $name: field missing (baseline='$old' fresh='$new')"
+        row FAIL "$name" "${old:-?}" "${new:-?}" "field missing"
         fail=1
         return
     fi
     if [ "$old" -eq 0 ]; then
         echo "FAIL  $name: baseline is zero (stale or truncated $base?)"
+        row FAIL "$name" 0 "$new" "baseline is zero"
         fail=1
         return
     fi
@@ -57,9 +66,11 @@ gate() {
     over=$(awk -v o="$old" -v n="$new" -v t="$tol" 'BEGIN { print ((n - o) * 100 / o > t) ? 1 : 0 }')
     if [ "$over" = 1 ]; then
         echo "FAIL  $name: $old -> $new (${delta}%, tolerance +${tol}%)"
+        row FAIL "$name" "$old" "$new" "${delta}% (tolerance +${tol}%)"
         fail=1
     else
         echo "ok    $name: $old -> $new (${delta}%, tolerance +${tol}%)"
+        row ok "$name" "$old" "$new" "${delta}% (tolerance +${tol}%)"
     fi
 }
 
@@ -72,8 +83,20 @@ gate host_wall_ns "$wall_tol" "$(field "$base" host_wall_ns)" "$(field "$fresh" 
 base_allocs=$(field "$base" host_allocs)
 if [ -z "$base_allocs" ]; then
     echo "skip  host_allocs: baseline has no host_allocs field (refresh with 'make bench-baseline' to arm this gate)"
+    row skip host_allocs "-" "$(field "$fresh" host_allocs)" "baseline has no host_allocs field"
 else
     gate host_allocs "$alloc_tol" "$base_allocs" "$(field "$fresh" host_allocs)"
+fi
+
+if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+    {
+        echo "### Bench gate ($fresh vs $base)"
+        echo ""
+        echo "| status | metric | baseline | fresh | verdict |"
+        echo "|---|---|---|---|---|"
+        printf '%s' "$rows"
+        echo ""
+    } >>"$GITHUB_STEP_SUMMARY"
 fi
 
 if [ "$fail" = 1 ]; then

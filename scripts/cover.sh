@@ -47,5 +47,6 @@ check internal/oag        90
 check internal/shard      90
 check internal/serve      90
 check internal/flight     90
+check internal/loadtest   84
 
 exit $fail

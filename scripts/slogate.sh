@@ -1,0 +1,105 @@
+#!/bin/sh
+# slogate.sh gates pull requests on the serving SLO. It reads the fresh
+# load-test report (slo-report.json, written by `make loadtest-smoke`) and
+# the committed baseline (SLO_baseline.json) and fails when:
+#
+#   errors              > 0   -- transport failures or 5xx at nominal load
+#   checksum_mismatches > 0   -- nondeterminism under concurrency: a
+#                                correctness bug, never acceptable
+#   rejected_429        > 0   -- nominal load runs with no tenant limits
+#                                configured, so any shedding is a bug
+#   p99_ms              > P99_TOL % worse than baseline (default 100) --
+#                                deliberately loose: CI runners are shared
+#                                and latency tails are noisy, so only a
+#                                2x regression fails the gate
+#
+# Goodput is reported but not gated (it is the inverse of latency under a
+# closed loop, so gating both would double-count runner noise).
+#
+# Usage: sh scripts/slogate.sh [baseline.json] [fresh.json]
+# Tolerance is env-overridable (P99_TOL=200 sh scripts/slogate.sh).
+# Refresh the baseline with `make slo-baseline` when serving latency
+# legitimately changes, and say why in the commit message.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+base=${1:-SLO_baseline.json}
+fresh=${2:-slo-report.json}
+p99_tol=${P99_TOL:-100}
+
+for f in "$base" "$fresh"; do
+    if [ ! -f "$f" ]; then
+        echo "slogate: missing $f (run 'make loadtest-smoke' first;" \
+            "the baseline is committed as SLO_baseline.json)" >&2
+        exit 1
+    fi
+done
+
+# Report fields are flat scalars, one per line when pretty-printed; the
+# names are pinned by TestReportFieldNames in internal/loadtest.
+field() {
+    sed -n 's/.*"'"$2"'": *\([0-9][0-9.]*\).*/\1/p' "$1" | head -1
+}
+
+fail=0
+rows=""
+note() {
+    # status name baseline fresh verdict
+    rows="$rows| $1 | $2 | $3 | $4 | $5 |
+"
+    echo "$1  $2: $5"
+}
+
+gate_zero() {
+    name=$1
+    val=$(field "$fresh" "$name")
+    if [ -z "$val" ]; then
+        note FAIL "$name" "-" "?" "field missing from $fresh"
+        fail=1
+    elif [ "$val" != 0 ]; then
+        note FAIL "$name" 0 "$val" "$val (must be 0 at nominal load)"
+        fail=1
+    else
+        note ok "$name" 0 0 "0"
+    fi
+}
+
+gate_zero errors
+gate_zero checksum_mismatches
+gate_zero rejected_429
+
+old=$(field "$base" p99_ms)
+new=$(field "$fresh" p99_ms)
+if [ -z "$old" ] || [ -z "$new" ]; then
+    note FAIL p99_ms "${old:-?}" "${new:-?}" "field missing (baseline='$old' fresh='$new')"
+    fail=1
+else
+    delta=$(awk -v o="$old" -v n="$new" 'BEGIN { printf "%+.1f%%", (n - o) * 100 / o }')
+    over=$(awk -v o="$old" -v n="$new" -v t="$p99_tol" 'BEGIN { print ((n - o) * 100 / o > t) ? 1 : 0 }')
+    if [ "$over" = 1 ]; then
+        note FAIL p99_ms "$old" "$new" "$delta (tolerance +${p99_tol}%)"
+        fail=1
+    else
+        note ok p99_ms "$old" "$new" "$delta (tolerance +${p99_tol}%)"
+    fi
+fi
+
+goodput=$(field "$fresh" goodput_rps)
+note info goodput_rps "$(field "$base" goodput_rps)" "${goodput:-?}" "not gated"
+
+if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+    {
+        echo "### SLO gate ($fresh vs $base)"
+        echo ""
+        echo "| status | metric | baseline | fresh | verdict |"
+        echo "|---|---|---|---|---|"
+        printf '%s' "$rows"
+        echo ""
+    } >>"$GITHUB_STEP_SUMMARY"
+fi
+
+if [ "$fail" = 1 ]; then
+    echo "slogate: SLO regression against $base (refresh with 'make slo-baseline' only if intended)" >&2
+fi
+exit $fail
