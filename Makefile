@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build vet test race bench bench-smoke bench-baseline benchgate mutate-smoke cover fuzz loadtest loadtest-smoke slogate slo-baseline
+.PHONY: tier1 build vet test race bench bench-smoke bench-baseline benchgate mutate-smoke cover fuzz loadtest loadtest-smoke slogate slo-baseline dist-smoke
 
 # tier1 is the gate every change must pass: clean build, vet, and the full
 # test suite. The race detector runs as its own CI job (`make race`) so a
@@ -73,6 +73,13 @@ slogate:
 slo-baseline:
 	$(MAKE) loadtest-smoke
 	cp slo-report.json SLO_baseline.json
+
+# dist-smoke is the cross-process determinism gate: four real chgraph-worker
+# processes behind a coordinator must produce BFS/CC state checksums
+# bit-identical to the in-process sharded run and the unsharded engine
+# (see scripts/distsmoke.sh and DESIGN.md §16).
+dist-smoke:
+	sh scripts/distsmoke.sh
 
 # cover enforces per-package statement-coverage floors (engine, obs,
 # hypergraph); see scripts/cover.sh for the thresholds.

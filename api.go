@@ -27,6 +27,7 @@ import (
 	"chgraph/internal/algorithms"
 	"chgraph/internal/bitset"
 	"chgraph/internal/core"
+	"chgraph/internal/dist"
 	"chgraph/internal/engine"
 	"chgraph/internal/gen"
 	"chgraph/internal/hwcost"
@@ -263,6 +264,17 @@ type RunConfig struct {
 	// ShardCapFactor tunes the greedy policy's per-shard size cap
 	// (<=0 uses the default headroom).
 	ShardCapFactor float64
+	// DistWorkers, when non-empty, runs the computation distributed: one
+	// shard per address, each executed by a chgraph-worker process
+	// (internal/dist), with the frontier merge barrier driven over HTTP.
+	// The shard count is len(DistWorkers) — Shards is ignored — and
+	// ShardPolicy/ShardCapFactor configure the partitioner as for in-process
+	// sharded runs. Crash-free distributed runs are bit-identical to the
+	// equivalent in-process sharded run; a run that recovered a worker crash
+	// keeps exact algorithm state but not simulated cycle counters
+	// (DESIGN.md §16). Prepared is not supported with DistWorkers (each
+	// worker preps its own sub-hypergraph).
+	DistWorkers []string
 	// Prepared supplies prebuilt preprocessing artifacts from Prepare so
 	// repeat runs of the same spec skip dataset chunking, OAG construction
 	// and (for sharded runs) partitioning entirely. It must have been built
@@ -471,6 +483,9 @@ type Result struct {
 	Shards             int
 	ReplicatedVertices uint64
 	ReplicationFactor  float64
+	// WorkerRestarts counts distributed worker crashes recovered during the
+	// run (always 0 for in-process runs).
+	WorkerRestarts uint64
 }
 
 // Run executes the named algorithm (see Algorithms, plus "SSSP" and
@@ -515,6 +530,9 @@ func RunContext(ctx context.Context, g *Hypergraph, algorithm string, cfg RunCon
 	}
 
 	eopt := prepOptions(cfg)
+	if len(cfg.DistWorkers) > 0 && cfg.Prepared != nil {
+		return nil, fmt.Errorf("chgraph: Prepared artifacts are not supported with DistWorkers (each worker preps its own sub-hypergraph)")
+	}
 	if p := cfg.Prepared; p != nil {
 		if p.b != g.b {
 			return nil, fmt.Errorf("chgraph: Prepared was built for a different hypergraph")
@@ -532,7 +550,21 @@ func RunContext(ctx context.Context, g *Hypergraph, algorithm string, cfg RunCon
 		sres *shard.Result
 		err  error
 	)
-	if cfg.Shards > 1 {
+	if len(cfg.DistWorkers) > 0 {
+		var pol shard.Policy
+		if cfg.ShardPolicy != "" {
+			if pol, err = shard.ParsePolicy(cfg.ShardPolicy); err != nil {
+				return nil, err
+			}
+		}
+		sres, err = dist.RunCtx(ctx, g.b, alg, dist.Options{
+			Workers: cfg.DistWorkers, Policy: pol, CapFactor: cfg.ShardCapFactor,
+			Engine: eopt,
+		})
+		if sres != nil {
+			res = sres.Result
+		}
+	} else if cfg.Shards > 1 {
 		pol := shard.PolicyRange
 		if cfg.ShardPolicy != "" {
 			if pol, err = shard.ParsePolicy(cfg.ShardPolicy); err != nil {
@@ -578,6 +610,7 @@ func RunContext(ctx context.Context, g *Hypergraph, algorithm string, cfg RunCon
 		out.Shards = sres.Shards
 		out.ReplicatedVertices = sres.ReplicatedVertices
 		out.ReplicationFactor = sres.ReplicationFactor
+		out.WorkerRestarts = sres.WorkerRestarts
 	}
 	if kc, ok := alg.(*algorithms.KCore); ok {
 		out.Coreness = kc.Coreness

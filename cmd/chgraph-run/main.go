@@ -23,6 +23,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
 	"runtime/pprof"
@@ -48,6 +49,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "host worker threads for prep/compile (0 = all CPUs, 1 = serial); results are identical for every value")
 		shards   = flag.Int("shards", 1, "shard count: >1 partitions the hypergraph and runs one engine per shard with a merge barrier between iterations")
 		shardPol = flag.String("shard-policy", "range", "partition policy: range (contiguous hyperedge ranges) or greedy (streaming replication-minimizing)")
+		distWk   = flag.String("dist-workers", "", "comma-separated chgraph-worker addresses: run distributed, one shard per worker process (overrides -shards)")
 		mutate   = flag.String("mutate", "", `hyperedge batch to apply incrementally before running, e.g. "remove=0,5;add=0-1-2,3-4"`)
 
 		metricsOut = flag.String("metrics-out", "", "write the per-phase timeline to this file (JSON, or CSV if the path ends in .csv)")
@@ -135,6 +137,13 @@ func main() {
 		IncludePreprocessing: *prep, Source: uint32(*source), Workers: *workers,
 		Observer: observer, Shards: *shards, ShardPolicy: *shardPol,
 	}
+	if *distWk != "" {
+		for _, a := range strings.Split(*distWk, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				cfg.DistWorkers = append(cfg.DistWorkers, a)
+			}
+		}
+	}
 
 	if *mutate != "" {
 		batch, err := parseMutation(*mutate)
@@ -176,6 +185,10 @@ func main() {
 		fmt.Printf("  shards:            %d (%s policy, %d replicated vertices, %.3fx replication)\n",
 			res.Shards, *shardPol, res.ReplicatedVertices, res.ReplicationFactor)
 	}
+	if len(cfg.DistWorkers) > 0 {
+		fmt.Printf("  dist workers:      %d (%d restarts recovered)\n", len(cfg.DistWorkers), res.WorkerRestarts)
+	}
+	fmt.Printf("  state checksum:    %016x\n", stateChecksum(res))
 	fmt.Printf("  iterations:        %d\n", res.Iterations)
 	fmt.Printf("  simulated cycles:  %d\n", res.Cycles)
 	if res.PreprocessCycles > 0 {
@@ -189,6 +202,30 @@ func main() {
 	if res.Chains > 0 {
 		fmt.Printf("  chains:            %d (avg length %.2f)\n", res.Chains, float64(res.ChainNodes)/float64(res.Chains))
 	}
+}
+
+// stateChecksum hashes the run's final algorithm state (FNV-64a over the
+// little-endian float64 bit patterns of the vertex then hyperedge values) so
+// scripts can compare distributed and in-process runs for bit-identity
+// (scripts/distsmoke.sh grep this line).
+func stateChecksum(res *chgraph.Result) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(vals []float64) {
+		for _, v := range vals {
+			bits := math.Float64bits(v)
+			for i := 0; i < 8; i++ {
+				h ^= uint64(byte(bits >> (8 * i)))
+				h *= prime
+			}
+		}
+	}
+	mix(res.VertexValues)
+	mix(res.HyperedgeValues)
+	return h
 }
 
 // parseMutation decodes the -mutate spec: semicolon-separated clauses of

@@ -1,0 +1,15 @@
+// Command chgraph-worker hosts one shard of a distributed run: it serves the
+// internal/dist wire protocol (prepare/step/commit/finish/healthz) and is
+// driven by a coordinator (chgraph-run -dist-workers, or dist.Run). Start one
+// worker per shard; "-addr :0" picks a free port and prints it on stdout.
+package main
+
+import (
+	"os"
+
+	"chgraph/internal/dist"
+)
+
+func main() {
+	os.Exit(dist.WorkerMain(os.Args[1:], os.Stdout, os.Stderr))
+}

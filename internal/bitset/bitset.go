@@ -4,7 +4,11 @@
 // model frontier accesses at 64-bit word granularity.
 package bitset
 
-import "math/bits"
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
 
 // Bitmap is a dense bitmap over element ids.
 type Bitmap []uint64
@@ -119,4 +123,39 @@ func (b Bitmap) ForEachSet(lo, hi uint32, fn func(i uint32)) {
 	for i := b.NextSet(lo, hi, nil); i < hi; i = b.NextSet(i+1, hi, nil) {
 		fn(i)
 	}
+}
+
+// AppendBinary appends b's wire encoding to dst and returns the extended
+// slice: a little-endian uint32 word count followed by the words themselves.
+// The encoding is the frontier-exchange format of the distributed shard
+// transport (internal/dist); DecodeBinary reverses it.
+func (b Bitmap) AppendBinary(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b)))
+	for _, w := range b {
+		dst = binary.LittleEndian.AppendUint64(dst, w)
+	}
+	return dst
+}
+
+// DecodeBinary decodes one AppendBinary-encoded bitmap from the front of
+// data into b (reusing b's backing array when large enough, like CopyFrom)
+// and returns the remaining bytes.
+func (b *Bitmap) DecodeBinary(data []byte) (rest []byte, err error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("bitset: truncated bitmap header (%d bytes)", len(data))
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	if len(data) < 8*n {
+		return nil, fmt.Errorf("bitset: truncated bitmap body (want %d words, have %d bytes)", n, len(data))
+	}
+	if cap(*b) >= n {
+		*b = (*b)[:n]
+	} else {
+		*b = make(Bitmap, n)
+	}
+	for i := 0; i < n; i++ {
+		(*b)[i] = binary.LittleEndian.Uint64(data[8*i:])
+	}
+	return data[8*n:], nil
 }

@@ -279,3 +279,59 @@ func TestQuickNextSetMatchesLinearScan(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, n := range []uint32{0, 1, 63, 64, 65, 1000} {
+		b := New(n)
+		for i := uint32(0); i < n; i += 3 {
+			b.Set(i)
+		}
+		enc := b.AppendBinary([]byte("prefix")[6:])
+		enc = append(enc, 0xAA, 0xBB) // trailing bytes must survive
+		var got Bitmap
+		rest, err := got.DecodeBinary(enc)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(rest) != 2 || rest[0] != 0xAA || rest[1] != 0xBB {
+			t.Fatalf("n=%d: rest=%x", n, rest)
+		}
+		if len(got) != len(b) {
+			t.Fatalf("n=%d: words %d != %d", n, len(got), len(b))
+		}
+		for i := range b {
+			if got[i] != b[i] {
+				t.Fatalf("n=%d: word %d: %x != %x", n, i, got[i], b[i])
+			}
+		}
+	}
+}
+
+func TestBinaryRoundTripReusesBuffer(t *testing.T) {
+	b := New(256)
+	b.Set(7)
+	enc := b.AppendBinary(nil)
+	got := New(1024) // larger backing array: decode must shrink in place
+	back := &got[0]
+	if _, err := got.DecodeBinary(enc); err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != back {
+		t.Fatal("decode reallocated despite sufficient capacity")
+	}
+	if len(got) != len(b) || !got.Get(7) || got.Count() != 1 {
+		t.Fatalf("decode mismatch: len=%d count=%d", len(got), got.Count())
+	}
+}
+
+func TestBinaryDecodeTruncated(t *testing.T) {
+	b := New(200)
+	b.Set(199)
+	enc := b.AppendBinary(nil)
+	for _, cut := range []int{0, 3, 4, len(enc) - 1} {
+		var got Bitmap
+		if _, err := got.DecodeBinary(enc[:cut]); err == nil {
+			t.Fatalf("cut=%d: want error", cut)
+		}
+	}
+}

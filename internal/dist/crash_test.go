@@ -1,0 +1,181 @@
+package dist
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"chgraph/internal/algorithms"
+	"chgraph/internal/engine"
+	"chgraph/internal/shard"
+)
+
+// TestMain doubles the test binary as the worker executable: with
+// CHGRAPH_DIST_WORKER=1 it runs WorkerMain instead of the test suite, so the
+// crash tests exercise genuine separate processes (and genuine SIGKILL).
+func TestMain(m *testing.M) {
+	if os.Getenv("CHGRAPH_DIST_WORKER") == "1" {
+		os.Exit(WorkerMain(os.Args[1:], os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// workerProc is one real chgraph-worker process.
+type workerProc struct {
+	cmd  *exec.Cmd
+	addr string // host:port parsed from the "listening on" line
+}
+
+// startWorkerProc re-executes the test binary as a worker listening on addr
+// (":0" form picks a free port) and waits for its announcement line.
+func startWorkerProc(t *testing.T, addr string) *workerProc {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "-addr", addr)
+	cmd.Env = append(os.Environ(), "CHGRAPH_DIST_WORKER=1")
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	line, err := bufio.NewReader(out).ReadString('\n')
+	if err != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("worker never announced its address: %v", err)
+	}
+	const prefix = "chgraph-worker listening on "
+	if !strings.HasPrefix(line, prefix) {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("unexpected worker announcement %q", line)
+	}
+	p := &workerProc{cmd: cmd, addr: strings.TrimSpace(strings.TrimPrefix(line, prefix))}
+	t.Cleanup(func() { p.kill() })
+	return p
+}
+
+// kill SIGKILLs the worker and reaps it (idempotent).
+func (p *workerProc) kill() {
+	if p.cmd.ProcessState != nil {
+		return
+	}
+	p.cmd.Process.Kill()
+	p.cmd.Wait()
+}
+
+// crashRT SIGKILLs the target worker right before forwarding its Nth /commit
+// — after the phase was begun and drained, i.e. mid-iteration — then
+// restarts a fresh worker on the same port. The forwarded request reaches
+// the restarted, session-less worker and the coordinator must rejoin.
+type crashRT struct {
+	base    http.RoundTripper
+	target  string // host:port of the victim
+	onNth   int32
+	commits atomic.Int32
+	once    sync.Once
+	crash   func()
+}
+
+func (f *crashRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	if req.URL.Host == f.target && req.URL.Path == "/commit" {
+		if f.commits.Add(1) == f.onNth {
+			f.once.Do(f.crash)
+		}
+	}
+	return f.base.RoundTrip(req)
+}
+
+func TestWorkerCrashRejoin(t *testing.T) {
+	g := smallHG(7)
+	alg := func() algorithms.Algorithm { return algorithms.NewPageRank(5) }
+	eo := engine.Options{Kind: engine.ChGraph, Sys: testSys()}
+
+	// Golden pins: the in-process sharded run at the same K, and the
+	// unsharded engine (the determinism wall makes them agree).
+	want, err := shard.RunCtx(context.Background(), g, alg(), shard.Options{Shards: 2, Engine: eo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unsharded, err := engine.RunCtx(context.Background(), g, alg(), eo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := stateChecksum(want.State), stateChecksum(unsharded.State); a != b {
+		t.Fatalf("sharded/unsharded pins disagree before the crash test: %s vs %s", a, b)
+	}
+
+	w0 := startWorkerProc(t, "127.0.0.1:0")
+	w1 := startWorkerProc(t, "127.0.0.1:0")
+
+	rt := &crashRT{
+		base:   http.DefaultTransport,
+		target: w1.addr,
+		onNth:  3, // mid-run: iteration 1's hyperedge commit
+	}
+	rt.crash = func() {
+		w1.kill()
+		// Same port: the restarted worker is where the coordinator still
+		// expects it, as a supervisor (or systemd) would restart it.
+		w1 = startWorkerProc(t, w1.addr)
+	}
+
+	opt := fastOpts([]string{w0.addr, w1.addr}, "", eo)
+	opt.StepTimeout = 5 * time.Second
+	opt.Client = &http.Client{Transport: rt}
+	got, err := RunCtx(context.Background(), g, alg(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.WorkerRestarts == 0 {
+		t.Fatal("run recovered no restarts; crash injection did not fire")
+	}
+	if rt.commits.Load() < rt.onNth {
+		t.Fatalf("only %d commits observed; crash was not mid-run", rt.commits.Load())
+	}
+	// After a crash + rejoin the state checksum is still exact (the
+	// coordinator owns the algorithm state; the restarted worker replayed
+	// the current iteration bit-identically). Cycle counters are NOT
+	// compared: the restarted simulator is cache-cold by design.
+	if g, w := stateChecksum(got.State), stateChecksum(want.State); g != w {
+		t.Fatalf("state checksum after crash %s, want %s", g, w)
+	}
+	if got.Iterations != want.Iterations {
+		t.Fatalf("iterations %d, want %d", got.Iterations, want.Iterations)
+	}
+}
+
+// TestWorkerProcessSmoke runs a crash-free distributed run over real worker
+// processes (not httptest), pinning full bit-identity across the process
+// boundary.
+func TestWorkerProcessSmoke(t *testing.T) {
+	g := smallHG(7)
+	eo := engine.Options{Kind: engine.ChGraph, Sys: testSys()}
+	want, err := shard.RunCtx(context.Background(), g, algorithms.NewBFS(0), shard.Options{Shards: 2, Engine: eo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0 := startWorkerProc(t, "127.0.0.1:0")
+	w1 := startWorkerProc(t, "127.0.0.1:0")
+	got, err := RunCtx(context.Background(), g, algorithms.NewBFS(0), fastOpts([]string{w0.addr, w1.addr}, "", eo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.WorkerRestarts != 0 {
+		t.Fatalf("crash-free run recovered %d restarts", got.WorkerRestarts)
+	}
+	assertResultsEqual(t, got, want)
+}

@@ -1,0 +1,143 @@
+package dist
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"chgraph/internal/engine"
+	"chgraph/internal/hypergraph"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	hdr := []byte(`{"session":"abc"}`)
+	payload := []byte{1, 2, 3, 4, 5}
+	body := append(appendHeader(nil, hdr), payload...)
+	gotHdr, gotPayload, err := splitHeader(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotHdr, hdr) || !bytes.Equal(gotPayload, payload) {
+		t.Fatalf("round trip: hdr %q payload %v", gotHdr, gotPayload)
+	}
+	if _, _, err := splitHeader(body[:2]); err == nil {
+		t.Fatal("truncated length prefix: want error")
+	}
+	if _, _, err := splitHeader(body[:4+len(hdr)-1]); err == nil {
+		t.Fatal("truncated header: want error")
+	}
+}
+
+// graphsEqual compares two bipartite hypergraphs structurally, including
+// adjacency order (the wire codec must preserve it bit for bit).
+func graphsEqual(t *testing.T, a, b *hypergraph.Bipartite) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() || a.NumHyperedges() != b.NumHyperedges() || a.Directed() != b.Directed() {
+		t.Fatalf("shape mismatch: %d/%d/%v vs %d/%d/%v",
+			a.NumVertices(), a.NumHyperedges(), a.Directed(),
+			b.NumVertices(), b.NumHyperedges(), b.Directed())
+	}
+	for h := uint32(0); h < a.NumHyperedges(); h++ {
+		if !reflect.DeepEqual(a.IncidentVertices(h), b.IncidentVertices(h)) {
+			t.Fatalf("hyperedge %d pins %v vs %v", h, a.IncidentVertices(h), b.IncidentVertices(h))
+		}
+	}
+	for v := uint32(0); v < a.NumVertices(); v++ {
+		av, bv := a.IncidentHyperedges(v), b.IncidentHyperedges(v)
+		if len(av) != len(bv) {
+			t.Fatalf("vertex %d incidence %v vs %v", v, av, bv)
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				t.Fatalf("vertex %d incidence %v vs %v", v, av, bv)
+			}
+		}
+	}
+}
+
+func TestGraphRoundTripUndirected(t *testing.T) {
+	g := hypergraph.MustBuild(7, [][]uint32{{0, 1, 2}, {2, 3}, {}, {4, 5, 6, 0}})
+	got, err := decodeGraph(appendGraph(nil, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, g, got)
+}
+
+func TestGraphRoundTripDirected(t *testing.T) {
+	g, err := hypergraph.BuildDirected(6,
+		[][]uint32{{0, 1}, {2}, {3, 4, 5}},
+		[][]uint32{{2, 3}, {0}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeGraph(appendGraph(nil, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, g, got)
+}
+
+func TestGraphDecodeTruncated(t *testing.T) {
+	g := hypergraph.MustBuild(5, [][]uint32{{0, 1}, {2, 3, 4}})
+	blob := appendGraph(nil, g)
+	for _, n := range []int{0, 3, 8, 9, 12, len(blob) - 1} {
+		if _, err := decodeGraph(blob[:n]); err == nil {
+			t.Fatalf("decode of %d/%d bytes: want error", n, len(blob))
+		}
+	}
+}
+
+func TestMarksRoundTrip(t *testing.T) {
+	pairs := [][2]uint32{{0, 3}, {7, 7}, {1 << 20, 0}}
+	blob := appendMarks(nil, len(pairs), func(i int) (uint32, uint32) { return pairs[i][0], pairs[i][1] })
+	got, err := decodeMarks(blob, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{0, 3, 7, 7, 1 << 20, 0}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("marks %v, want %v", got, want)
+	}
+	// Reuse: decoding a smaller set into the same slice must not allocate.
+	reused, err := decodeMarks(appendMarks(nil, 1, func(int) (uint32, uint32) { return 9, 9 }), got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &reused[0] != &got[0] || len(reused) != 2 {
+		t.Fatalf("decode did not reuse backing array (len %d)", len(reused))
+	}
+	if _, err := decodeMarks(blob[:len(blob)-1], nil); err == nil {
+		t.Fatal("truncated marks: want error")
+	}
+}
+
+func TestResolutionsRoundTrip(t *testing.T) {
+	res := []byte{0, 1, 2, 255}
+	got, err := decodeResolutions(appendResolutions(nil, res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, res) {
+		t.Fatalf("resolutions %v, want %v", got, res)
+	}
+	if _, err := decodeResolutions(appendResolutions(nil, res)[:5]); err == nil {
+		t.Fatal("truncated resolutions: want error")
+	}
+}
+
+func TestWireOptionsRoundTrip(t *testing.T) {
+	eo := engine.Options{Kind: engine.ChGraphHCG, DMax: 9, WMin: 5, ChainFIFO: 3, EdgeFIFO: 17, PrefetchDistance: 2}.WithDefaults()
+	back, err := toWireOptions(eo).engineOptions(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind != eo.Kind || back.DMax != eo.DMax || back.WMin != eo.WMin ||
+		back.ChainFIFO != eo.ChainFIFO || back.EdgeFIFO != eo.EdgeFIFO ||
+		back.PrefetchDistance != eo.PrefetchDistance || back.Workers != 4 {
+		t.Fatalf("options round trip mismatch: %+v vs %+v", back, eo)
+	}
+	if !reflect.DeepEqual(back.Sys, eo.Sys) || !reflect.DeepEqual(back.Costs, eo.Costs) || !reflect.DeepEqual(back.PrepCost, eo.PrepCost) {
+		t.Fatal("sim config did not round trip")
+	}
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"chgraph/internal/bitset"
 	"chgraph/internal/core"
@@ -131,11 +132,15 @@ func (s *runScratch) invalidate() {
 // scratchPool recycles runScratch values across the runs sharing one Prep.
 // It is a separate named type so Prep's public surface stays plain data;
 // the zero value is ready (sync.Pool needs no New: Get may return nil).
+// outstanding counts borrowed-but-not-returned arenas, which pins the
+// "every Instance is Finished on every driver path" contract in tests.
 type scratchPool struct {
-	p sync.Pool
+	p           sync.Pool
+	outstanding atomic.Int64
 }
 
 func (sp *scratchPool) get() *runScratch {
+	sp.outstanding.Add(1)
 	if s, _ := sp.p.Get().(*runScratch); s != nil {
 		return s
 	}
@@ -143,6 +148,14 @@ func (sp *scratchPool) get() *runScratch {
 }
 
 func (sp *scratchPool) put(s *runScratch) {
+	sp.outstanding.Add(-1)
 	s.invalidate()
 	sp.p.Put(s)
 }
+
+// ScratchOutstanding reports how many reuse arenas are currently borrowed
+// from this Prep's pool (one per live Instance). Drivers that abandon a run
+// early must leave this at zero — a positive steady-state value means an
+// Instance was never Finished and its arena leaked. Test hook; not needed
+// for normal operation.
+func (p *Prep) ScratchOutstanding() int64 { return p.scratch.outstanding.Load() }

@@ -45,15 +45,16 @@ func UpdatePrep(old *Prep, d *hypergraph.Delta) *Prep {
 		OldChunks: old.VChunks, NewChunks: p.VChunks,
 	})
 
-	// Drain up to a handful of idle arenas into the new Prep's pool. The raw
-	// pool Get (not scratchPool.get) returns nil when empty rather than
-	// fabricating fresh arenas.
+	// Drain up to a handful of idle arenas into the new Prep's pool. Both
+	// sides bypass the counting scratchPool accessors: these arenas are
+	// idle, not borrowed, so neither pool's outstanding count may move.
 	for i := 0; i < 8; i++ {
 		s, _ := old.scratch.p.Get().(*runScratch)
 		if s == nil {
 			break
 		}
-		p.scratch.put(s)
+		s.invalidate()
+		p.scratch.p.Put(s)
 	}
 	return p
 }

@@ -136,6 +136,10 @@ type RunSnapshot struct {
 	ReplicatedVertices uint64  `json:"replicated_vertices,omitempty"`
 	ReplicationFactor  float64 `json:"replication_factor,omitempty"`
 
+	// WorkerReconnects counts distributed shard workers that crashed and
+	// rejoined during the run (internal/dist); 0 for in-process runs.
+	WorkerReconnects uint64 `json:"worker_reconnects,omitempty"`
+
 	MemReads  [trace.NumArrays]uint64 `json:"mem_reads"`
 	MemWrites [trace.NumArrays]uint64 `json:"mem_writes"`
 

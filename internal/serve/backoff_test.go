@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// fillQueue occupies n admission tokens and returns a release func.
+func fillQueue(t *testing.T, s *Server, n int) func() {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		select {
+		case s.queue <- struct{}{}:
+		default:
+			t.Fatalf("queue full at %d/%d", i, n)
+		}
+	}
+	return func() {
+		for i := 0; i < n; i++ {
+			<-s.queue
+		}
+	}
+}
+
+// seedServiceRate records `done` completions totalling meanMS each, fixing
+// the observed mean service time queueBackoffHint derives from.
+func seedServiceRate(s *Server, done int, meanMS float64) {
+	for i := 0; i < done; i++ {
+		s.met.completed.Add(1)
+		s.met.observeLatencyMS(meanMS)
+	}
+}
+
+// TestQueueBackoffHintGrowsWithDepth: the Retry-After hint for a queue-full
+// 429 scales with the observed drain time — deeper queue, longer hint — where
+// the old behaviour pinned it to one second regardless.
+func TestQueueBackoffHintGrowsWithDepth(t *testing.T) {
+	s := NewServer(Options{QueueDepth: 64, Workers: 2})
+	// Mean service time 4s across 2 workers => 2s of drain per queued pair.
+	seedServiceRate(s, 5, 4000)
+
+	var prev time.Duration
+	for _, depth := range []int{2, 8, 16} {
+		release := fillQueue(t, s, depth)
+		hint := s.queueBackoffHint(nil)
+		release()
+		want := time.Duration(depth) * 4 * time.Second / 2
+		if hint != want {
+			t.Fatalf("depth %d: hint %v, want %v", depth, hint, want)
+		}
+		if hint <= prev {
+			t.Fatalf("depth %d: hint %v did not grow past %v", depth, hint, prev)
+		}
+		prev = hint
+	}
+}
+
+// TestQueueBackoffHintFloorAndCap: before any completion there is no observed
+// rate and the historical one-second default stands; with an absurd backlog
+// the hint saturates at maxBackoffHint.
+func TestQueueBackoffHintFloorAndCap(t *testing.T) {
+	s := NewServer(Options{QueueDepth: 16, Workers: 1})
+	release := fillQueue(t, s, 16)
+	defer release()
+
+	if hint := s.queueBackoffHint(nil); hint != time.Second {
+		t.Fatalf("no completions yet: hint %v, want 1s", hint)
+	}
+
+	// One completion that took "forever": 16 queued x 10min >> the cap.
+	seedServiceRate(s, 1, 10*60*1000)
+	if hint := s.queueBackoffHint(nil); hint != maxBackoffHint {
+		t.Fatalf("saturated backlog: hint %v, want cap %v", hint, maxBackoffHint)
+	}
+}
+
+// TestQueueBackoffHintTenantBucketDominates: when the tenant's own token
+// bucket will not have a token until after the queue drains, retrying at the
+// drain estimate just buys another 429 — the bucket's wait wins.
+func TestQueueBackoffHintTenantBucketDominates(t *testing.T) {
+	s := NewServer(Options{
+		QueueDepth: 8,
+		Workers:    4,
+		Limits:     TenantLimits{RatePerSec: 0.1, Burst: 1}, // 1 token / 10s
+	})
+	seedServiceRate(s, 4, 100) // 100ms mean: queue drains almost instantly
+
+	tn := s.tenants.get("slow-tenant")
+	now := time.Now()
+	if ok, _ := tn.bucket.take(now); !ok {
+		t.Fatal("fresh bucket refused its burst token")
+	}
+
+	release := fillQueue(t, s, 2)
+	defer release()
+	hint := s.queueBackoffHint(tn)
+	// Empty bucket at 0.1 tokens/s refills in ~10s; allow refill progress
+	// between take and peek.
+	if hint < 9*time.Second || hint > 10*time.Second {
+		t.Fatalf("hint %v, want ~10s from the tenant bucket", hint)
+	}
+
+	// A tenant with spare tokens does not inflate the hint.
+	fast := s.tenants.get("fast-tenant")
+	if hint := s.queueBackoffHint(fast); hint != time.Second {
+		t.Fatalf("token-rich tenant: hint %v, want 1s floor", hint)
+	}
+}

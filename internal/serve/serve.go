@@ -401,7 +401,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.met.rejected.Add(1)
 		tn.rejectedQueueFull.Add(1)
-		retryAfter(w, time.Second)
+		retryAfter(w, s.queueBackoffHint(tn))
 		http.Error(w, "queue full", http.StatusTooManyRequests)
 		return
 	}
@@ -458,6 +458,42 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 // statusClientClosedRequest is nginx's conventional code for a client that
 // disconnected before the response; net/http never sends it anywhere.
 const statusClientClosedRequest = 499
+
+// maxBackoffHint caps queue-full Retry-After suggestions: past a minute the
+// estimate says more about a stuck server than about when to retry.
+const maxBackoffHint = time.Minute
+
+// queueBackoffHint derives the Retry-After for a queue-full 429 from the
+// observed service rate instead of a hardcoded second: the time to drain the
+// current queue depth at the measured mean service time across the worker
+// pool. When the tenant's own token bucket would make an earlier retry
+// pointless, the bucket's wait wins. Before any request has completed (no
+// observed rate yet) the old one-second default stands.
+func (s *Server) queueBackoffHint(tn *tenant) time.Duration {
+	hint := time.Second
+	if done := s.met.completed.Load(); done > 0 {
+		mean := time.Duration(s.met.latencySumMicros.Load()/done) * time.Microsecond
+		workers := cap(s.workers)
+		if workers < 1 {
+			workers = 1
+		}
+		// Queued requests drain across the worker pool; round up so the
+		// hint never undershoots the estimate.
+		depth := time.Duration(len(s.queue))
+		if est := (depth*mean + time.Duration(workers) - 1) / time.Duration(workers); est > hint {
+			hint = est
+		}
+	}
+	if tn != nil {
+		if wait := tn.bucket.peek(time.Now()); wait > hint {
+			hint = wait
+		}
+	}
+	if hint > maxBackoffHint {
+		hint = maxBackoffHint
+	}
+	return hint
+}
 
 // MutateRequest is the /mutate request body: the preparation spec selecting
 // which cached artifact to mutate (the same fields that form a /run request's
@@ -556,7 +592,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.met.rejected.Add(1)
 		tn.rejectedQueueFull.Add(1)
-		retryAfter(w, time.Second)
+		retryAfter(w, s.queueBackoffHint(tn))
 		http.Error(w, "queue full", http.StatusTooManyRequests)
 		return
 	}

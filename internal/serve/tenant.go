@@ -100,6 +100,28 @@ func (b *tokenBucket) take(now time.Time) (ok bool, retry time.Duration) {
 	return false, time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
 }
 
+// peek reports the wait a take would return right now, without consuming a
+// token or advancing the refill clock. Used to fold the tenant's own rate
+// position into queue-full Retry-After hints: telling a tenant to come back
+// before its bucket has a token just buys it another 429.
+func (b *tokenBucket) peek(now time.Time) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rate <= 0 {
+		return 0
+	}
+	tokens := b.tokens
+	if b.last.IsZero() {
+		tokens = b.burst
+	} else if dt := now.Sub(b.last); dt > 0 {
+		tokens = math.Min(b.burst, tokens+b.rate*dt.Seconds())
+	}
+	if tokens >= 1 {
+		return 0
+	}
+	return time.Duration((1 - tokens) / b.rate * float64(time.Second))
+}
+
 // tenant is one tenant's runtime state: its limits, token bucket, in-flight
 // gauge and counters. Counters are atomics — the hot path touches them from
 // many request goroutines.

@@ -1,0 +1,187 @@
+package shard
+
+import (
+	"context"
+
+	"chgraph/internal/algorithms"
+	"chgraph/internal/bitset"
+	"chgraph/internal/engine"
+)
+
+// Phase indexes the two computation phases of one synchronous iteration.
+type Phase int
+
+const (
+	// HyperedgePhase is hyperedge computation: active vertices scatter via HF.
+	HyperedgePhase Phase = 0
+	// VertexPhase is vertex computation: active hyperedges scatter via VF.
+	VertexPhase Phase = 1
+)
+
+func (p Phase) String() string {
+	if p == HyperedgePhase {
+		return "hyperedge"
+	}
+	return "vertex"
+}
+
+// Backend executes one shard's half of the barrier protocol. RunBarrier
+// drives a slice of Backends through the bulk-synchronous schedule without
+// knowing where each shard's engine lives: localBackend wraps an in-process
+// engine.Instance, internal/dist implements the same contract over HTTP to a
+// worker process. The per-iteration call sequence, per backend, is
+//
+//	Begin(HyperedgePhase, frontierV) → Drain(HF) → Commit →
+//	Begin(VertexPhase, nil)          → Drain(VF) → Commit →
+//	NextVertexFrontier → AdvanceIteration
+//
+// with Begin and Commit fanned out across backends concurrently and Drain
+// strictly sequential shard-major (the determinism contract). Implementations
+// own the shard-local frontier bitmaps: Begin(HyperedgePhase, f) restricts
+// the global vertex frontier f to the shard; Begin(VertexPhase, nil) sources
+// from the hyperedge frontier the previous Commit produced, which never
+// crosses shards (hyperedges are single-owner).
+type Backend interface {
+	// Shard returns the materialized sub-hypergraph this backend executes.
+	Shard() *Shard
+
+	// ChargePreprocess charges the modelled preprocessing time to the
+	// shard's simulated clock (at most once, before the first phase) and
+	// returns it.
+	ChargePreprocess(ctx context.Context) (uint64, error)
+
+	// Begin compiles phase ph. For HyperedgePhase, frontierV is the global
+	// vertex frontier; for VertexPhase it is ignored (pass nil).
+	Begin(ctx context.Context, ph Phase, frontierV bitset.Bitmap) error
+
+	// Drain applies fn to every pending mark in compiled stream order,
+	// strictly sequentially, in the shard-local id space, resolving each
+	// outcome into the phase's op streams and destination frontier.
+	Drain(fn func(lsrc, ldst uint32) algorithms.EdgeResult) error
+
+	// Commit stitches the resolved phase and replays it on the shard's
+	// simulated system, returning the phase's simulated duration.
+	Commit(ctx context.Context) (uint64, error)
+
+	// NextVertexFrontier returns the shard-local vertex activations of the
+	// last committed vertex phase (valid until the next Begin).
+	NextVertexFrontier() bitset.Bitmap
+
+	// AdvanceIteration marks one synchronous iteration complete.
+	AdvanceIteration(ctx context.Context) error
+
+	// EdgesProcessed returns the cumulative HF/VF application count.
+	EdgesProcessed() uint64
+	// SimPhases returns how many phases the shard's simulator replayed.
+	SimPhases() int
+	// Restarts counts engine restarts the backend recovered from (always 0
+	// for in-process backends; remote backends count worker rejoins).
+	Restarts() uint64
+
+	// Finish retires the shard engine and returns its measurements (State
+	// nil — the driver owns the global algorithm state).
+	Finish(ctx context.Context) (*engine.Result, error)
+	// Close releases every resource the backend still holds. It is
+	// idempotent, safe after Finish, and must be called on every path —
+	// RunBarrier defers it so an abandoned run can never leak a shard
+	// engine or its pooled scratch arena.
+	Close() error
+}
+
+// localBackend runs one shard's engine in-process. It is the refactored home
+// of the per-shard state RunCtx used to keep in parallel slices (instance,
+// step, local frontier bitmaps).
+type localBackend struct {
+	sh    *Shard
+	in    *engine.Instance
+	st    *engine.Step
+	phase Phase
+
+	front bitset.Bitmap // local restriction of the global vertex frontier
+	nextE bitset.Bitmap // hyperedge activations (phase 0 → phase 1)
+	nextV bitset.Bitmap // vertex activations (phase 1 → merge barrier)
+
+	finished bool
+}
+
+// newLocalBackend opens an engine instance for sh under o. The caller must
+// Close (or Finish) the returned backend on every path.
+func newLocalBackend(ctx context.Context, sh *Shard, o engine.Options) (*localBackend, error) {
+	in, err := engine.NewInstanceCtx(ctx, sh.G, o)
+	if err != nil {
+		return nil, err
+	}
+	return &localBackend{
+		sh:    sh,
+		in:    in,
+		front: bitset.New(sh.G.NumVertices()),
+		nextE: bitset.New(sh.G.NumHyperedges()),
+		nextV: bitset.New(sh.G.NumVertices()),
+	}, nil
+}
+
+func (b *localBackend) Shard() *Shard { return b.sh }
+
+func (b *localBackend) ChargePreprocess(context.Context) (uint64, error) {
+	b.in.ChargePreprocess()
+	return b.in.PreprocessCycles(), nil
+}
+
+func (b *localBackend) Begin(_ context.Context, ph Phase, frontierV bitset.Bitmap) error {
+	b.phase = ph
+	if ph == HyperedgePhase {
+		b.front.Reset()
+		for lv, gv := range b.sh.Vertices {
+			if frontierV.Get(gv) {
+				b.front.Set(uint32(lv))
+			}
+		}
+		b.nextE.Reset()
+		b.st = b.in.BeginHyperedgeComputation(b.front, b.nextE)
+		return nil
+	}
+	b.nextV.Reset()
+	b.st = b.in.BeginVertexComputation(b.nextE, b.nextV)
+	return nil
+}
+
+func (b *localBackend) Drain(fn func(lsrc, ldst uint32) algorithms.EdgeResult) error {
+	st := b.st
+	next := b.nextE
+	if b.phase == VertexPhase {
+		next = b.nextV
+	}
+	n := st.NumMarks()
+	for j := 0; j < n; j++ {
+		lsrc, ldst := st.Mark(j)
+		res := fn(lsrc, ldst)
+		st.Resolve(j, res, res&algorithms.Activate != 0 && next.TestAndSet(ldst))
+	}
+	return nil
+}
+
+func (b *localBackend) Commit(context.Context) (uint64, error) { return b.st.Commit(), nil }
+
+func (b *localBackend) NextVertexFrontier() bitset.Bitmap { return b.nextV }
+
+func (b *localBackend) AdvanceIteration(context.Context) error {
+	b.in.AdvanceIteration()
+	return nil
+}
+
+func (b *localBackend) EdgesProcessed() uint64 { return b.in.EdgesProcessed() }
+func (b *localBackend) SimPhases() int         { return b.in.SimPhases() }
+func (b *localBackend) Restarts() uint64       { return 0 }
+
+func (b *localBackend) Finish(context.Context) (*engine.Result, error) {
+	b.finished = true
+	return b.in.Finish(), nil
+}
+
+func (b *localBackend) Close() error {
+	if !b.finished {
+		b.finished = true
+		b.in.Finish() // returns the scratch arena to the Prep pool
+	}
+	return nil
+}

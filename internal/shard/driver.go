@@ -1,0 +1,264 @@
+package shard
+
+import (
+	"context"
+	"time"
+
+	"chgraph/internal/algorithms"
+	"chgraph/internal/bitset"
+	"chgraph/internal/engine"
+	"chgraph/internal/obs"
+	"chgraph/internal/par"
+)
+
+// BarrierOptions configures one RunBarrier drive.
+type BarrierOptions struct {
+	// Workers bounds the coordinator's host-side fan-out over backends
+	// (0 = all CPUs). Simulated results are identical for every value.
+	Workers int
+	// ChargePreprocess charges each shard's modelled preprocessing time
+	// before the first iteration (merged as the max over shards).
+	ChargePreprocess bool
+	// Observer receives merged iteration and run snapshots. Per-phase
+	// snapshots do not flow through the driver: backends deliver them
+	// (tagged with their shard index) on their own.
+	Observer obs.Observer
+	// HostStart anchors the run's host wall-clock measurement; the zero
+	// value means "now". Callers that do backend setup they want included
+	// in HostWall (prep builds, worker handshakes) capture it first.
+	HostStart time.Time
+}
+
+// RunBarrier drives alg to completion over one Backend per shard — the
+// bulk-synchronous frontier merge barrier extracted from RunCtx so the
+// in-process and distributed runtimes share one schedule. Per iteration:
+// every backend compiles the phase concurrently, the driver drains all
+// shards' HF/VF applications strictly sequentially shard-major against the
+// single global state, every backend stitches and simulates concurrently
+// (merged time = max over shards), and after the vertex phase the
+// shard-local activations are OR-merged into the global next frontier.
+//
+// RunBarrier Closes every backend on every return path — success, error or
+// cancellation — so an abandoned run never leaks a shard engine, its pooled
+// scratch arena, or a remote worker session.
+func RunBarrier(ctx context.Context, p *Partitioned, alg algorithms.Algorithm, bks []Backend, bo BarrierOptions) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	defer func() {
+		for _, bk := range bks {
+			bk.Close()
+		}
+	}()
+	k := len(bks)
+	g := p.G
+	workers := bo.Workers
+	if workers <= 0 {
+		workers = par.DefaultWorkers()
+	}
+	userObs := bo.Observer
+	hostStart := bo.HostStart
+	if userObs != nil && hostStart.IsZero() {
+		hostStart = time.Now()
+	}
+
+	var mergedCycles, mergedPre uint64
+	if bo.ChargePreprocess {
+		for _, bk := range bks {
+			c, err := bk.ChargePreprocess(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if c > mergedPre {
+				mergedPre = c
+			}
+		}
+		mergedCycles = mergedPre
+	}
+
+	s := algorithms.NewState(g)
+	frontierV := bitset.New(g.NumVertices())
+	alg.Init(s, frontierV)
+	nextV := bitset.New(g.NumVertices())
+
+	durs := make([]uint64, k)
+	errs := make([]error, k)
+	// firstErr surfaces a phase fan-out's outcome: cancellation first (a
+	// cancelled run reports ctx.Err(), matching the historical contract),
+	// then the lowest-indexed backend error.
+	firstErr := func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for _, e := range errs {
+			if e != nil {
+				return e
+			}
+		}
+		return nil
+	}
+	// runPhase is one half-iteration: concurrent Begin, sequential
+	// shard-major Drain against the global state, concurrent Commit.
+	runPhase := func(ph Phase, apply func(gsrc, gdst uint32) algorithms.EdgeResult, toGlobal func(sh *Shard, lsrc, ldst uint32) (uint32, uint32)) error {
+		par.For(workers, k, func(i int) { errs[i] = bks[i].Begin(ctx, ph, frontierV) })
+		if err := firstErr(); err != nil {
+			return err // a shard's compile was aborted; commit nothing
+		}
+		for _, bk := range bks {
+			sh := bk.Shard()
+			if err := bk.Drain(func(lsrc, ldst uint32) algorithms.EdgeResult {
+				gsrc, gdst := toGlobal(sh, lsrc, ldst)
+				return apply(gsrc, gdst)
+			}); err != nil {
+				return err
+			}
+		}
+		par.For(workers, k, func(i int) { durs[i], errs[i] = bks[i].Commit(ctx) })
+		if err := firstErr(); err != nil {
+			return err
+		}
+		mergedCycles += maxOf(durs)
+		return nil
+	}
+
+	maxIter := alg.MaxIterations()
+	iterations := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if frontierV.Count() == 0 {
+			break
+		}
+		if maxIter > 0 && s.Iter >= maxIter {
+			break
+		}
+
+		// Hyperedge computation: active vertices scatter via HF. Each
+		// shard's local frontier is the global one restricted to its
+		// vertices, so a replicated active vertex scatters on every shard —
+		// each of its incident hyperedges is owned by exactly one shard,
+		// and the union covers each bipartite edge exactly once.
+		alg.BeforeHyperedgePhase(s)
+		if err := runPhase(HyperedgePhase, func(gsrc, gdst uint32) algorithms.EdgeResult {
+			return alg.HF(s, gsrc, gdst)
+		}, func(sh *Shard, lsrc, ldst uint32) (uint32, uint32) {
+			return sh.Vertices[lsrc], sh.Hyperedges[ldst]
+		}); err != nil {
+			return nil, err
+		}
+
+		// Vertex computation: active hyperedges scatter via VF. Hyperedge
+		// frontiers are shard-local by construction (single ownership).
+		alg.BeforeVertexPhase(s)
+		if err := runPhase(VertexPhase, func(gsrc, gdst uint32) algorithms.EdgeResult {
+			return alg.VF(s, gsrc, gdst)
+		}, func(sh *Shard, lsrc, ldst uint32) (uint32, uint32) {
+			return sh.Hyperedges[lsrc], sh.Vertices[ldst]
+		}); err != nil {
+			return nil, err
+		}
+
+		// Frontier merge barrier: OR the shard-local vertex activations
+		// into the global next frontier.
+		nextV.Reset()
+		for _, bk := range bks {
+			sh := bk.Shard()
+			bk.NextVertexFrontier().ForEachSet(0, sh.G.NumVertices(), func(lv uint32) {
+				nextV.Set(sh.Vertices[lv])
+			})
+		}
+
+		s.Iter++
+		iterations++
+		for _, bk := range bks {
+			if err := bk.AdvanceIteration(ctx); err != nil {
+				return nil, err
+			}
+		}
+		done := alg.AfterVertexPhase(s, nextV)
+		frontierV, nextV = nextV, frontierV
+		if userObs != nil {
+			var edges uint64
+			for _, bk := range bks {
+				edges += bk.EdgesProcessed()
+			}
+			userObs.IterationDone(obs.IterationSnapshot{
+				Iteration:      iterations - 1,
+				ActiveVertices: frontierV.Count(),
+				Cycles:         mergedCycles,
+				EdgesProcessed: edges,
+			})
+		}
+		if done {
+			break
+		}
+	}
+
+	per := make([]*engine.Result, k)
+	for i, bk := range bks {
+		r, err := bk.Finish(ctx)
+		if err != nil {
+			return nil, err
+		}
+		per[i] = r
+	}
+	var restarts uint64
+	for _, bk := range bks {
+		restarts += bk.Restarts()
+	}
+	a := p.Assign
+	merged := mergeResults(per)
+	merged.State = s
+	merged.Iterations = iterations
+	merged.Cycles = mergedCycles
+	merged.PreprocessCycles = mergedPre
+	out := &Result{
+		Result: merged,
+		Shards: k, Policy: a.Policy,
+		ReplicatedVertices: a.ReplicatedVertices,
+		ReplicationFactor:  a.ReplicationFactor(),
+		ShardPins:          a.ShardPins,
+		ShardHyperedges:    a.ShardHyperedges,
+		PerShard:           per,
+		WorkerRestarts:     restarts,
+	}
+	if userObs != nil {
+		phases := 0
+		for _, bk := range bks {
+			if bk.SimPhases() > phases {
+				phases = bk.SimPhases()
+			}
+		}
+		userObs.RunDone(obs.RunSnapshot{
+			Engine:             merged.Kind.String(),
+			Algorithm:          alg.Name(),
+			Iterations:         merged.Iterations,
+			Phases:             phases,
+			Cycles:             merged.Cycles,
+			PreprocessCycles:   merged.PreprocessCycles,
+			Shards:             k,
+			ReplicatedVertices: out.ReplicatedVertices,
+			ReplicationFactor:  out.ReplicationFactor,
+			WorkerReconnects:   restarts,
+			MemReads:           merged.MemReads,
+			MemWrites:          merged.MemWrites,
+			CoreCycles:         merged.CoreCycles,
+			MemStallCycles:     merged.MemStallCycles,
+			FifoStallCycles:    merged.FifoStallCycles,
+			L1Hits:             merged.L1Hits,
+			L1Misses:           merged.L1Misses,
+			L2Hits:             merged.L2Hits,
+			L2Misses:           merged.L2Misses,
+			L3Hits:             merged.L3Hits,
+			L3Misses:           merged.L3Misses,
+			EdgesProcessed:     merged.EdgesProcessed,
+			ChainCount:         merged.ChainCount,
+			ChainNodes:         merged.ChainNodes,
+			ChainGenCount:      merged.ChainGenCount,
+			ChainGenNodes:      merged.ChainGenNodes,
+			HostWall:           time.Since(hostStart),
+		})
+	}
+	return out, nil
+}

@@ -33,7 +33,6 @@ import (
 	"time"
 
 	"chgraph/internal/algorithms"
-	"chgraph/internal/bitset"
 	"chgraph/internal/engine"
 	"chgraph/internal/hypergraph"
 	"chgraph/internal/obs"
@@ -85,6 +84,12 @@ type Result struct {
 	// PerShard holds each shard's own engine measurements (State is nil;
 	// the algorithm state is global).
 	PerShard []*engine.Result
+	// WorkerRestarts counts backend restarts recovered during the run —
+	// always 0 in-process; the distributed runtime counts worker rejoins.
+	// A run with restarts keeps exact state checksums but its simulated
+	// cycle counters are no longer comparable to a crash-free run (the
+	// restarted worker's simulator is cache-cold; DESIGN.md §16).
+	WorkerRestarts uint64
 }
 
 // shardTap forwards a shard engine's phase snapshots to the user observer
@@ -151,11 +156,15 @@ func RunCtx(ctx context.Context, g *hypergraph.Bipartite, alg algorithms.Algorit
 		hostStart = time.Now()
 	}
 
-	// One engine instance per shard, prepped concurrently (per-chunk OAG
-	// builds inside each instance already fan out; shards are independent).
-	ins := make([]*engine.Instance, k)
+	// One in-process backend (engine instance) per shard, prepped
+	// concurrently (per-chunk OAG builds inside each instance already fan
+	// out; shards are independent). On partial failure — one shard's engine
+	// rejects its options, or the context is cancelled mid-fan-out — every
+	// backend that did open is Closed so its scratch arena goes back to the
+	// pool; RunBarrier owns teardown once all backends exist.
+	lbs := make([]*localBackend, k)
 	errs := make([]error, k)
-	if err := par.ForCtx(ctx, workers, k, func(i int) {
+	ferr := par.ForCtx(ctx, workers, k, func(i int) {
 		o := opt.Engine
 		o.Prep = nil
 		if opt.Pre != nil {
@@ -165,216 +174,31 @@ func RunCtx(ctx context.Context, g *hypergraph.Bipartite, alg algorithms.Algorit
 		if userObs != nil {
 			o.Observer = &shardTap{shard: i, inner: userObs}
 		}
-		ins[i], errs[i] = engine.NewInstanceCtx(ctx, p.Shards[i].G, o)
-	}); err != nil {
-		return nil, err
-	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		lbs[i], errs[i] = newLocalBackend(ctx, p.Shards[i], o)
+	})
+	for _, e := range errs {
+		if ferr == nil && e != nil {
+			ferr = e
 		}
 	}
-
-	var mergedCycles, mergedPre uint64
-	if opt.Engine.ChargePreprocess {
-		for _, in := range ins {
-			in.ChargePreprocess()
-			if c := in.PreprocessCycles(); c > mergedPre {
-				mergedPre = c
+	if ferr != nil {
+		for _, lb := range lbs {
+			if lb != nil {
+				lb.Close()
 			}
 		}
-		mergedCycles = mergedPre
+		return nil, ferr
 	}
-
-	s := algorithms.NewState(g)
-	frontierV := bitset.New(g.NumVertices())
-	alg.Init(s, frontierV)
-
-	steps := make([]*engine.Step, k)
-	durs := make([]uint64, k)
-	// Per-iteration frontier bitmaps, allocated once and recycled: the
-	// shard-local frontiers and next-frontiers are zeroed at their use
-	// points, and the global vertex frontier double-buffers with nextV.
-	// Contents are identical to the historical fresh-allocation per phase.
-	localFront := make([]bitset.Bitmap, k)
-	localNextE := make([]bitset.Bitmap, k)
-	localNextV := make([]bitset.Bitmap, k)
-	for i := 0; i < k; i++ {
-		sh := p.Shards[i]
-		localFront[i] = bitset.New(sh.G.NumVertices())
-		localNextE[i] = bitset.New(sh.G.NumHyperedges())
-		localNextV[i] = bitset.New(sh.G.NumVertices())
+	bks := make([]Backend, k)
+	for i, lb := range lbs {
+		bks[i] = lb
 	}
-	nextV := bitset.New(g.NumVertices())
-	maxIter := alg.MaxIterations()
-	iterations := 0
-	for {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		if frontierV.Count() == 0 {
-			break
-		}
-		if maxIter > 0 && s.Iter >= maxIter {
-			break
-		}
-
-		// Hyperedge computation: active vertices scatter via HF. Each
-		// shard's local frontier is the global one restricted to its
-		// vertices, so a replicated active vertex scatters on every shard —
-		// each of its incident hyperedges is owned by exactly one shard,
-		// and the union covers each bipartite edge exactly once.
-		alg.BeforeHyperedgePhase(s)
-		par.For(workers, k, func(i int) {
-			sh := p.Shards[i]
-			lf := localFront[i]
-			lf.Reset()
-			for lv, gv := range sh.Vertices {
-				if frontierV.Get(gv) {
-					lf.Set(uint32(lv))
-				}
-			}
-			localNextE[i].Reset()
-			steps[i] = ins[i].BeginHyperedgeComputation(lf, localNextE[i])
-		})
-		if err := ctx.Err(); err != nil {
-			return nil, err // a shard's compile was aborted; commit nothing
-		}
-		drain(p, steps, localNextE, func(gsrc, gdst uint32) algorithms.EdgeResult {
-			return alg.HF(s, gsrc, gdst)
-		}, func(sh *Shard, lsrc, ldst uint32) (uint32, uint32) {
-			return sh.Vertices[lsrc], sh.Hyperedges[ldst]
-		})
-		par.For(workers, k, func(i int) { durs[i] = steps[i].Commit() })
-		mergedCycles += maxOf(durs)
-
-		// Vertex computation: active hyperedges scatter via VF. Hyperedge
-		// frontiers are shard-local by construction (single ownership).
-		alg.BeforeVertexPhase(s)
-		par.For(workers, k, func(i int) {
-			localNextV[i].Reset()
-			steps[i] = ins[i].BeginVertexComputation(localNextE[i], localNextV[i])
-		})
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		drain(p, steps, localNextV, func(gsrc, gdst uint32) algorithms.EdgeResult {
-			return alg.VF(s, gsrc, gdst)
-		}, func(sh *Shard, lsrc, ldst uint32) (uint32, uint32) {
-			return sh.Hyperedges[lsrc], sh.Vertices[ldst]
-		})
-		par.For(workers, k, func(i int) { durs[i] = steps[i].Commit() })
-		mergedCycles += maxOf(durs)
-
-		// Frontier merge barrier: OR the shard-local vertex activations
-		// into the global next frontier.
-		nextV.Reset()
-		for i := 0; i < k; i++ {
-			sh := p.Shards[i]
-			localNextV[i].ForEachSet(0, sh.G.NumVertices(), func(lv uint32) {
-				nextV.Set(sh.Vertices[lv])
-			})
-		}
-
-		s.Iter++
-		iterations++
-		for _, in := range ins {
-			in.AdvanceIteration()
-		}
-		done := alg.AfterVertexPhase(s, nextV)
-		frontierV, nextV = nextV, frontierV
-		if userObs != nil {
-			var edges uint64
-			for _, in := range ins {
-				edges += in.EdgesProcessed()
-			}
-			userObs.IterationDone(obs.IterationSnapshot{
-				Iteration:      iterations - 1,
-				ActiveVertices: frontierV.Count(),
-				Cycles:         mergedCycles,
-				EdgesProcessed: edges,
-			})
-		}
-		if done {
-			break
-		}
-	}
-
-	per := make([]*engine.Result, k)
-	for i, in := range ins {
-		per[i] = in.Finish()
-	}
-	merged := mergeResults(per)
-	merged.State = s
-	merged.Iterations = iterations
-	merged.Cycles = mergedCycles
-	merged.PreprocessCycles = mergedPre
-	out := &Result{
-		Result: merged,
-		Shards: k, Policy: pol,
-		ReplicatedVertices: a.ReplicatedVertices,
-		ReplicationFactor:  a.ReplicationFactor(),
-		ShardPins:          a.ShardPins,
-		ShardHyperedges:    a.ShardHyperedges,
-		PerShard:           per,
-	}
-	if userObs != nil {
-		phases := 0
-		for _, in := range ins {
-			if in.SimPhases() > phases {
-				phases = in.SimPhases()
-			}
-		}
-		userObs.RunDone(obs.RunSnapshot{
-			Engine:             merged.Kind.String(),
-			Algorithm:          alg.Name(),
-			Iterations:         merged.Iterations,
-			Phases:             phases,
-			Cycles:             merged.Cycles,
-			PreprocessCycles:   merged.PreprocessCycles,
-			Shards:             k,
-			ReplicatedVertices: out.ReplicatedVertices,
-			ReplicationFactor:  out.ReplicationFactor,
-			MemReads:           merged.MemReads,
-			MemWrites:          merged.MemWrites,
-			CoreCycles:         merged.CoreCycles,
-			MemStallCycles:     merged.MemStallCycles,
-			FifoStallCycles:    merged.FifoStallCycles,
-			L1Hits:             merged.L1Hits,
-			L1Misses:           merged.L1Misses,
-			L2Hits:             merged.L2Hits,
-			L2Misses:           merged.L2Misses,
-			L3Hits:             merged.L3Hits,
-			L3Misses:           merged.L3Misses,
-			EdgesProcessed:     merged.EdgesProcessed,
-			ChainCount:         merged.ChainCount,
-			ChainNodes:         merged.ChainNodes,
-			ChainGenCount:      merged.ChainGenCount,
-			ChainGenNodes:      merged.ChainGenNodes,
-			HostWall:           time.Since(hostStart),
-		})
-	}
-	return out, nil
-}
-
-// drain is the merge barrier's apply pass: all shards' pending HF/VF
-// applications run strictly sequentially, shard-major in mark order, against
-// the global state. Shard-local next frontiers keep their own test-and-set
-// discipline (they drive each shard's op-stream stitching); replicated
-// activations meet again in the global OR-merge.
-func drain(p *Partitioned, steps []*engine.Step, next []bitset.Bitmap,
-	apply func(gsrc, gdst uint32) algorithms.EdgeResult,
-	toGlobal func(sh *Shard, lsrc, ldst uint32) (uint32, uint32)) {
-	for i, st := range steps {
-		sh := p.Shards[i]
-		n := st.NumMarks()
-		for j := 0; j < n; j++ {
-			lsrc, ldst := st.Mark(j)
-			gsrc, gdst := toGlobal(sh, lsrc, ldst)
-			res := apply(gsrc, gdst)
-			st.Resolve(j, res, res&algorithms.Activate != 0 && next[i].TestAndSet(ldst))
-		}
-	}
+	return RunBarrier(ctx, p, alg, bks, BarrierOptions{
+		Workers:          workers,
+		ChargePreprocess: opt.Engine.ChargePreprocess,
+		Observer:         userObs,
+		HostStart:        hostStart,
+	})
 }
 
 func maxOf(xs []uint64) uint64 {

@@ -1,0 +1,103 @@
+package shard
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"chgraph/internal/algorithms"
+	"chgraph/internal/engine"
+)
+
+// settleGoroutines waits for the goroutine count to drop back to the
+// baseline (parallel fan-out workers unwind asynchronously after a failure).
+func settleGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d, baseline %d", n, baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// assertNoOutstandingScratch asserts every shard's Prep has all reuse arenas
+// back in its pool — the "every Instance is Finished on every driver path"
+// teardown contract.
+func assertNoOutstandingScratch(t *testing.T, pre *Prepared) {
+	t.Helper()
+	for i, p := range pre.Preps {
+		if n := p.ScratchOutstanding(); n != 0 {
+			t.Fatalf("shard %d: %d scratch arenas still outstanding after run teardown", i, n)
+		}
+	}
+}
+
+// TestPartialBackendFailureReleasesScratch injects an engine failure on one
+// shard (a prep whose chunking no longer matches the core count) and asserts
+// the shards whose engines DID open are torn down: their scratch arenas all
+// return to the pool and no fan-out goroutines survive. Before the backend
+// refactor the early-error path leaked every already-opened Instance.
+func TestPartialBackendFailureReleasesScratch(t *testing.T) {
+	g := smallHG(7)
+	eo := engine.Options{Kind: engine.ChGraph, Sys: testSys()}
+	opt := Options{Shards: 3, Engine: eo}
+	pre, err := Prepare(context.Background(), g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm the pools so a leak shows as outstanding>0 rather than a fresh
+	// allocation, then corrupt shard 1's prep: NewInstanceCtx rejects the
+	// truncated chunking, after shards 0 and 2 (may) have already opened.
+	warm, err := RunCtx(context.Background(), g, algorithms.NewCC(), Options{Shards: 3, Engine: eo, Pre: pre})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.State == nil {
+		t.Fatal("warm-up run returned no state")
+	}
+	assertNoOutstandingScratch(t, pre)
+
+	goroutines := runtime.NumGoroutine()
+	saved := pre.Preps[1].VChunks
+	pre.Preps[1].VChunks = saved[:1]
+	defer func() { pre.Preps[1].VChunks = saved }()
+
+	if _, err := RunCtx(context.Background(), g, algorithms.NewCC(), Options{Shards: 3, Engine: eo, Pre: pre}); err == nil {
+		t.Fatal("corrupted shard prep: want error")
+	}
+	assertNoOutstandingScratch(t, pre)
+	settleGoroutines(t, goroutines)
+}
+
+// TestMidRunCancellationReleasesScratch cancels the run from inside a phase
+// observer and asserts the deferred backend teardown returns every shard's
+// scratch arena.
+func TestMidRunCancellationReleasesScratch(t *testing.T) {
+	g := smallHG(7)
+	eo := engine.Options{Kind: engine.ChGraph, Sys: testSys()}
+	opt := Options{Shards: 2, Engine: eo}
+	pre, err := Prepare(context.Background(), g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	eo.Observer = &cancelAfterPhases{left: 2, cancel: cancel}
+	goroutines := runtime.NumGoroutine()
+	_, err = RunCtx(ctx, g, algorithms.NewPageRank(8), Options{Shards: 2, Engine: eo, Pre: pre})
+	if err != context.Canceled {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+	assertNoOutstandingScratch(t, pre)
+	settleGoroutines(t, goroutines)
+}

@@ -50,10 +50,18 @@ row() {
 }
 gate() {
     name=$1 tol=$2 old=$3 new=$4
-    if [ -z "$old" ] || [ -z "$new" ]; then
-        echo "FAIL  $name: field missing (baseline='$old' fresh='$new')"
-        row FAIL "$name" "${old:-?}" "${new:-?}" "field missing"
+    if [ -z "$new" ]; then
+        echo "FAIL  $name: fresh run has no $name field (truncated $fresh?)"
+        row FAIL "$name" "${old:-?}" "?" "fresh field missing"
         fail=1
+        return
+    fi
+    if [ -z "$old" ]; then
+        # A baseline captured before this metric existed can't gate it. Skip
+        # explicitly — a visible SKIP row, never a silent pass — so the gap
+        # stays on the step summary until `make bench-baseline` arms the gate.
+        echo "SKIP  $name: baseline has no $name field (refresh with 'make bench-baseline' to arm this gate)"
+        row SKIP "$name" "-" "$new" "baseline predates this metric"
         return
     fi
     if [ "$old" -eq 0 ]; then
@@ -74,19 +82,19 @@ gate() {
     fi
 }
 
+# Archive the fresh metrics under a dated (or CI run id) name before gating:
+# a failing gate is exactly when the numbers need inspecting later, so the
+# artifact must exist regardless of the verdict below.
+run_id=${GITHUB_RUN_ID:-$(date -u +%Y%m%d-%H%M%S)}
+artifact="BENCH_${run_id}.json"
+cp "$fresh" "$artifact"
+echo "benchgate: fresh metrics archived as $artifact"
+
 gate simulated_cycles "$cycle_tol" "$(field "$base" simulated_cycles)" "$(field "$fresh" simulated_cycles)"
 gate host_wall_ns "$wall_tol" "$(field "$base" host_wall_ns)" "$(field "$fresh" host_wall_ns)"
-
-# host_allocs is omitempty in the summary, so a baseline captured before the
-# allocation gate existed may not carry it; skip (don't fail) in that case so
-# the gate phases in with the next `make bench-baseline`.
-base_allocs=$(field "$base" host_allocs)
-if [ -z "$base_allocs" ]; then
-    echo "skip  host_allocs: baseline has no host_allocs field (refresh with 'make bench-baseline' to arm this gate)"
-    row skip host_allocs "-" "$(field "$fresh" host_allocs)" "baseline has no host_allocs field"
-else
-    gate host_allocs "$alloc_tol" "$base_allocs" "$(field "$fresh" host_allocs)"
-fi
+# host_allocs is omitempty in the summary; a baseline captured before the
+# allocation gate existed gets an explicit SKIP row from gate().
+gate host_allocs "$alloc_tol" "$(field "$base" host_allocs)" "$(field "$fresh" host_allocs)"
 
 if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
     {

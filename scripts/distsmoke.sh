@@ -1,0 +1,78 @@
+#!/bin/sh
+# distsmoke.sh is the distributed determinism gate: it boots WORKERS (default
+# 4) real chgraph-worker processes, drives BFS and CC over the HTTP transport
+# through chgraph-run -dist-workers, and requires the final state checksum to
+# be bit-identical to both the in-process sharded run at the same K and the
+# unsharded engine — the cross-process leg of the determinism wall
+# (DESIGN.md §16).
+#
+# Usage: sh scripts/distsmoke.sh
+# Env overrides: WORKERS=4 DATASET=WEB SCALE=0.05
+set -eu
+
+cd "$(dirname "$0")/.."
+
+workers=${WORKERS:-4}
+dataset=${DATASET:-WEB}
+scale=${SCALE:-0.05}
+
+bin=$(mktemp -d)
+pids=""
+cleanup() {
+    for p in $pids; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$bin"
+}
+trap cleanup EXIT INT TERM
+
+echo "distsmoke: building chgraph-worker and chgraph-run"
+go build -o "$bin/chgraph-worker" ./cmd/chgraph-worker
+go build -o "$bin/chgraph-run" ./cmd/chgraph-run
+
+# Spawn the worker fleet on kernel-assigned ports, collecting each process's
+# announced address from its log.
+addrs=""
+i=0
+while [ "$i" -lt "$workers" ]; do
+    log="$bin/worker$i.log"
+    "$bin/chgraph-worker" -addr 127.0.0.1:0 >"$log" 2>&1 &
+    pids="$pids $!"
+    tries=0
+    while ! grep -q "listening on" "$log" 2>/dev/null; do
+        tries=$((tries + 1))
+        if [ "$tries" -gt 100 ]; then
+            echo "distsmoke: worker $i never announced its address" >&2
+            cat "$log" >&2 || true
+            exit 1
+        fi
+        sleep 0.1
+    done
+    addr=$(sed -n 's/^chgraph-worker listening on //p' "$log" | head -1)
+    addrs="${addrs:+$addrs,}$addr"
+    i=$((i + 1))
+done
+echo "distsmoke: $workers workers up at $addrs"
+
+# checksum <extra args...> -> the run's state checksum line.
+checksum() {
+    "$bin/chgraph-run" -dataset "$dataset" -scale "$scale" -engine chgraph "$@" |
+        sed -n 's/.*state checksum: *//p'
+}
+
+fail=0
+for algo in BFS CC; do
+    dist=$(checksum -algo "$algo" -dist-workers "$addrs")
+    local_k=$(checksum -algo "$algo" -shards "$workers")
+    single=$(checksum -algo "$algo")
+    if [ -z "$dist" ] || [ "$dist" != "$local_k" ] || [ "$dist" != "$single" ]; then
+        echo "FAIL  $algo: dist=$dist in-process-K$workers=$local_k unsharded=$single" >&2
+        fail=1
+    else
+        echo "ok    $algo: state checksum $dist identical across $workers-process," \
+            "in-process-K$workers and unsharded runs"
+    fi
+done
+
+if [ "$fail" = 1 ]; then
+    echo "distsmoke: distributed run diverged from the in-process goldens" >&2
+fi
+exit $fail
