@@ -14,8 +14,12 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Tests run shuffled so inter-test order dependence cannot hide. On failure
+# the testing package prints the `-test.shuffle <seed>` line with the
+# package's output; reproduce that exact order with
+# `go test -shuffle=<seed> <pkg>`.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
 	$(GO) test -race ./...
@@ -30,9 +34,12 @@ bench:
 # bench-smoke is the CI perf trace: one quick benchmark pass plus a scaled-
 # down bench session whose per-run timelines land in bench-metrics.json
 # (uploaded as a workflow artifact so every PR has a perf trace to diff).
+# The session runs -compressed: results are bit-identical to raw (so the
+# cycle gate still holds against raw-era baselines) and the summary's
+# bytes_per_edge measures the compressed CSR for the memory wall.
 bench-smoke:
 	$(MAKE) bench BENCHTIME=1x
-	$(GO) run ./cmd/chgraph-bench -fig fig2,shards -scale 0.05 -metrics-out bench-metrics.json
+	$(GO) run ./cmd/chgraph-bench -fig fig2,shards -scale 0.05 -compressed -metrics-out bench-metrics.json
 
 # benchgate compares the fresh bench-metrics.json against the committed
 # BENCH_baseline.json and fails on regression (>5% simulated cycles, >10%
@@ -90,7 +97,7 @@ cover:
 # corpus (testdata/fuzz). Raise FUZZTIME for a deeper run.
 FUZZTIME ?= 10s
 fuzz:
-	for t in FuzzBuild FuzzBuildDirected FuzzFromGraphEdges FuzzReadText FuzzReadBinary; do \
+	for t in FuzzBuild FuzzBuildDirected FuzzFromGraphEdges FuzzReadText FuzzReadBinary FuzzCompressedCodec; do \
 		$(GO) test ./internal/hypergraph/ -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
 	done
 	$(GO) test ./internal/shard/ -run '^$$' -fuzz '^FuzzPartition$$' -fuzztime $(FUZZTIME)

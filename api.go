@@ -23,6 +23,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 
 	"chgraph/internal/algorithms"
 	"chgraph/internal/bitset"
@@ -42,6 +43,30 @@ import (
 // Hypergraph is a bipartite-CSR hypergraph (Figure 4 of the paper).
 type Hypergraph struct {
 	b *hypergraph.Bipartite
+
+	// comp caches the delta/varint-compressed view built on first use of
+	// RunConfig.Compressed. One stable pointer per Hypergraph is what lets
+	// Prepare/Run match prepared artifacts to the graph they were built for
+	// in compressed mode.
+	compOnce sync.Once
+	comp     *hypergraph.Bipartite
+}
+
+// compressed returns the compressed-only view of g, building it once.
+func (g *Hypergraph) compressed() *hypergraph.Bipartite {
+	if g.b.Compressed() {
+		return g.b
+	}
+	g.compOnce.Do(func() { g.comp = g.b.Compress() })
+	return g.comp
+}
+
+// runGraph resolves which representation a cfg-shaped run executes on.
+func (g *Hypergraph) runGraph(compressed bool) *hypergraph.Bipartite {
+	if compressed {
+		return g.compressed()
+	}
+	return g.b
 }
 
 // NewHypergraph builds a hypergraph from per-hyperedge incident vertex
@@ -151,6 +176,19 @@ func (g *Hypergraph) OverlapSize(a, b uint32) uint32 { return g.b.OverlapSize(a,
 // Stats returns Table II-style statistics.
 func (g *Hypergraph) Stats() hypergraph.Stats { return hypergraph.ComputeStats(g.b) }
 
+// Footprint reports the adjacency storage a run with RunConfig.Compressed
+// set accordingly executes on: total bytes (offset arrays plus neighbor
+// storage, both incidence directions) and bytes per bipartite edge. Asking
+// for the compressed footprint builds (and caches) the compressed view.
+func (g *Hypergraph) Footprint(compressed bool) (totalBytes uint64, bytesPerEdge float64) {
+	b := g.runGraph(compressed)
+	totalBytes = b.AdjacencyBytes()
+	if e := b.NumBipartiteEdges(); e > 0 {
+		bytesPerEdge = float64(totalBytes) / float64(e)
+	}
+	return totalBytes, bytesPerEdge
+}
+
 // Side selects hyperedge chains (scheduling hyperedges, as in vertex
 // computation) or vertex chains.
 type Side int
@@ -246,6 +284,14 @@ type RunConfig struct {
 	// compile phase op streams. Simulated results are identical for every
 	// value; 0 uses all available CPUs, 1 forces the serial path.
 	Workers int
+	// Compressed runs on the delta/varint-compressed CSR instead of the raw
+	// one: adjacency storage shrinks (the bytes_per_edge bench metric), the
+	// engines decode incidence lists through streaming cursors, and
+	// distributed runs ship the compressed blob to workers. Results are
+	// bit-identical to the raw representation — offsets stay uncompressed,
+	// so the simulated address stream never changes. A Prepared artifact
+	// must have been built with the same setting.
+	Compressed bool
 	// Observer, if non-nil, receives per-phase, per-iteration and run
 	// snapshots during the run (see NewTimeline / NewLogObserver).
 	// Observers are read-only: attaching one leaves the Result
@@ -371,7 +417,8 @@ func Prepare(ctx context.Context, g *Hypergraph, cfg RunConfig) (*Prepared, erro
 		ctx = context.Background()
 	}
 	eopt := prepOptions(cfg)
-	p := &Prepared{b: g.b, cores: eopt.Sys.Cores, wMin: eopt.WMin}
+	b := g.runGraph(cfg.Compressed)
+	p := &Prepared{b: b, cores: eopt.Sys.Cores, wMin: eopt.WMin}
 	if cfg.Shards > 1 {
 		pol := shard.PolicyRange
 		if cfg.ShardPolicy != "" {
@@ -380,7 +427,7 @@ func Prepare(ctx context.Context, g *Hypergraph, cfg RunConfig) (*Prepared, erro
 				return nil, err
 			}
 		}
-		sh, err := shard.Prepare(ctx, g.b, shard.Options{
+		sh, err := shard.Prepare(ctx, b, shard.Options{
 			Shards: cfg.Shards, Policy: pol, CapFactor: cfg.ShardCapFactor,
 			Engine: eopt,
 		})
@@ -393,7 +440,7 @@ func Prepare(ctx context.Context, g *Hypergraph, cfg RunConfig) (*Prepared, erro
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	p.prep = engine.PrepareParallel(g.b, eopt.Sys.Cores, eopt.WMin, eopt.Workers)
+	p.prep = engine.PrepareParallel(b, eopt.Sys.Cores, eopt.WMin, eopt.Workers)
 	return p, nil
 }
 
@@ -530,12 +577,13 @@ func RunContext(ctx context.Context, g *Hypergraph, algorithm string, cfg RunCon
 	}
 
 	eopt := prepOptions(cfg)
+	b := g.runGraph(cfg.Compressed)
 	if len(cfg.DistWorkers) > 0 && cfg.Prepared != nil {
 		return nil, fmt.Errorf("chgraph: Prepared artifacts are not supported with DistWorkers (each worker preps its own sub-hypergraph)")
 	}
 	if p := cfg.Prepared; p != nil {
-		if p.b != g.b {
-			return nil, fmt.Errorf("chgraph: Prepared was built for a different hypergraph")
+		if p.b != b {
+			return nil, fmt.Errorf("chgraph: Prepared was built for a different hypergraph or representation (check RunConfig.Compressed)")
 		}
 		if p.cores != eopt.Sys.Cores || p.wMin != eopt.WMin {
 			return nil, fmt.Errorf("chgraph: Prepared built for cores=%d/wMin=%d, run wants cores=%d/wMin=%d",
@@ -557,7 +605,7 @@ func RunContext(ctx context.Context, g *Hypergraph, algorithm string, cfg RunCon
 				return nil, err
 			}
 		}
-		sres, err = dist.RunCtx(ctx, g.b, alg, dist.Options{
+		sres, err = dist.RunCtx(ctx, b, alg, dist.Options{
 			Workers: cfg.DistWorkers, Policy: pol, CapFactor: cfg.ShardCapFactor,
 			Engine: eopt,
 		})
@@ -578,7 +626,7 @@ func RunContext(ctx context.Context, g *Hypergraph, algorithm string, cfg RunCon
 		if cfg.Prepared != nil {
 			sopt.Pre = cfg.Prepared.sh
 		}
-		sres, err = shard.RunCtx(ctx, g.b, alg, sopt)
+		sres, err = shard.RunCtx(ctx, b, alg, sopt)
 		if sres != nil {
 			res = sres.Result
 		}
@@ -586,7 +634,7 @@ func RunContext(ctx context.Context, g *Hypergraph, algorithm string, cfg RunCon
 		if cfg.Prepared != nil {
 			eopt.Prep = cfg.Prepared.prep
 		}
-		res, err = engine.RunCtx(ctx, g.b, alg, eopt)
+		res, err = engine.RunCtx(ctx, b, alg, eopt)
 	}
 	if err != nil {
 		return nil, err

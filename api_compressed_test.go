@@ -1,0 +1,91 @@
+package chgraph
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// TestCompressedRunBitIdentical is the public contract of
+// RunConfig.Compressed: the compressed CSR is a pure representation change,
+// so every observable of a run — values, cycles, per-group memory traffic,
+// chain counts — matches the raw run bit for bit, unsharded and sharded.
+func TestCompressedRunBitIdentical(t *testing.T) {
+	g := prepareTestHG(t)
+	for _, alg := range []string{"PR", "BFS"} {
+		for _, cfg := range []RunConfig{
+			{Engine: ChGraph, Cores: 4, Iterations: 3},
+			{Engine: Hygra, Cores: 2, Iterations: 3},
+			{Engine: GLA, Cores: 4, Iterations: 3, Shards: 2},
+		} {
+			raw, err := Run(g, alg, cfg)
+			if err != nil {
+				t.Fatalf("%s raw: %v", alg, err)
+			}
+			c := cfg
+			c.Compressed = true
+			comp, err := Run(g, alg, c)
+			if err != nil {
+				t.Fatalf("%s compressed: %v", alg, err)
+			}
+			if !reflect.DeepEqual(raw, comp) {
+				t.Fatalf("%s shards=%d: compressed run diverged:\nraw  %+v\ncomp %+v",
+					alg, cfg.Shards, raw, comp)
+			}
+		}
+	}
+}
+
+// TestCompressedPreparedRoundTrip pins the Prepared interplay: artifacts
+// prepared compressed serve compressed runs (bit-identical to direct runs),
+// are rejected by raw runs, and survive Apply with the representation intact.
+func TestCompressedPreparedRoundTrip(t *testing.T) {
+	g := prepareTestHG(t)
+	cfg := RunConfig{Engine: ChGraph, Cores: 4, Iterations: 3, Compressed: true}
+	pre, err := Prepare(context.Background(), g, cfg)
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	direct, err := Run(g, "PR", cfg)
+	if err != nil {
+		t.Fatalf("direct Run: %v", err)
+	}
+	c := cfg
+	c.Prepared = pre
+	reused, err := Run(g, "PR", c)
+	if err != nil {
+		t.Fatalf("prepared Run: %v", err)
+	}
+	if !reflect.DeepEqual(direct, reused) {
+		t.Fatal("prepared compressed run diverged from direct run")
+	}
+
+	// The artifact is bound to the compressed representation.
+	mismatch := RunConfig{Engine: ChGraph, Cores: 4, Iterations: 3, Prepared: pre}
+	if _, err := Run(g, "PR", mismatch); err == nil {
+		t.Fatal("compressed Prepared accepted by a raw run")
+	}
+
+	// Apply keeps the representation: the derived pair still runs compressed
+	// and still matches a from-scratch compressed run on the new graph.
+	var batch Batch
+	batch.RemoveHyperedges(0)
+	batch.AddHyperedges([]uint32{0, 1, 2, 3})
+	ng, npre, err := pre.Apply(context.Background(), batch)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	c = cfg
+	c.Prepared = npre
+	got, err := Run(ng, "PR", c)
+	if err != nil {
+		t.Fatalf("Run on applied pair: %v", err)
+	}
+	want, err := Run(ng, "PR", cfg)
+	if err != nil {
+		t.Fatalf("from-scratch Run on mutated graph: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("applied compressed artifacts diverged from from-scratch run")
+	}
+}

@@ -39,6 +39,7 @@ func main() {
 		algos    = flag.String("algos", "", "comma-separated algorithm subset (default: all six)")
 		parallel = flag.Int("parallel", 0, "max concurrently simulated cells (0 = auto)")
 		workers  = flag.Int("workers", 1, "host worker threads inside each cell (prep/compile); results are identical for every value")
+		comp     = flag.Bool("compressed", false, "run on the delta/varint-compressed CSR (bit-identical results, smaller adjacency footprint; bytes_per_edge in -metrics-out measures the compressed form)")
 		verbose  = flag.Bool("v", false, "log every simulated cell")
 		logLevel = flag.Int("loglevel", 0, "telemetry log level on stderr: 0 silent, 1 run, 2 +iterations, 3 +phases (implies -v)")
 
@@ -86,7 +87,7 @@ func main() {
 		defer func() { rtrace.Stop(); tf.Close() }()
 	}
 
-	cfg := bench.Config{Scale: *scale, Parallel: *parallel, Workers: *workers}
+	cfg := bench.Config{Scale: *scale, Parallel: *parallel, Workers: *workers, Compressed: *comp}
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
 	}
@@ -135,6 +136,7 @@ func main() {
 		var memAfter runtime.MemStats
 		runtime.ReadMemStats(&memAfter)
 		cfg.Metrics.RecordHostAllocs(memAfter.Mallocs - memBefore.Mallocs)
+		cfg.Metrics.RecordHeapInuse(memAfter.HeapInuse)
 		f, err := os.Create(*metricsOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -149,8 +151,8 @@ func main() {
 			os.Exit(1)
 		}
 		sum := cfg.Metrics.Summary()
-		fmt.Fprintf(os.Stderr, "session metrics written to %s (%d runs, %d phases, %d simulated cycles)\n",
-			*metricsOut, sum.Runs, sum.Phases, sum.SimulatedCycles)
+		fmt.Fprintf(os.Stderr, "session metrics written to %s (%d runs, %d phases, %d simulated cycles, %.2f adjacency bytes/edge)\n",
+			*metricsOut, sum.Runs, sum.Phases, sum.SimulatedCycles, sum.BytesPerEdge)
 	}
 
 	if *mutSmoke {

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"chgraph/internal/engine"
+	"chgraph/internal/gen"
+	"chgraph/internal/obs"
+)
+
+// TestCompressedFootprintWEB pins the headline memory win the compressed CSR
+// exists for: on the WEB recipe (clustered, sorted adjacency, so deltas are
+// small) the adjacency footprint must drop by at least 25%.
+func TestCompressedFootprintWEB(t *testing.T) {
+	g := gen.MustLoad("WEB", 0.05)
+	raw := g.AdjacencyBytes()
+	comp := g.Compress().AdjacencyBytes()
+	if comp*4 > raw*3 {
+		t.Fatalf("compressed adjacency %d bytes vs raw %d: less than 25%% smaller", comp, raw)
+	}
+	edges := float64(g.NumBipartiteEdges())
+	t.Logf("WEB: %.2f -> %.2f bytes/edge (%.1f%% smaller)",
+		float64(raw)/edges, float64(comp)/edges, 100*(1-float64(comp)/float64(raw)))
+}
+
+// TestSessionCompressedBitIdentical runs the same cell through a raw and a
+// compressed session and requires identical simulation output — the
+// representation contract that lets the bench gate compare a compressed
+// session's cycles against a raw baseline. It also checks the compressed
+// session's footprint metrics measure the smaller form.
+func TestSessionCompressedBitIdentical(t *testing.T) {
+	spec := RunSpec{Dataset: "WEB", Algo: "PR", Kind: engine.ChGraph}
+	mkSession := func(compressed bool) (*Session, *obs.SessionMetrics) {
+		m := obs.NewSessionMetrics()
+		s := NewSession(Config{Scale: 0.02, Cores: 4, Compressed: compressed, Metrics: m})
+		return s, m
+	}
+	sRaw, mRaw := mkSession(false)
+	sComp, mComp := mkSession(true)
+	rRaw, rComp := sRaw.Run(spec), sComp.Run(spec)
+
+	if !sComp.Dataset("WEB").Compressed() {
+		t.Fatal("compressed session serves a raw dataset")
+	}
+	// State.G is the input graph object; raw and compressed runs differ
+	// there by construction, and nowhere else.
+	rRaw.State.G, rComp.State.G = nil, nil
+	if !reflect.DeepEqual(rRaw, rComp) {
+		t.Fatalf("compressed cell diverged:\nraw  %+v\ncomp %+v", rRaw, rComp)
+	}
+
+	sumRaw, sumComp := mRaw.Summary(), mComp.Summary()
+	if sumComp.AdjacencyBytes == 0 || sumComp.BytesPerEdge == 0 {
+		t.Fatalf("compressed session footprint not recorded: %+v", sumComp)
+	}
+	if sumComp.AdjacencyBytes >= sumRaw.AdjacencyBytes {
+		t.Fatalf("compressed session adjacency %d >= raw %d",
+			sumComp.AdjacencyBytes, sumRaw.AdjacencyBytes)
+	}
+}

@@ -165,19 +165,37 @@ func splitHeader(body []byte) (hdr, payload []byte, err error) {
 	return body[:n], body[n:], nil
 }
 
-// appendGraph appends g's wire encoding: counts, a directedness flag, the
-// hyperedge-side adjacency (pin lists, preserving order) and — directed
-// only — the vertex-side adjacency, from which the decoder reconstructs the
-// per-hyperedge source sets. The decode rebuilds the bipartite CSR through
-// the same hypergraph.Build/BuildDirected calls shard.Materialize uses, so
-// a worker's sub-hypergraph is byte-identical to the coordinator's.
+// Graph wire-format flag byte values. 0/1 are the historical raw encodings
+// (flat pin lists, directedness flag); 2 marks a compressed graph, whose
+// body is the hypergraph package's own compressed blob shipped verbatim —
+// the /prepare payload then shrinks with the codec instead of re-inflating
+// to 4 bytes per incidence.
+const (
+	wireGraphRaw        = 0
+	wireGraphDirected   = 1
+	wireGraphCompressed = 2
+)
+
+// appendGraph appends g's wire encoding: counts, a flag byte, then either
+// the raw adjacency (pin lists, preserving order; directed graphs add the
+// vertex-side adjacency, from which the decoder reconstructs the
+// per-hyperedge source sets) or, for compressed-only graphs, the
+// hypergraph.AppendCompressed blob verbatim. The raw decode rebuilds the
+// bipartite CSR through the same hypergraph.Build/BuildDirected calls
+// shard.Materialize uses, so a worker's sub-hypergraph is byte-identical to
+// the coordinator's; the compressed decode round-trips byte-identically by
+// the codec's own contract.
 func appendGraph(dst []byte, g *hypergraph.Bipartite) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, g.NumVertices())
 	dst = binary.LittleEndian.AppendUint32(dst, g.NumHyperedges())
+	if g.Compressed() {
+		dst = append(dst, wireGraphCompressed)
+		return hypergraph.AppendCompressed(dst, g)
+	}
 	if g.Directed() {
-		dst = append(dst, 1)
+		dst = append(dst, wireGraphDirected)
 	} else {
-		dst = append(dst, 0)
+		dst = append(dst, wireGraphRaw)
 	}
 	for h := uint32(0); h < g.NumHyperedges(); h++ {
 		pins := g.IncidentVertices(h)
@@ -224,8 +242,23 @@ func decodeGraph(data []byte) (*hypergraph.Bipartite, error) {
 	if len(r.b) < 1 {
 		return nil, fmt.Errorf("dist: truncated graph: %w", io.ErrUnexpectedEOF)
 	}
-	directed := r.b[0] != 0
+	flag := r.b[0]
 	r.b = r.b[1:]
+	if flag == wireGraphCompressed {
+		g, err := hypergraph.DecodeCompressed(r.b)
+		if err != nil {
+			return nil, fmt.Errorf("dist: compressed graph: %w", err)
+		}
+		if g.NumVertices() != numV || g.NumHyperedges() != numH {
+			return nil, fmt.Errorf("dist: compressed graph counts (%d,%d) disagree with header (%d,%d)",
+				g.NumVertices(), g.NumHyperedges(), numV, numH)
+		}
+		return g, nil
+	}
+	if flag > wireGraphDirected {
+		return nil, fmt.Errorf("dist: unknown graph flag %d", flag)
+	}
+	directed := flag == wireGraphDirected
 	pins := make([][]uint32, numH)
 	for h := range pins {
 		deg, err := r.u32()

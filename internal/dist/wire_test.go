@@ -78,6 +78,36 @@ func TestGraphRoundTripDirected(t *testing.T) {
 	graphsEqual(t, g, got)
 }
 
+func TestGraphRoundTripCompressed(t *testing.T) {
+	g := hypergraph.MustBuild(7, [][]uint32{{0, 1, 2}, {2, 3}, {}, {4, 5, 6, 0}}).Compress()
+	blob := appendGraph(nil, g)
+	got, err := decodeGraph(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Compressed() {
+		t.Fatal("decoded graph lost its compressed representation")
+	}
+	graphsEqual(t, g, got)
+	// Re-encoding the decoded graph must be byte-identical (the payload is
+	// the codec's canonical blob shipped verbatim).
+	if again := appendGraph(nil, got); !bytes.Equal(blob, again) {
+		t.Fatal("compressed wire encoding is not byte-stable")
+	}
+	// Truncations must error, never panic.
+	for n := 0; n < len(blob); n++ {
+		if _, err := decodeGraph(blob[:n]); err == nil {
+			t.Fatalf("decode of %d/%d bytes: want error", n, len(blob))
+		}
+	}
+	// A count mismatch between header and blob must be rejected.
+	bad := append([]byte(nil), blob...)
+	bad[0]++
+	if _, err := decodeGraph(bad); err == nil {
+		t.Fatal("header/blob count mismatch: want error")
+	}
+}
+
 func TestGraphDecodeTruncated(t *testing.T) {
 	g := hypergraph.MustBuild(5, [][]uint32{{0, 1}, {2, 3, 4}})
 	blob := appendGraph(nil, g)

@@ -1,0 +1,67 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestGoldenCompressedEquivalence pins the tentpole contract of the
+// compressed representation: for every engine kind and golden algorithm, a
+// run over the compressed-only graph must be bit-identical to the raw run —
+// same cycles, same per-array memory traffic, same chain schedules, same
+// final float bits. Offsets stay uncompressed, so every simulated address is
+// computed from the same logical CSR entry index either way; this test is
+// what keeps that invariant honest.
+func TestGoldenCompressedEquivalence(t *testing.T) {
+	raw := smallHG(11)
+	comp := raw.Compress()
+	if !comp.Compressed() {
+		t.Fatal("Compress() did not produce a compressed-only graph")
+	}
+	for _, kind := range allKinds {
+		for algName, mk := range goldenAlgorithms() {
+			r1, err := Run(raw, mk(), Options{Kind: kind, Sys: testSys(), Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := Run(comp, mk(), Options{Kind: kind, Sys: testSys(), Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// State.G is the input graph object itself and differs by
+			// construction; every derived value must still match.
+			r1.State.G, r2.State.G = nil, nil
+			if !reflect.DeepEqual(r1, r2) {
+				t.Errorf("%v/%s: compressed run diverged from raw", kind, algName)
+			}
+			if entryOf(r1) != entryOf(r2) {
+				t.Errorf("%v/%s: golden projection differs under compression", kind, algName)
+			}
+			// Parallel compile over the compressed form must agree too (the
+			// per-core cursors are the only added state).
+			r4, err := Run(comp, mk(), Options{Kind: kind, Sys: testSys(), Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r4.State.G = nil
+			if !reflect.DeepEqual(r2, r4) {
+				t.Errorf("%v/%s: compressed Workers=4 diverged from Workers=1", kind, algName)
+			}
+		}
+	}
+}
+
+// TestCompressedPrepEquivalence checks Prepare over the compressed graph
+// builds the same chunks and OAGs as over the raw one.
+func TestCompressedPrepEquivalence(t *testing.T) {
+	raw := smallHG(7)
+	comp := raw.Compress()
+	pr := Prepare(raw, 4, 2)
+	pc := Prepare(comp, 4, 2)
+	if !pr.VOAG.Equal(pc.VOAG) || !pr.HOAG.Equal(pc.HOAG) {
+		t.Fatal("Prepare over the compressed graph built different OAGs")
+	}
+	if !reflect.DeepEqual(pr.VChunks, pc.VChunks) || !reflect.DeepEqual(pr.HChunks, pc.HChunks) {
+		t.Fatal("Prepare over the compressed graph built different chunks")
+	}
+}

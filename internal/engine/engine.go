@@ -501,11 +501,18 @@ type phaseSpec struct {
 	backIncArr    trace.Array
 	backOffset    func(uint32) uint32
 	backNeighbors func(uint32) []uint32
+	// packed/backPacked are set when the graph is compressed-only: the
+	// compile passes then decode incidence lists through per-core cursors
+	// (coreScratch.nbrs) instead of the plain accessors, which would
+	// allocate a fresh slice per call. The simulated address stream is
+	// unchanged — offsets stay uncompressed, so logical CSR entry indexes
+	// (offset+position) are identical either way.
+	packed, backPacked *hypergraph.PackedAdj
 }
 
 // vertexPhase is the hyperedge-computation phase (src = vertices).
 func vertexPhase(g *hypergraph.Bipartite, prep *Prep, frontier, next bitset.Bitmap) *phaseSpec {
-	return &phaseSpec{
+	ph := &phaseSpec{
 		srcN: g.NumVertices(), dstN: g.NumHyperedges(),
 		chunks: prep.VChunks, og: prep.VOAG,
 		frontier: frontier, next: next,
@@ -516,11 +523,15 @@ func vertexPhase(g *hypergraph.Bipartite, prep *Prep, frontier, next bitset.Bitm
 		backOffArr: trace.HyperedgeOffset, backIncArr: trace.IncidentVertex,
 		backOffset: g.HyperedgeOffset, backNeighbors: g.IncidentVertices,
 	}
+	if g.Compressed() {
+		ph.packed, ph.backPacked = g.PackedV(), g.PackedH()
+	}
+	return ph
 }
 
 // hyperedgePhase is the vertex-computation phase (src = hyperedges).
 func hyperedgePhase(g *hypergraph.Bipartite, prep *Prep, frontier, next bitset.Bitmap) *phaseSpec {
-	return &phaseSpec{
+	ph := &phaseSpec{
 		srcN: g.NumHyperedges(), dstN: g.NumVertices(),
 		chunks: prep.HChunks, og: prep.HOAG,
 		frontier: frontier, next: next,
@@ -531,4 +542,8 @@ func hyperedgePhase(g *hypergraph.Bipartite, prep *Prep, frontier, next bitset.B
 		backOffArr: trace.VertexOffset, backIncArr: trace.IncidentHyperedge,
 		backOffset: g.VertexOffset, backNeighbors: g.IncidentHyperedges,
 	}
+	if g.Compressed() {
+		ph.packed, ph.backPacked = g.PackedH(), g.PackedV()
+	}
+	return ph
 }

@@ -418,6 +418,7 @@ func (r *runner) compileHygra(ph *phaseSpec, coreID int, prefetch bool) *compile
 	c := r.opt.Costs
 	ch := ph.chunks[coreID]
 	sc := &r.scratch.cores[coreID]
+	sc.bindCursors(ph)
 	out := &sc.cc
 	out.agents = out.agents[:0]
 	out.marks = out.marks[:0]
@@ -438,7 +439,7 @@ func (r *runner) compileHygra(ph *phaseSpec, coreID int, prefetch bool) *compile
 			pfOps = append(pfOps, trace.Op{Addr: lay.Addr(ph.offArr, uint64(e)), Arr: ph.offArr, Flags: trace.FlagPrefetch | trace.FlagL2})
 		}
 		base := ph.offset(e)
-		for i, d := range ph.neighbors(e) {
+		for i, d := range sc.nbrs(ph, e) {
 			if prefetch {
 				pfOps = append(pfOps,
 					trace.Op{Addr: lay.Addr(ph.incArr, uint64(base)+uint64(i)), Arr: ph.incArr, Flags: trace.FlagPrefetch | trace.FlagL2},
@@ -503,6 +504,7 @@ func (r *runner) compileGLA(ph *phaseSpec, coreID int, cs core.ChainSet, replaye
 	c := r.opt.Costs
 	ch := ph.chunks[coreID]
 	sc := &r.scratch.cores[coreID]
+	sc.bindCursors(ph)
 	out := &sc.cc
 	out.agents = out.agents[:0]
 	out.marks = out.marks[:0]
@@ -523,7 +525,7 @@ func (r *runner) compileGLA(ph *phaseSpec, coreID int, cs core.ChainSet, replaye
 			trace.Op{Addr: lay.Addr(ph.offArr, uint64(e)), Arr: ph.offArr, Compute: c.Element},
 			trace.Op{Addr: lay.Addr(ph.srcValArr, uint64(e)), Arr: ph.srcValArr})
 		base := ph.offset(e)
-		for i, d := range ph.neighbors(e) {
+		for i, d := range sc.nbrs(ph, e) {
 			ops = append(ops,
 				trace.Op{Addr: lay.Addr(ph.incArr, uint64(base)+uint64(i)), Arr: ph.incArr, Compute: c.SWLoad},
 				trace.Op{Addr: lay.Addr(ph.dstValArr, uint64(d)), Arr: ph.dstValArr, Compute: c.Apply})
@@ -582,6 +584,7 @@ func (r *runner) compileChGraph(ph *phaseSpec, coreID int, cs core.ChainSet, rep
 	c := r.opt.Costs
 	ch := ph.chunks[coreID]
 	sc := &r.scratch.cores[coreID]
+	sc.bindCursors(ph)
 	out := &sc.cc
 	out.agents = out.agents[:0]
 	out.marks = out.marks[:0]
@@ -622,7 +625,7 @@ func (r *runner) compileChGraph(ph *phaseSpec, coreID int, cs core.ChainSet, rep
 				trace.Op{Addr: lay.Addr(ph.offArr, uint64(e)), Arr: ph.offArr, Flags: trace.FlagL2, Compute: c.HWStage},
 				trace.Op{Addr: lay.Addr(ph.srcValArr, uint64(e)), Arr: ph.srcValArr, Flags: trace.FlagL2, Compute: c.HWStage})
 			base := ph.offset(e)
-			for i, d := range ph.neighbors(e) {
+			for i, d := range sc.nbrs(ph, e) {
 				cpOps = append(cpOps,
 					trace.Op{Addr: lay.Addr(ph.incArr, uint64(base)+uint64(i)), Arr: ph.incArr, Flags: trace.FlagL2, Compute: c.HWStage},
 					trace.Op{Addr: lay.Addr(ph.dstValArr, uint64(d)), Arr: ph.dstValArr, Flags: trace.FlagL2 | trace.FlagPushTuple, Compute: c.HWStage})
@@ -659,7 +662,7 @@ func (r *runner) compileChGraph(ph *phaseSpec, coreID int, cs core.ChainSet, rep
 			trace.Op{Addr: lay.Addr(ph.offArr, uint64(e)), Arr: ph.offArr},
 			trace.Op{Addr: lay.Addr(ph.srcValArr, uint64(e)), Arr: ph.srcValArr})
 		base := ph.offset(e)
-		for i, d := range ph.neighbors(e) {
+		for i, d := range sc.nbrs(ph, e) {
 			coreOps = append(coreOps,
 				trace.Op{Addr: lay.Addr(ph.incArr, uint64(base)+uint64(i)), Arr: ph.incArr},
 				trace.Op{Addr: lay.Addr(ph.dstValArr, uint64(d)), Arr: ph.dstValArr, Compute: c.Apply})
@@ -686,15 +689,20 @@ func (r *runner) compileHATSV(ph *phaseSpec, coreID int) *compiledCore {
 	c := r.opt.Costs
 	ch := ph.chunks[coreID]
 	sc := &r.scratch.cores[coreID]
+	sc.bindCursors(ph)
 	out := &sc.cc
 	out.agents = out.agents[:0]
 	out.marks = out.marks[:0]
 	vis := &sc.hv
 	vis.ops, vis.ph, vis.c = vis.ops[:0], ph, c
 	sc.frontier.CopyFrom(ph.frontier)
+	nbrs, back := ph.neighbors, ph.backNeighbors
+	if ph.packed != nil {
+		nbrs, back = sc.hatsNbrs, sc.hatsBack
+	}
 	sched := hats.GenerateInto(sc.sched, hats.Input{
-		Offset: ph.offset, Neighbors: ph.neighbors,
-		BackOffset: ph.backOffset, BackNeighbors: ph.backNeighbors,
+		Offset: ph.offset, Neighbors: nbrs,
+		BackOffset: ph.backOffset, BackNeighbors: back,
 		Lo: ch.Lo, Hi: ch.Hi, Active: sc.frontier, DMax: r.opt.DMax,
 	}, vis)
 	sc.sched = sched
@@ -716,7 +724,7 @@ func (r *runner) compileHATSV(ph *phaseSpec, coreID int) *compiledCore {
 			trace.Op{Addr: lay.Addr(ph.offArr, uint64(e)), Arr: ph.offArr},
 			trace.Op{Addr: lay.Addr(ph.srcValArr, uint64(e)), Arr: ph.srcValArr})
 		base := ph.offset(e)
-		for i, d := range ph.neighbors(e) {
+		for i, d := range sc.nbrs(ph, e) {
 			coreOps = append(coreOps,
 				trace.Op{Addr: lay.Addr(ph.incArr, uint64(base)+uint64(i)), Arr: ph.incArr},
 				trace.Op{Addr: lay.Addr(ph.dstValArr, uint64(d)), Arr: ph.dstValArr, Compute: c.Apply})

@@ -7,6 +7,7 @@ import (
 
 	"chgraph/internal/bitset"
 	"chgraph/internal/core"
+	"chgraph/internal/hypergraph"
 	"chgraph/internal/sim/system"
 	"chgraph/internal/trace"
 )
@@ -85,6 +86,17 @@ type coreScratch struct {
 	agentBuf     [3]system.Agent
 	fifoA, fifoB *system.FIFO
 
+	// adjCur/backCur decode compressed incidence lists for the compile
+	// passes; hatsNbrs/hatsBack are prebuilt closures handing the cursors
+	// to hats.GenerateInto without a per-phase allocation. Two cursors, not
+	// one: HATS probing holds a forward list while it walks back lists, and
+	// a cursor's List result dies on its next List call. The fields are
+	// pointers created lazily (like fifos) because growing the cores slice
+	// copies the structs — value cursors captured by the closures would
+	// dangle.
+	adjCur, backCur    *hypergraph.AdjCursor
+	hatsNbrs, hatsBack func(uint32) []uint32
+
 	names coreNames
 }
 
@@ -120,6 +132,33 @@ func (sc *coreScratch) fifos() (*system.FIFO, *system.FIFO) {
 		sc.fifoB = &system.FIFO{}
 	}
 	return sc.fifoA, sc.fifoB
+}
+
+// bindCursors points the core's decode cursors at the phase's packed sides.
+// A no-op for raw graphs; for compressed ones every compile function calls
+// it on entry, because consecutive phases pack opposite directions.
+func (sc *coreScratch) bindCursors(ph *phaseSpec) {
+	if ph.packed == nil {
+		return
+	}
+	if sc.adjCur == nil {
+		sc.adjCur, sc.backCur = &hypergraph.AdjCursor{}, &hypergraph.AdjCursor{}
+		ac, bc := sc.adjCur, sc.backCur
+		sc.hatsNbrs = func(e uint32) []uint32 { return ac.List(e) }
+		sc.hatsBack = func(e uint32) []uint32 { return bc.List(e) }
+	}
+	sc.adjCur.Bind(ph.packed)
+	sc.backCur.Bind(ph.backPacked)
+}
+
+// nbrs returns src element e's incidence list for compilation: the raw CSR
+// slice, or the cursor-decoded compressed list (valid until the next nbrs
+// call on this core — every compile loop consumes it before advancing).
+func (sc *coreScratch) nbrs(ph *phaseSpec, e uint32) []uint32 {
+	if ph.packed == nil {
+		return ph.neighbors(e)
+	}
+	return sc.adjCur.List(e)
 }
 
 // invalidate drops the chain cache's validity (buffers are kept). Called

@@ -29,7 +29,10 @@ func BuildDirected(numV uint32, srcs, dsts [][]uint32) (*Bipartite, error) {
 		return nil, fmt.Errorf("hypergraph: %d source sets vs %d destination sets", len(srcs), len(dsts))
 	}
 	numH := uint32(len(srcs))
-	g := &Bipartite{numV: numV, numH: numH, directed: true}
+	g := &Bipartite{numV: numV, numH: numH, directed: true, pack: &packedPair{}}
+	// Non-nil even when every destination set is empty: a nil hAdj is the
+	// compressed-only marker (see Compressed).
+	g.hAdj = make([]uint32, 0)
 
 	dedup := func(in []uint32, what string, h int) ([]uint32, error) {
 		seen := make(map[uint32]struct{}, len(in))

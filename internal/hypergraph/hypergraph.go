@@ -32,6 +32,12 @@ type Bipartite struct {
 	// directed marks an asymmetric (source/destination) incidence built by
 	// BuildDirected.
 	directed bool
+
+	// pack caches the compressed adjacency (compress.go). On a
+	// compressed-only graph (hAdj nil) it is the sole incidence storage;
+	// on a raw graph it is a lazily built cache (EnsurePacked). A pointer
+	// so Bipartite stays copyable despite the pair's mutex.
+	pack *packedPair
 }
 
 // Build constructs a Bipartite from per-hyperedge incident vertex lists.
@@ -39,7 +45,7 @@ type Bipartite struct {
 // hyperedge are dropped. Empty hyperedges are allowed (degree 0).
 func Build(numV uint32, hyperedges [][]uint32) (*Bipartite, error) {
 	numH := uint32(len(hyperedges))
-	g := &Bipartite{numV: numV, numH: numH}
+	g := &Bipartite{numV: numV, numH: numH, pack: &packedPair{}}
 
 	g.hOff = make([]uint32, numH+1)
 	total := 0
@@ -111,7 +117,7 @@ func (g *Bipartite) NumHyperedges() uint32 { return g.numH }
 
 // NumBipartiteEdges returns the number of bipartite edges ("#BEdges" in
 // Table II), i.e. the total incidence count.
-func (g *Bipartite) NumBipartiteEdges() uint64 { return uint64(len(g.hAdj)) }
+func (g *Bipartite) NumBipartiteEdges() uint64 { return uint64(g.hOff[g.numH]) }
 
 // HyperedgeDegree returns deg(h), the number of incident vertices of h.
 func (g *Bipartite) HyperedgeDegree(h uint32) uint32 { return g.hOff[h+1] - g.hOff[h] }
@@ -120,12 +126,30 @@ func (g *Bipartite) HyperedgeDegree(h uint32) uint32 { return g.hOff[h+1] - g.hO
 func (g *Bipartite) VertexDegree(v uint32) uint32 { return g.vOff[v+1] - g.vOff[v] }
 
 // IncidentVertices returns N(h), the incident vertex slice of hyperedge h.
-// The returned slice aliases internal storage and must not be modified.
-func (g *Bipartite) IncidentVertices(h uint32) []uint32 { return g.hAdj[g.hOff[h]:g.hOff[h+1]] }
+// On a raw graph the returned slice aliases internal storage and must not be
+// modified; on a compressed-only graph it is a fresh decoded copy (hot loops
+// should use an AdjCursor instead).
+func (g *Bipartite) IncidentVertices(h uint32) []uint32 {
+	if g.hAdj == nil {
+		if g.Compressed() {
+			return g.pack.h.decodeList(h, nil)
+		}
+		return nil
+	}
+	return g.hAdj[g.hOff[h]:g.hOff[h+1]]
+}
 
 // IncidentHyperedges returns N(v), the incident hyperedge slice of vertex v.
-// The returned slice aliases internal storage and must not be modified.
-func (g *Bipartite) IncidentHyperedges(v uint32) []uint32 { return g.vAdj[g.vOff[v]:g.vOff[v+1]] }
+// Aliasing rules match IncidentVertices.
+func (g *Bipartite) IncidentHyperedges(v uint32) []uint32 {
+	if g.vAdj == nil {
+		if g.Compressed() {
+			return g.pack.v.decodeList(v, nil)
+		}
+		return nil
+	}
+	return g.vAdj[g.vOff[v]:g.vOff[v+1]]
+}
 
 // HyperedgeOffset returns the CSR offset of hyperedge h into the
 // incident-vertex array; used by engines to model offset-array accesses.
@@ -139,8 +163,11 @@ func (g *Bipartite) VertexOffset(v uint32) uint32 { return g.vOff[v] }
 // plus one 8-byte value slot per vertex and hyperedge (the representation
 // Hygra keeps, used as the Figure 21(b) baseline).
 func (g *Bipartite) StorageBytes() uint64 {
-	csr := 4 * uint64(len(g.hOff)+len(g.hAdj)+len(g.vOff)+len(g.vAdj))
 	values := 8 * uint64(g.numV+g.numH)
+	if g.Compressed() {
+		return g.AdjacencyBytes() + values
+	}
+	csr := 4 * uint64(len(g.hOff)+len(g.hAdj)+len(g.vOff)+len(g.vAdj))
 	return csr + values
 }
 
@@ -149,10 +176,10 @@ func (g *Bipartite) Validate() error {
 	if len(g.hOff) != int(g.numH)+1 || len(g.vOff) != int(g.numV)+1 {
 		return errors.New("hypergraph: offset array length mismatch")
 	}
-	if g.hOff[g.numH] != uint32(len(g.hAdj)) || g.vOff[g.numV] != uint32(len(g.vAdj)) {
+	if !g.Compressed() && (g.hOff[g.numH] != uint32(len(g.hAdj)) || g.vOff[g.numV] != uint32(len(g.vAdj))) {
 		return errors.New("hypergraph: trailing offset mismatch")
 	}
-	if !g.directed && len(g.hAdj) != len(g.vAdj) {
+	if !g.directed && g.hOff[g.numH] != g.vOff[g.numV] {
 		return errors.New("hypergraph: bipartite edge count asymmetric")
 	}
 	for h := uint32(0); h < g.numH; h++ {
@@ -304,6 +331,17 @@ func FromGraphEdges(numV uint32, edges [][2]uint32) (*Bipartite, error) {
 // call this to give deterministic, index-ordered adjacency as produced by
 // standard CSR construction.
 func (g *Bipartite) SortAdjacency() {
+	if g.Compressed() {
+		// Sorting permutes within lists only, so the shared offset arrays
+		// are untouched; decode, sort, repack in place of the old payload.
+		raw := g.Decompress()
+		raw.SortAdjacency()
+		g.pack.mu.Lock()
+		g.pack.h = packAdjacency(g.hOff, raw.hAdj)
+		g.pack.v = packAdjacency(g.vOff, raw.vAdj)
+		g.pack.mu.Unlock()
+		return
+	}
 	for h := uint32(0); h < g.numH; h++ {
 		s := g.hAdj[g.hOff[h]:g.hOff[h+1]]
 		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
@@ -311,5 +349,11 @@ func (g *Bipartite) SortAdjacency() {
 	for v := uint32(0); v < g.numV; v++ {
 		s := g.vAdj[g.vOff[v]:g.vOff[v+1]]
 		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+	// A stale pack cache would decode the pre-sort lists.
+	if g.pack != nil {
+		g.pack.mu.Lock()
+		g.pack.h, g.pack.v = nil, nil
+		g.pack.mu.Unlock()
 	}
 }

@@ -88,6 +88,9 @@ var binaryMagic = [4]byte{'C', 'H', 'G', '1'}
 
 // WriteBinary writes g in the compact binary format.
 func WriteBinary(w io.Writer, g *Bipartite) error {
+	if g.Compressed() {
+		g = g.Decompress()
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(binaryMagic[:]); err != nil {
 		return err

@@ -104,6 +104,12 @@ func (g *Bipartite) ApplyBatch(b Batch) (*Delta, error) {
 	if err != nil {
 		return nil, err
 	}
+	if g.Compressed() {
+		// Compression is a property of the dataset's serving mode: the
+		// mutated successor keeps it so engines and wire codecs see one
+		// representation across a graph's whole lifetime.
+		ng = ng.Compress()
+	}
 	d.New = ng
 	return d, nil
 }

@@ -1,0 +1,69 @@
+package oag
+
+import (
+	"testing"
+
+	"chgraph/internal/hypergraph"
+)
+
+// TestCompressedBuildMatchesRaw pins that every build path — serial,
+// parallel, chunked, capped and uncapped, both sides — produces an identical
+// OAG whether it iterates the raw CSR or the compressed form through
+// cursor-backed accessors.
+func TestCompressedBuildMatchesRaw(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		g := randomHG(seed)
+		c := g.Compress()
+		for _, side := range []Side{Hyperedges, Vertices} {
+			n := g.NumHyperedges()
+			if side == Vertices {
+				n = g.NumVertices()
+			}
+			chunks := chunksFor(n, 3)
+			cases := []struct {
+				name      string
+				raw, comp *OAG
+			}{
+				{"serial", BuildCapped(g, side, 2, 0, nil), BuildCapped(c, side, 2, 0, nil)},
+				{"capped", Build(g, side, 1, nil), Build(c, side, 1, nil)},
+				{"chunked", BuildCapped(g, side, 1, 4, chunks), BuildCapped(c, side, 1, 4, chunks)},
+				{"parallel", BuildParallelCapped(g, side, 1, 4, chunks, 3), BuildParallelCapped(c, side, 1, 4, chunks, 3)},
+			}
+			for _, tc := range cases {
+				if !tc.raw.Equal(tc.comp) {
+					t.Fatalf("seed %d side %v %s: compressed build diverges from raw", seed, side, tc.name)
+				}
+				if tc.raw.BuildOps() != tc.comp.BuildOps() {
+					t.Fatalf("seed %d side %v %s: BuildOps %d != %d", seed, side, tc.name, tc.raw.BuildOps(), tc.comp.BuildOps())
+				}
+			}
+		}
+	}
+}
+
+// TestCompressedUpdateMatchesRaw runs the incremental updater with both ends
+// compressed and checks it against the all-raw update and the fresh build.
+func TestCompressedUpdateMatchesRaw(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g := randomHG(seed)
+		old := Build(g, Hyperedges, 2, nil)
+		var batch hypergraph.Batch
+		batch.RemoveHyperedges(0)
+		batch.AddHyperedges([]uint32{0, 1, 2})
+		d, err := g.ApplyBatch(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rwRaw := Rewire{OldG: g, NewG: d.New, NodeRemap: d.HRemap, AddedNodes: d.AddedH}
+		rwComp := Rewire{OldG: g.Compress(), NewG: d.New.Compress(), NodeRemap: d.HRemap, AddedNodes: d.AddedH}
+		fresh := Build(d.New, Hyperedges, 2, nil)
+		upRaw := Update(old, 2, rwRaw)
+		upComp := Update(old, 2, rwComp)
+		if !upRaw.Equal(fresh) {
+			t.Fatalf("seed %d: raw update diverges from fresh build", seed)
+		}
+		if !upComp.Equal(fresh) {
+			t.Fatalf("seed %d: compressed update diverges from fresh build", seed)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"unsafe"
 
 	"chgraph/internal/hypergraph"
 	"chgraph/internal/par"
@@ -65,14 +66,48 @@ func (s Side) String() string {
 	return "V-OAG"
 }
 
-// OAG is a weighted undirected overlap graph in CSR form. Neighbor lists are
-// sorted by descending weight (ties broken by ascending node id).
+// inlineDeg is the number of neighbor slots carried inside a nodeHot
+// record. The default per-node cap (DefaultMaxDegree = 8) fits inline with
+// room to spare; only uncapped builds ever spill.
+const inlineDeg = 14
+
+// nodeHotBytes is the record size — exactly one cache line.
+const nodeHotBytes = 64
+
+// nodeHot is the per-node hot record of the cache-conscious OAG layout
+// (DESIGN.md §17): everything the chain generator's neighbor scan touches —
+// the node's CSR offset, degree and neighbor ids — packed into a single
+// 64-byte cache line. The generator's hot loop (core.scanNeighbor) follows
+// chains node to node in data-dependent order; with the historical
+// off/adj split each visit touched two or three lines, with this layout it
+// touches one. Nodes with more than inlineDeg neighbors (possible only in
+// uncapped builds) store their list in the spill array and keep its start
+// index in nbr[0].
+type nodeHot struct {
+	off uint32
+	deg uint32
+	nbr [inlineDeg]uint32
+}
+
+// The layout contract above is load-bearing: a nodeHot must be exactly one
+// cache line.
+var _ = [1]struct{}{}[nodeHotBytes-unsafe.Sizeof(nodeHot{})]
+
+// OAG is a weighted undirected overlap graph. Logically it is still the
+// paper's CSR (Offset/Weight index a flat entry space, which the engines'
+// address modelling relies on); physically the hot fields live in one
+// 64-byte record per node and the weights — never read while generating
+// chains, only during address-free overlap checks and validation — are
+// split into a cold side table aligned with the logical CSR entry index.
+// Neighbor lists are sorted by descending weight (ties broken by ascending
+// node id).
 type OAG struct {
-	side Side
-	n    uint32
-	off  []uint32
-	adj  []uint32
-	w    []uint32
+	side  Side
+	n     uint32
+	hot   []nodeHot
+	spill []uint32
+	// w is the cold side table: the weight of entry i of the logical CSR.
+	w []uint32
 
 	// buildOps counts the abstract work units spent constructing the OAG
 	// (pair touches + sort comparisons); the preprocessing cost model of
@@ -89,25 +124,42 @@ func Build(g *hypergraph.Bipartite, side Side, wMin uint32, chunks []hypergraph.
 	return BuildCapped(g, side, wMin, DefaultMaxDegree, chunks)
 }
 
+// sideAccessors returns the (neighborsOf, incidentOf) accessor pair for
+// building the given side's OAG over g. For a compressed-only graph the pair
+// is backed by two freshly bound cursors — two, not one, because every
+// counting loop holds a neighborsOf list while it calls incidentOf, and a
+// cursor's List result dies on its next List call. The pair is single-
+// goroutine; concurrent workers must each take their own.
+func sideAccessors(g *hypergraph.Bipartite, side Side) (neighborsOf, incidentOf func(uint32) []uint32) {
+	if !g.Compressed() {
+		if side == Hyperedges {
+			return g.IncidentVertices, g.IncidentHyperedges
+		}
+		return g.IncidentHyperedges, g.IncidentVertices
+	}
+	np, ip := g.PackedH(), g.PackedV()
+	if side == Vertices {
+		np, ip = ip, np
+	}
+	return np.NewCursor().List, ip.NewCursor().List
+}
+
 // BuildCapped is Build with an explicit per-node neighbor cap (0 = no cap).
 func BuildCapped(g *hypergraph.Bipartite, side Side, wMin uint32, maxDeg int, chunks []hypergraph.Chunk) *OAG {
 	if wMin == 0 {
 		wMin = 1
 	}
 	var n uint32
-	neighborsOf := g.IncidentVertices
-	incidentOf := g.IncidentHyperedges
 	if side == Hyperedges {
 		n = g.NumHyperedges()
 	} else {
 		n = g.NumVertices()
-		neighborsOf = g.IncidentHyperedges
-		incidentOf = g.IncidentVertices
 	}
+	neighborsOf, incidentOf := sideAccessors(g, side)
 
 	chunkOf := makeChunkIndex(n, chunks)
 
-	o := &OAG{side: side, n: n, off: make([]uint32, n+1)}
+	o := &OAG{side: side, n: n}
 
 	// Counting pass per node: for node a, walk a's incidence lists two
 	// hops to find every b>a sharing at least one incidence, accumulating
@@ -222,19 +274,37 @@ func sortAndCap(adjTmp [][]wedge, a uint32, maxDeg int) uint64 {
 	return ops
 }
 
-// assemble flattens the per-node adjacency into the CSR arrays.
+// assemble flattens the per-node adjacency into the hot records, the spill
+// array and the cold weight table.
 func (o *OAG) assemble(adjTmp [][]wedge) {
-	var total uint32
+	var total, spillLen uint32
 	for a := uint32(0); a < o.n; a++ {
-		o.off[a] = total
-		total += uint32(len(adjTmp[a]))
+		d := uint32(len(adjTmp[a]))
+		total += d
+		if d > inlineDeg {
+			spillLen += d
+		}
 	}
-	o.off[o.n] = total
-	o.adj = make([]uint32, 0, total)
+	o.hot = make([]nodeHot, o.n)
+	o.spill = make([]uint32, 0, spillLen)
 	o.w = make([]uint32, 0, total)
+	var off uint32
 	for a := uint32(0); a < o.n; a++ {
-		for _, e := range adjTmp[a] {
-			o.adj = append(o.adj, e.b)
+		es := adjTmp[a]
+		h := &o.hot[a]
+		h.off, h.deg = off, uint32(len(es))
+		off += h.deg
+		if h.deg <= inlineDeg {
+			for i, e := range es {
+				h.nbr[i] = e.b
+			}
+		} else {
+			h.nbr[0] = uint32(len(o.spill))
+			for _, e := range es {
+				o.spill = append(o.spill, e.b)
+			}
+		}
+		for _, e := range es {
 			o.w = append(o.w, e.w)
 		}
 	}
@@ -257,20 +327,16 @@ func BuildParallelCapped(g *hypergraph.Bipartite, side Side, wMin uint32, maxDeg
 		wMin = 1
 	}
 	var n uint32
-	neighborsOf := g.IncidentVertices
-	incidentOf := g.IncidentHyperedges
 	if side == Hyperedges {
 		n = g.NumHyperedges()
 	} else {
 		n = g.NumVertices()
-		neighborsOf = g.IncidentHyperedges
-		incidentOf = g.IncidentVertices
 	}
 	if workers <= 1 || len(chunks) <= 1 || !chunksTile(chunks, n) {
 		return BuildCapped(g, side, wMin, maxDeg, chunks)
 	}
 
-	o := &OAG{side: side, n: n, off: make([]uint32, n+1)}
+	o := &OAG{side: side, n: n}
 	adjTmp := make([][]wedge, n)
 	chunkOps := make([]uint64, len(chunks))
 
@@ -279,7 +345,10 @@ func BuildParallelCapped(g *hypergraph.Bipartite, side Side, wMin uint32, maxDeg
 		// The counting pass is the serial one restricted to this chunk's
 		// node range; within-chunk peers are b in (a, ch.Hi), so all writes
 		// to adjTmp land inside [ch.Lo, ch.Hi) and never race. The scatter
-		// scratch is pooled per worker instead of allocated per chunk.
+		// scratch is pooled per worker instead of allocated per chunk. The
+		// accessor pair is per-chunk: cursor-backed accessors on a
+		// compressed graph are single-goroutine.
+		neighborsOf, incidentOf := sideAccessors(g, side)
 		scr := getScratch(n)
 		count, touched := scr.count, scr.touched
 		var ops uint64
@@ -377,28 +446,37 @@ func (o *OAG) Side() Side { return o.side }
 func (o *OAG) NumNodes() uint32 { return o.n }
 
 // NumEdges returns the number of directed CSR entries (2x undirected edges).
-func (o *OAG) NumEdges() uint32 { return uint32(len(o.adj)) }
+func (o *OAG) NumEdges() uint32 { return uint32(len(o.w)) }
 
 // Degree returns the OAG degree of node a.
-func (o *OAG) Degree(a uint32) uint32 { return o.off[a+1] - o.off[a] }
+func (o *OAG) Degree(a uint32) uint32 { return o.hot[a].deg }
 
-// Offset returns the CSR offset of node a (for address modelling).
-func (o *OAG) Offset(a uint32) uint32 { return o.off[a] }
+// Offset returns the logical CSR offset of node a (for address modelling).
+func (o *OAG) Offset(a uint32) uint32 { return o.hot[a].off }
 
 // Neighbors returns node a's neighbor ids in descending-weight order.
 // The slice aliases internal storage.
-func (o *OAG) Neighbors(a uint32) []uint32 { return o.adj[o.off[a]:o.off[a+1]] }
+func (o *OAG) Neighbors(a uint32) []uint32 {
+	h := &o.hot[a]
+	if h.deg <= inlineDeg {
+		return h.nbr[:h.deg]
+	}
+	return o.spill[h.nbr[0] : h.nbr[0]+h.deg]
+}
 
 // Weights returns the weights aligned with Neighbors(a).
-func (o *OAG) Weights(a uint32) []uint32 { return o.w[o.off[a]:o.off[a+1]] }
+func (o *OAG) Weights(a uint32) []uint32 {
+	h := &o.hot[a]
+	return o.w[h.off : h.off+h.deg]
+}
 
-// Weight returns the weight of the i-th CSR entry.
+// Weight returns the weight of the i-th logical CSR entry.
 func (o *OAG) Weight(i uint32) uint32 { return o.w[i] }
 
-// StorageBytes returns the OAG's memory footprint (OAG_offset + OAG_edge +
-// OAG_weight arrays, 4 bytes each), the Figure 21(b) overhead quantity.
+// StorageBytes returns the OAG's memory footprint (hot node records + spill
+// + cold weight table), the Figure 21(b) overhead quantity.
 func (o *OAG) StorageBytes() uint64 {
-	return 4 * uint64(len(o.off)+len(o.adj)+len(o.w))
+	return nodeHotBytes*uint64(len(o.hot)) + 4*uint64(len(o.spill)+len(o.w))
 }
 
 // BuildOps returns the abstract work units spent building the OAG, used by
@@ -408,17 +486,20 @@ func (o *OAG) BuildOps() uint64 { return o.buildOps }
 // Validate checks CSR consistency, weight ordering, symmetry and the W_min
 // threshold; used by property tests.
 func (o *OAG) Validate(g *hypergraph.Bipartite, wMin uint32) error {
-	if len(o.off) != int(o.n)+1 {
-		return fmt.Errorf("oag: offset length %d != n+1", len(o.off))
-	}
-	if o.off[o.n] != uint32(len(o.adj)) || len(o.adj) != len(o.w) {
-		return fmt.Errorf("oag: adjacency/weight length mismatch")
+	if len(o.hot) != int(o.n) {
+		return fmt.Errorf("oag: hot record count %d != n %d", len(o.hot), o.n)
 	}
 	type key struct{ a, b uint32 }
 	seen := make(map[key]uint32)
+	var off uint32
 	for a := uint32(0); a < o.n; a++ {
-		if o.off[a] > o.off[a+1] {
-			return fmt.Errorf("oag: offsets not monotone at %d", a)
+		h := &o.hot[a]
+		if h.off != off {
+			return fmt.Errorf("oag: node %d offset %d != entry cursor %d", a, h.off, off)
+		}
+		off += h.deg
+		if h.deg > inlineDeg && uint64(h.nbr[0])+uint64(h.deg) > uint64(len(o.spill)) {
+			return fmt.Errorf("oag: node %d spill list overruns", a)
 		}
 		ns, ws := o.Neighbors(a), o.Weights(a)
 		for i := range ns {
@@ -436,6 +517,9 @@ func (o *OAG) Validate(g *hypergraph.Bipartite, wMin uint32) error {
 			}
 			seen[key{a, ns[i]}] = ws[i]
 		}
+	}
+	if off != uint32(len(o.w)) {
+		return fmt.Errorf("oag: degree sum %d != weight table length %d", off, len(o.w))
 	}
 	// The per-node degree cap makes adjacency intentionally asymmetric (a
 	// may keep b among its strongest neighbors while b drops a), so only

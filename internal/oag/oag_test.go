@@ -188,7 +188,7 @@ func TestQuickAgainstBruteForce(t *testing.T) {
 func TestStorageAndBuildOps(t *testing.T) {
 	g := fig11()
 	o := BuildCapped(g, Hyperedges, 1, 0, nil)
-	want := uint64(4 * (5 + 8 + 8)) // offsets + adj + weights
+	want := uint64(64*4 + 4*8) // 4 one-line hot records + 8 cold weights, no spill
 	if o.StorageBytes() != want {
 		t.Fatalf("storage = %d, want %d", o.StorageBytes(), want)
 	}

@@ -65,20 +65,16 @@ func UpdateCapped(old *OAG, wMin uint32, maxDeg int, r Rewire) *OAG {
 		wMin = 1
 	}
 	side := old.side
-	neighborsOf := r.NewG.IncidentVertices
-	incidentOf := r.NewG.IncidentHyperedges
-	oldIncidentOf := r.OldG.IncidentHyperedges
 	var n, oldMids uint32
 	if side == Hyperedges {
 		n = r.NewG.NumHyperedges()
 		oldMids = r.OldG.NumVertices()
 	} else {
 		n = r.NewG.NumVertices()
-		neighborsOf = r.NewG.IncidentHyperedges
-		incidentOf = r.NewG.IncidentVertices
-		oldIncidentOf = r.OldG.IncidentVertices
 		oldMids = r.OldG.NumHyperedges()
 	}
+	neighborsOf, incidentOf := sideAccessors(r.NewG, side)
+	_, oldIncidentOf := sideAccessors(r.OldG, side)
 
 	dirty, ok := markDirty(old, r, n, oldMids, incidentOf, oldIncidentOf)
 	if !ok {
@@ -107,7 +103,7 @@ func UpdateCapped(old *OAG, wMin uint32, maxDeg int, r Rewire) *OAG {
 	}
 
 	chunkNew := makeChunkIndex(n, r.NewChunks)
-	o := &OAG{side: side, n: n, off: make([]uint32, n+1), buildOps: old.buildOps}
+	o := &OAG{side: side, n: n, buildOps: old.buildOps}
 	adjTmp := make([][]wedge, n)
 
 	// Recount pass: the Build counting loop restricted to dirty nodes,
@@ -276,12 +272,10 @@ func markDirty(old *OAG, r Rewire, n, oldMids uint32,
 			}
 		}
 	}
-	var neighborsOf func(uint32) []uint32
-	if old.side == Hyperedges {
-		neighborsOf = r.NewG.IncidentVertices
-	} else {
-		neighborsOf = r.NewG.IncidentHyperedges
-	}
+	// A fresh accessor pair: twoHop holds a neighborsOf list across the
+	// incidentOf the caller passed in, which on a compressed graph is a
+	// distinct cursor, so the interleaving is safe.
+	neighborsOf, _ := sideAccessors(r.NewG, old.side)
 	for _, a := range r.AddedNodes {
 		twoHop(a, neighborsOf)
 	}
@@ -318,22 +312,27 @@ func remapID(remap []uint32, id uint32) uint32 {
 	return remap[id]
 }
 
-// Equal reports structural equality: side, node count, CSR offsets,
-// neighbors and weights. BuildOps is deliberately excluded — an
+// Equal reports structural equality: side, node count, per-node logical CSR
+// offsets, neighbors and weights. BuildOps is deliberately excluded — an
 // incrementally updated OAG accounts only the update's own work, while its
 // structure must match the fresh build bit for bit.
 func (o *OAG) Equal(p *OAG) bool {
-	if o.side != p.side || o.n != p.n ||
-		len(o.off) != len(p.off) || len(o.adj) != len(p.adj) || len(o.w) != len(p.w) {
+	if o.side != p.side || o.n != p.n || len(o.w) != len(p.w) {
 		return false
 	}
-	for i := range o.off {
-		if o.off[i] != p.off[i] {
+	for a := uint32(0); a < o.n; a++ {
+		if o.hot[a].off != p.hot[a].off || o.hot[a].deg != p.hot[a].deg {
 			return false
 		}
+		ons, pns := o.Neighbors(a), p.Neighbors(a)
+		for i := range ons {
+			if ons[i] != pns[i] {
+				return false
+			}
+		}
 	}
-	for i := range o.adj {
-		if o.adj[i] != p.adj[i] || o.w[i] != p.w[i] {
+	for i := range o.w {
+		if o.w[i] != p.w[i] {
 			return false
 		}
 	}

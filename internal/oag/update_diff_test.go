@@ -238,7 +238,11 @@ func TestUpdateMatchesAllBuildPaths(t *testing.T) {
 		t.Fatalf("side accessors broken: %q %q %v", Hyperedges, Vertices, o.Side())
 	}
 	for a := uint32(0); a < o.NumNodes(); a++ {
-		if o.Offset(a)+o.Degree(a) != o.Offset(a+1) {
+		next := o.NumEdges()
+		if a+1 < o.NumNodes() {
+			next = o.Offset(a + 1)
+		}
+		if o.Offset(a)+o.Degree(a) != next {
 			t.Fatalf("node %d: offset %d + degree %d misses next offset", a, o.Offset(a), o.Degree(a))
 		}
 		for i, w := range o.Weights(a) {

@@ -292,6 +292,19 @@ func TestSessionMetrics(t *testing.T) {
 		t.Errorf("HostAllocs=%d, want 12345", got)
 	}
 
+	// Footprint recording accumulates across datasets; bytes_per_edge is
+	// the ratio of the sums. Heap-inuse is carried verbatim.
+	m.RecordDatasetFootprint(600, 100)
+	m.RecordDatasetFootprint(200, 100)
+	m.RecordHeapInuse(1 << 20)
+	fsum := m.Summary()
+	if fsum.AdjacencyBytes != 800 || fsum.BytesPerEdge != 4.0 {
+		t.Errorf("footprint summary %+v, want 800 bytes / 4.0 per edge", fsum)
+	}
+	if fsum.HeapInuse != 1<<20 {
+		t.Errorf("HeapInuse=%d, want %d", fsum.HeapInuse, 1<<20)
+	}
+
 	var buf bytes.Buffer
 	if err := m.WriteJSON(&buf); err != nil {
 		t.Fatal(err)

@@ -16,6 +16,9 @@ type SessionMetrics struct {
 	mu         sync.Mutex
 	runs       map[string][]*Timeline
 	hostAllocs uint64
+	heapInuse  uint64
+	adjBytes   uint64
+	bipEdges   uint64
 }
 
 // NewSessionMetrics builds an empty aggregator.
@@ -74,6 +77,29 @@ func (m *SessionMetrics) RecordHostAllocs(n uint64) {
 	m.mu.Unlock()
 }
 
+// RecordDatasetFootprint accumulates one dataset's adjacency storage
+// footprint into the session totals: adjBytes is the in-memory adjacency
+// size (offsets + neighbor storage, both incidence directions — compressed
+// or raw, whichever representation the session executes on) and bipEdges its
+// bipartite edge count. Callers record each dataset exactly once, at load;
+// the summary derives bytes_per_edge from the two sums, which is what the
+// bench gate's memory wall ratchets.
+func (m *SessionMetrics) RecordDatasetFootprint(adjBytes, bipEdges uint64) {
+	m.mu.Lock()
+	m.adjBytes += adjBytes
+	m.bipEdges += bipEdges
+	m.mu.Unlock()
+}
+
+// RecordHeapInuse sets the session's end-of-run heap footprint — the driver
+// samples runtime.MemStats.HeapInuse once after all cells complete, giving a
+// peak-RSS-style signal for the whole session. Zero means "not measured".
+func (m *SessionMetrics) RecordHeapInuse(n uint64) {
+	m.mu.Lock()
+	m.heapInuse = n
+	m.mu.Unlock()
+}
+
 // SessionSummary is the session-level rollup across all recorded runs.
 type SessionSummary struct {
 	Runs            int           `json:"runs"`
@@ -86,13 +112,29 @@ type SessionSummary struct {
 	// session (a Mallocs delta, see RecordHostAllocs); the allocation gate
 	// in scripts/benchgate.sh ratchets it.
 	HostAllocs uint64 `json:"host_allocs,omitempty"`
+	// AdjacencyBytes and BytesPerEdge measure the adjacency storage of every
+	// dataset the session loaded (RecordDatasetFootprint): total bytes and
+	// bytes per bipartite edge. The memory wall in scripts/benchgate.sh
+	// ratchets bytes_per_edge so codec or layout regressions fail CI.
+	AdjacencyBytes uint64  `json:"adjacency_bytes,omitempty"`
+	BytesPerEdge   float64 `json:"bytes_per_edge,omitempty"`
+	// HeapInuse is the host heap in use after the session finished
+	// (RecordHeapInuse) — a peak-RSS-style footprint signal.
+	HeapInuse uint64 `json:"host_heap_inuse_bytes,omitempty"`
 }
 
 // Summary aggregates across every completed run.
 func (m *SessionMetrics) Summary() SessionSummary {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	s := SessionSummary{HostAllocs: m.hostAllocs}
+	s := SessionSummary{
+		HostAllocs:     m.hostAllocs,
+		AdjacencyBytes: m.adjBytes,
+		HeapInuse:      m.heapInuse,
+	}
+	if m.bipEdges > 0 {
+		s.BytesPerEdge = float64(m.adjBytes) / float64(m.bipEdges)
+	}
 	for _, ts := range m.runs {
 		for _, t := range ts {
 			run, done := t.Run()

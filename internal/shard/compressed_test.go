@@ -1,0 +1,71 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+
+	"chgraph/internal/algorithms"
+	"chgraph/internal/obs"
+)
+
+// TestPhaseStringAndTapSuppression nails down two tiny contracts: the
+// Phase names used in logs, and that shardTap forwards only phase snapshots
+// (iteration and run snapshots are the coordinator's to emit, merged).
+func TestPhaseStringAndTapSuppression(t *testing.T) {
+	if HyperedgePhase.String() != "hyperedge" || VertexPhase.String() != "vertex" {
+		t.Fatalf("phase names %q/%q", HyperedgePhase, VertexPhase)
+	}
+	tl := obs.NewTimeline()
+	tap := &shardTap{shard: 2, inner: tl}
+	tap.IterationDone(obs.IterationSnapshot{})
+	tap.RunDone(obs.RunSnapshot{})
+	if len(tl.Iterations()) != 0 {
+		t.Fatal("shardTap forwarded an iteration snapshot")
+	}
+	if _, done := tl.Run(); done {
+		t.Fatal("shardTap forwarded a run snapshot")
+	}
+}
+
+// TestShardCompressedKInvariance: a compressed global graph materializes
+// into compressed sub-hypergraphs (the representation is inherited by
+// Shard.build), and a sharded run on the compressed graph is bit-identical
+// to the same sharded run on the raw graph, for every K — so the
+// K-invariance contract holds in both representations.
+func TestShardCompressedKInvariance(t *testing.T) {
+	mk := func() algorithms.Algorithm { return algorithms.NewBFS(0) }
+	for _, seed := range []int64{7, 11} {
+		raw := smallHG(seed)
+		comp := raw.Compress()
+
+		a, err := Partition(comp, 3, PolicyGreedy, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Materialize(comp, a, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sh := range p.Shards {
+			if !sh.G.Compressed() {
+				t.Fatalf("seed %d: shard %d lost the compressed representation", seed, sh.ID)
+			}
+		}
+
+		for _, kind := range allKinds {
+			for _, k := range []int{1, 2, 3, 8} {
+				if uint32(k) > raw.NumHyperedges() {
+					continue
+				}
+				rr := runSharded(t, raw, mk, kind, PolicyGreedy, k, 2)
+				cr := runSharded(t, comp, mk, kind, PolicyGreedy, k, 2)
+				// State.G is the input graph object — raw and compressed
+				// runs differ there by construction, and nowhere else.
+				rr.State.G, cr.State.G = nil, nil
+				if !reflect.DeepEqual(rr, cr) {
+					t.Errorf("seed %d %v K=%d: compressed sharded run diverged from raw", seed, kind, k)
+				}
+			}
+		}
+	}
+}

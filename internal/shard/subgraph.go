@@ -148,5 +148,11 @@ func (sh *Shard) build(g *hypergraph.Bipartite, a *Assignment, hLocal []uint32) 
 	} else {
 		sh.G, err = hypergraph.Build(numLV, pins)
 	}
+	if err == nil && g.Compressed() {
+		// Shards inherit the global graph's representation so per-shard
+		// engines run the compressed decode path and K-invariance holds in
+		// both modes.
+		sh.G = sh.G.Compress()
+	}
 	return err
 }

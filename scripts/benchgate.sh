@@ -11,6 +11,10 @@
 #   host_allocs       > ALLOC_TOL % worse (default 10) -- heap objects the
 #                       whole session allocates; the hot paths are pooled, so
 #                       growth here means a reuse path regressed to rebuilding
+#   bytes_per_edge    > MEM_TOL   % worse (default 10) -- adjacency bytes per
+#                       bipartite edge across the session's datasets (the
+#                       memory wall); bench-smoke runs compressed, so growth
+#                       here means the varint codec or CSR layout regressed
 #
 # Usage: sh scripts/benchgate.sh [baseline.json] [fresh.json]
 # Tolerances are env-overridable (CYCLE_TOL=8 WALL_TOL=25 sh scripts/benchgate.sh).
@@ -25,6 +29,7 @@ fresh=${2:-bench-metrics.json}
 cycle_tol=${CYCLE_TOL:-3}
 wall_tol=${WALL_TOL:-10}
 alloc_tol=${ALLOC_TOL:-10}
+mem_tol=${MEM_TOL:-10}
 
 for f in "$base" "$fresh"; do
     if [ ! -f "$f" ]; then
@@ -35,9 +40,10 @@ for f in "$base" "$fresh"; do
 done
 
 # The session summary precedes the per-run entries in the metrics JSON, so the
-# first occurrence of each field is the session-wide total.
+# first occurrence of each field is the session-wide total. Values may be
+# floats (bytes_per_edge), so the comparisons below all go through awk.
 field() {
-    sed -n 's/.*"'"$2"'": *\([0-9][0-9]*\).*/\1/p' "$1" | head -1
+    sed -n 's/.*"'"$2"'": *\([0-9][0-9.]*\).*/\1/p' "$1" | head -1
 }
 
 fail=0
@@ -64,7 +70,7 @@ gate() {
         row SKIP "$name" "-" "$new" "baseline predates this metric"
         return
     fi
-    if [ "$old" -eq 0 ]; then
+    if [ "$(awk -v o="$old" 'BEGIN { print (o == 0) ? 1 : 0 }')" = 1 ]; then
         echo "FAIL  $name: baseline is zero (stale or truncated $base?)"
         row FAIL "$name" 0 "$new" "baseline is zero"
         fail=1
@@ -95,6 +101,9 @@ gate host_wall_ns "$wall_tol" "$(field "$base" host_wall_ns)" "$(field "$fresh" 
 # host_allocs is omitempty in the summary; a baseline captured before the
 # allocation gate existed gets an explicit SKIP row from gate().
 gate host_allocs "$alloc_tol" "$(field "$base" host_allocs)" "$(field "$fresh" host_allocs)"
+# bytes_per_edge is the memory wall: adjacency bytes per bipartite edge over
+# the session's datasets. Also omitempty — pre-gate baselines SKIP.
+gate bytes_per_edge "$mem_tol" "$(field "$base" bytes_per_edge)" "$(field "$fresh" bytes_per_edge)"
 
 if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
     {

@@ -40,10 +40,10 @@ check() {
     fi
 }
 
-check internal/engine     96
-check internal/obs        97
-check internal/hypergraph 87
-check internal/oag        90
+check internal/engine     97
+check internal/obs        98
+check internal/hypergraph 91
+check internal/oag        93
 check internal/shard      90
 check internal/serve      90
 check internal/flight     90
